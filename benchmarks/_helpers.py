@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Each ``bench_*.py`` file regenerates one paper artifact (table / figure /
+ablation). The experiment itself runs once per module (kept light via
+reduced Monte Carlo scale — see EXPERIMENTS.md for full-scale outputs);
+the ``benchmark`` fixture times it, and the resulting series is printed
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+rows alongside the timing statistics.
+"""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, experiment_fn, capsys, **kwargs):
+    """Benchmark one experiment (single round) and print its table."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + result.format() + "\n")
+    return result

@@ -1,0 +1,49 @@
+"""Ablations A5/A6 — imperfect CSI and spatial correlation.
+
+Both extend the paper's idealised evaluation (perfect CSI, i.i.d.
+Rayleigh) toward deployment conditions and quantify the impact on BER
+*and* on the sphere decoder's workload (hence decode time on every
+platform)."""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import ablation_correlation, ablation_imperfect_csi
+
+
+def bench_imperfect_csi(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        ablation_imperfect_csi,
+        capsys,
+        snr_db=12.0,
+        pilot_snrs_db=(0.0, 10.0, 20.0, 40.0),
+        channels=5,
+        frames_per_channel=6,
+        seed=2023,
+    )
+    rows = {row["pilot_snr_db"]: row for row in result.rows}
+    # Estimation MSE falls monotonically with pilot SNR.
+    mses = [rows[s]["channel_mse"] for s in sorted(rows)]
+    assert all(a > b for a, b in zip(mses, mses[1:]))
+    # Bad pilots cost BER and workload.
+    assert rows[0.0]["ber"] >= rows[40.0]["ber"]
+    assert rows[0.0]["mean_nodes"] > rows[40.0]["mean_nodes"]
+    # Good pilots approach perfect-CSI behaviour (clean at 12 dB).
+    assert rows[40.0]["ber"] < 0.02
+
+
+def bench_correlation(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        ablation_correlation,
+        capsys,
+        snr_db=8.0,
+        rhos=(0.0, 0.5, 0.9),
+        channels=5,
+        frames_per_channel=5,
+        seed=2023,
+    )
+    rows = {row["rho"]: row for row in result.rows}
+    # Correlation degrades BER and inflates the search.
+    assert rows[0.9]["ber"] > rows[0.0]["ber"]
+    assert rows[0.9]["mean_nodes"] > 2 * rows[0.0]["mean_nodes"]

@@ -1,0 +1,25 @@
+"""Ablation A7 — complex-domain vs real-decomposition search trees."""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import ablation_domain
+
+
+def bench_domain(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        ablation_domain,
+        capsys,
+        snr_db=10.0,
+        modulations=("4qam", "16qam"),
+        channels=2,
+        frames_per_channel=2,
+        seed=2023,
+    )
+    rows = {row["modulation"]: row for row in result.rows}
+    for row in result.rows:
+        # Real-domain children per expansion = sqrt(P); complex = P —
+        # expansions compensate, so the children ratio stays bounded.
+        assert 0.05 < row["children_ratio"] < 20.0
+    # Deeper trees mean the real domain always expands more nodes.
+    assert rows["4qam"]["real_expansions"] > rows["4qam"]["complex_expansions"]

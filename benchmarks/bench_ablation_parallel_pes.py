@@ -1,0 +1,35 @@
+"""Ablation A4 — multi-PE partitioned tree search (section V future work).
+
+Scales the number of processing entities and reports the parallel
+latency bound (busiest-PE expansions). Related work [4] reaches 29x with
+32 PEs using offline tree partitioning; our simple online round-robin
+split shows the same qualitative behaviour — useful but sub-linear
+speedup, limited by how early the shared radius tightens.
+"""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import ablation_parallel_pes
+
+
+def bench_parallel_pes(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        ablation_parallel_pes,
+        capsys,
+        snr_db=4.0,
+        pe_counts=(1, 2, 4, 8, 16, 32),
+        channels=3,
+        frames_per_channel=3,
+        seed=2023,
+    )
+    rows = {row["n_pes"]: row for row in result.rows}
+    # Speedup is real but sub-linear.
+    assert rows[1]["latency_speedup"] == 1.0
+    assert rows[4]["latency_speedup"] > 1.2
+    assert rows[32]["latency_speedup"] >= rows[4]["latency_speedup"] * 0.9
+    assert rows[32]["latency_speedup"] < 32.0
+    # Efficiency decays with PE count (the scaling challenge of [4]).
+    assert rows[32]["efficiency_pct"] < rows[2]["efficiency_pct"]
+    # Total work is not inflated by more than ~2x by parallel exploration.
+    assert rows[32]["mean_total_nodes"] < 2.5 * rows[1]["mean_total_nodes"]

@@ -1,0 +1,27 @@
+"""Ablation A3 — reduced-precision decoding (paper section V future work).
+
+The paper proposes exploring FP16/mixed precision as future work; this
+ablation quantises the triangularised system before the search and
+measures the BER cost of fp32 and fp16 relative to fp64.
+"""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import ablation_precision
+
+
+def bench_precision(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        ablation_precision,
+        capsys,
+        snrs=(4.0, 12.0, 20.0),
+        channels=4,
+        frames_per_channel=10,
+        seed=2023,
+    )
+    for row in result.rows:
+        # fp32 is BER-neutral for this dynamic range.
+        assert row["fp32_ber"] <= row["fp64_ber"] + 0.02
+        # fp16 stays a usable detector (not catastrophically broken).
+        assert row["fp16_ber"] <= max(2.5 * row["fp64_ber"], 0.2)

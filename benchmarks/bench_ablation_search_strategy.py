@@ -1,0 +1,32 @@
+"""Ablation A1 — search strategies: nodes expanded per decode.
+
+Backs the paper's section IV-F claim that the leaf-first (Best-FS /
+sorted-DFS) exploration visits under 1% of the nodes a BFS sweep does at
+low SNR, and quantifies our additional Babai seeding on top.
+"""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import ablation_search_strategy
+
+
+def bench_search_strategies(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        ablation_search_strategy,
+        capsys,
+        snrs=(4.0, 12.0, 20.0),
+        channels=3,
+        frames_per_channel=3,
+        seed=2023,
+    )
+    rows = {row["snr_db"]: row for row in result.rows}
+    # Low SNR: leaf-first under a few % of BFS (paper: <1%).
+    assert rows[4.0]["bestfs_vs_bfs_pct"] < 3.0
+    # Sorted insertion matters: natural-order DFS does more work.
+    assert rows[4.0]["dfs_natural_nodes"] >= rows[4.0]["dfs_sorted_nodes"]
+    # Best-first is the node-optimal exact strategy: never beaten by DFS.
+    for row in result.rows:
+        assert row["bestfs_nodes"] <= row["dfs_sorted_nodes"] * 1.25
+    # The gap closes as SNR rises (everything gets easy).
+    assert rows[20.0]["bestfs_vs_bfs_pct"] > rows[4.0]["bestfs_vs_bfs_pct"]

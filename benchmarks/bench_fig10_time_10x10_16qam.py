@@ -1,0 +1,52 @@
+"""Fig. 10 — execution time vs SNR, 10x10 MIMO, 16-QAM.
+
+Paper: 16-QAM is dramatically more expensive than 4-QAM (CPU ~100 ms at
+4 dB; real time only between 16 and 20 dB); the FPGA is ~4x faster. The
+paper attributes the blow-up to the tree-state matrix growing with the
+modulation factor squared (section IV-E).
+"""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import fig6_time_10x10_4qam, fig10_time_10x10_16qam
+from repro.bench.harness import REAL_TIME_MS
+
+
+def bench_fig10_series(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        fig10_time_10x10_16qam,
+        capsys,
+        channels=2,
+        frames_per_channel=2,
+        seed=2023,
+    )
+    rows = {row["snr_db"]: row for row in result.rows}
+    # CPU far beyond real time at the low end.
+    assert rows[4.0]["cpu_ms"] > 3 * REAL_TIME_MS
+    # FPGA speedup in the paper's ballpark (4x).
+    assert rows[4.0]["speedup_vs_cpu"] > 3.0
+    # Time falls with SNR.
+    assert rows[20.0]["cpu_ms"] < rows[4.0]["cpu_ms"]
+
+
+def bench_fig10_modulation_blowup(benchmark, capsys):
+    """Section IV-E: modulation scaling hurts more than antenna scaling."""
+
+    def both():
+        qam4 = fig6_time_10x10_4qam(
+            snrs=[8.0], channels=2, frames_per_channel=2, seed=2023
+        )
+        qam16 = fig10_time_10x10_16qam(
+            snrs=[8.0], channels=2, frames_per_channel=2, seed=2023
+        )
+        return qam4, qam16
+
+    qam4, qam16 = benchmark.pedantic(both, rounds=1, iterations=1)
+    with capsys.disabled():
+        ratio = qam16.rows[0]["cpu_ms"] / qam4.rows[0]["cpu_ms"]
+        print(
+            f"\n16-QAM / 4-QAM CPU decode-time ratio @ 8 dB: {ratio:.1f}x "
+            "(paper: order-of-magnitude blow-up)\n"
+        )
+    assert qam16.rows[0]["cpu_ms"] > 3 * qam4.rows[0]["cpu_ms"]

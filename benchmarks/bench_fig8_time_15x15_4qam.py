@@ -1,0 +1,31 @@
+"""Fig. 8 — execution time vs SNR, 15x15 MIMO, 4-QAM.
+
+Paper: the CPU breaks the 10 ms real-time constraint at low SNR (>30 ms
+at 4 dB) and only approaches real time around 8 dB; the optimised FPGA
+decodes in real time from much lower SNR (6.1x speedup, ~5 ms).
+"""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import fig8_time_15x15_4qam
+from repro.bench.harness import REAL_TIME_MS
+
+
+def bench_fig8_series(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        fig8_time_15x15_4qam,
+        capsys,
+        channels=3,
+        frames_per_channel=3,
+        seed=2023,
+    )
+    rows = {row["snr_db"]: row for row in result.rows}
+    low, high = rows[4.0], rows[20.0]
+    # CPU breaks real time at 4 dB; the paper reports >30 ms there.
+    assert low["cpu_ms"] > REAL_TIME_MS
+    # Speedup at least the 10x10 level and useful (paper: 6.1x).
+    assert low["speedup_vs_cpu"] > 4.0
+    # FPGA recovers real time within the sweep; CPU recovers by 20 dB.
+    assert any(r["fpga_optimized_ms"] <= REAL_TIME_MS for r in result.rows)
+    assert high["cpu_ms"] < low["cpu_ms"]

@@ -1,0 +1,39 @@
+"""Fig. 9 — execution time vs SNR, 20x20 MIMO, 4-QAM.
+
+Paper: both platforms are far beyond real time at 4 dB; at 8 dB the
+CPU needs 88.8 ms while the optimised FPGA decodes in 9.9 ms (9x) —
+the configuration only the accelerator can serve in real time.
+
+Note: the 4 dB point is the heaviest workload in the whole harness; the
+decoder's node cap may truncate some frames there (reported in the
+table), which matches the paper's observation that this regime is
+impractical on every platform.
+"""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import fig9_time_20x20_4qam
+from repro.bench.harness import REAL_TIME_MS
+
+
+def bench_fig9_series(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        fig9_time_20x20_4qam,
+        capsys,
+        snrs=(4.0, 8.0, 12.0, 16.0, 20.0),
+        channels=2,
+        frames_per_channel=2,
+        seed=2023,
+    )
+    rows = {row["snr_db"]: row for row in result.rows}
+    # 4 dB is impractical on the CPU (paper: hundreds of ms).
+    assert rows[4.0]["cpu_ms"] > 5 * REAL_TIME_MS
+    # The FPGA advantage grows with system size (paper: 9x at 8 dB,
+    # vs 5x for 10x10); our per-child memory model reproduces the growth.
+    assert rows[8.0]["speedup_vs_cpu"] > 5.0
+    # By the top of the sweep the FPGA is comfortably real-time.
+    assert rows[20.0]["fpga_optimized_ms"] <= REAL_TIME_MS
+    # Decode time monotone non-increasing with SNR.
+    cpu = [rows[s]["cpu_ms"] for s in sorted(rows)]
+    assert cpu[0] >= cpu[-1]

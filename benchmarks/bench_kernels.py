@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the hot kernels (repeated-measurement timings).
+
+These are the classic pytest-benchmark entries: statistically meaningful
+timings of the operations the decode loop lives in — useful when tuning
+the NumPy implementation (the guides' "no optimisation without
+measuring").
+"""
+
+import numpy as np
+
+from repro.core.gemm import GemmEvaluator
+from repro.core.radius import NoiseScaledRadius, babai_point
+from repro.core.sphere_decoder import SphereDecoder
+from repro.detectors.sd_bfs import GemmBfsDecoder
+from repro.mimo.constellation import Constellation
+from repro.mimo.preprocessing import effective_receive, qr_decompose, sorted_qr
+from repro.mimo.system import MIMOSystem
+
+
+def _fixture(n=10, modulation="4qam", snr_db=8.0, seed=0):
+    system = MIMOSystem(n, n, modulation)
+    frame = system.random_frame(snr_db, np.random.default_rng(seed))
+    return system, frame
+
+
+def bench_qr_decompose(benchmark):
+    _, frame = _fixture(n=20)
+    benchmark(qr_decompose, frame.channel)
+
+
+def bench_sorted_qr(benchmark):
+    _, frame = _fixture(n=20)
+    benchmark(sorted_qr, frame.channel)
+
+
+def bench_babai_point(benchmark):
+    system, frame = _fixture(n=20)
+    qr = qr_decompose(frame.channel)
+    ybar = effective_receive(qr, frame.received)
+    benchmark(babai_point, qr.r, ybar, system.constellation)
+
+
+def bench_gemm_expand_pool64(benchmark):
+    """One batched evaluation of 64 nodes x 16 children (the BLAS-3 core)."""
+    system, frame = _fixture(n=10, modulation="16qam")
+    qr = qr_decompose(frame.channel)
+    ybar = effective_receive(qr, frame.received)
+    ev = GemmEvaluator(qr.r, ybar, system.constellation)
+    rng = np.random.default_rng(0)
+    pool = rng.integers(0, 16, size=(64, 5)).astype(np.int64)
+    pds = rng.uniform(0, 1, 64)
+    benchmark(ev.expand, 4, pool, pds)
+
+
+def bench_decode_10x10_4qam_8db(benchmark):
+    """Full per-vector decode with the canonical configuration."""
+    system, frame = _fixture(n=10, snr_db=8.0)
+    decoder = SphereDecoder(
+        system.constellation,
+        strategy="dfs",
+        radius_policy=NoiseScaledRadius(alpha=2.0),
+        record_trace=False,
+    )
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    benchmark(decoder.detect, frame.received)
+
+
+def bench_decode_bestfirst_pooled(benchmark):
+    """Best-FS with pool batching (the GEMM-friendly variant)."""
+    system, frame = _fixture(n=10, snr_db=8.0)
+    decoder = SphereDecoder(
+        system.constellation, strategy="best-first", pool_size=16, record_trace=False
+    )
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    benchmark(decoder.detect, frame.received)
+
+
+def bench_bfs_sweep_12db(benchmark):
+    """One level-synchronous BFS decode (the GPU baseline's workload)."""
+    system, frame = _fixture(n=10, snr_db=12.0)
+    decoder = GemmBfsDecoder(
+        system.constellation,
+        radius_policy=NoiseScaledRadius(alpha=4.0),
+        max_frontier=2**17,
+        record_trace=False,
+    )
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    benchmark(decoder.detect, frame.received)
+
+
+def bench_constellation_slicing(benchmark):
+    const = Constellation.qam(16)
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+    benchmark(const.nearest_indices, values)

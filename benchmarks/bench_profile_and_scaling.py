@@ -1,0 +1,45 @@
+"""Execution-profile and modulation-scaling benches (section III-A / IV-E)."""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import profile_execution, scaling_modulation
+
+
+def bench_execution_profile(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        profile_execution,
+        capsys,
+        snr_db=8.0,
+        channels=3,
+        frames_per_channel=4,
+        seed=2023,
+    )
+    by_design = {row["design"]: row for row in result.rows}
+    base = by_design["baseline"]
+    opt = by_design["optimized"]
+    # Optimisation shrinks total cycles substantially on the same trace.
+    assert opt["total_mcycles"] < 0.5 * base["total_mcycles"]
+    # Shares sum to ~100% for each design.
+    for row in result.rows:
+        total_pct = sum(
+            row[k] for k in row if k.endswith("_pct")
+        )
+        assert 95.0 < total_pct <= 100.5
+
+
+def bench_modulation_scaling(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        scaling_modulation,
+        capsys,
+        snr_db=12.0,
+        modulations=("4qam", "16qam", "64qam"),
+        channels=1,
+        frames_per_channel=2,
+        seed=2023,
+    )
+    rows = {row["modulation"]: row for row in result.rows}
+    # Strict cost ordering with the modulation factor (section IV-E).
+    assert rows["4qam"]["cpu_ms"] < rows["16qam"]["cpu_ms"] < rows["64qam"]["cpu_ms"]
+    assert rows["16qam"]["cpu_ms"] > 10 * rows["4qam"]["cpu_ms"]

@@ -1,0 +1,14 @@
+"""Table I — FPGA resource utilisation, baseline vs optimised designs."""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import table1_resources
+
+
+def bench_table1_resources(benchmark, capsys):
+    result = run_and_report(benchmark, table1_resources, capsys)
+    assert len(result.rows) == 4
+    # Every cell within 3 percentage points of the paper.
+    for row in result.rows:
+        for resource in ("luts", "ffs", "dsps", "brams", "urams"):
+            assert abs(row[f"{resource}_pct"] - row[f"{resource}_paper"]) < 3.0

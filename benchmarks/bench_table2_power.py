@@ -1,0 +1,22 @@
+"""Table II — power / execution time / energy, CPU vs FPGA."""
+
+from _helpers import run_and_report
+
+from repro.bench.experiments import table2_power
+from repro.fpga.power import energy_reduction_geomean
+
+
+def bench_table2_power(benchmark, capsys):
+    result = run_and_report(
+        benchmark, table2_power, capsys, channels=2, frames_per_channel=2, seed=2023
+    )
+    assert len(result.rows) == 4
+    reductions = [row["energy_reduction"] for row in result.rows]
+    # The FPGA wins on energy by at least an order of magnitude everywhere
+    # (paper geomean 38.1x; ours is larger because our measured FPGA/CPU
+    # time ratio follows Fig. 6's 5x rather than Table II's 3.5x — the
+    # paper's two numbers disagree; see EXPERIMENTS.md).
+    geomean = energy_reduction_geomean(reductions)
+    assert geomean > 10.0
+    for row in result.rows:
+        assert row["fpga_power_w"] < row["cpu_power_w"]

@@ -1,0 +1,77 @@
+"""Base-station capacity planning: vectors/second within the 10 ms budget.
+
+The paper's real-time constraint is per-vector; a deployment cares about
+*throughput under a latency SLO*. This example measures decode-time
+distributions (the canonical decoder's traces run through each platform
+model), feeds them into the M/G/1 analysis of
+:mod:`repro.bench.realtime`, and reports how many received vectors per
+second each platform sustains while keeping the mean-sojourn Markov
+bound on 10 ms misses under 10%.
+
+Run:  python examples/capacity_planning.py [snr_db]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import run_workload_sweep
+from repro.bench.realtime import max_sustainable_rate, mg1_report
+
+
+def main() -> None:
+    snr_db = float(sys.argv[1]) if len(sys.argv) > 1 else 8.0
+    deadline_s = 10e-3
+    miss_bound = 0.10
+
+    print(
+        f"Sustainable uplink load, 10x10 4-QAM @ {snr_db:g} dB "
+        f"(deadline {deadline_s * 1e3:g} ms, miss bound {miss_bound:.0%}):\n"
+    )
+    workload = run_workload_sweep(
+        10, "4qam", snrs=[snr_db], channels=4, frames_per_channel=6, seed=11
+    )
+    stats = workload.sweep.points[0].frame_stats
+    platforms = {
+        "CPU (64-core MKL)": np.array(
+            [workload.cpu.decode_seconds(st) for st in stats]
+        ),
+        "FPGA baseline": np.array(
+            [workload.fpga_baseline.decode_report(st).seconds for st in stats]
+        ),
+        "FPGA optimized": np.array(
+            [workload.fpga_optimized.decode_report(st).seconds for st in stats]
+        ),
+    }
+    print(
+        f"{'platform':<20} {'mean svc (ms)':>14} {'idle bound':>11} "
+        f"{'max rate (vec/s)':>17} {'util @ max':>11}"
+    )
+    for name, times in platforms.items():
+        rate = max_sustainable_rate(
+            times, deadline_s=deadline_s, miss_bound=miss_bound
+        )
+        idle_bound = float(np.mean(times)) / deadline_s
+        if rate > 0:
+            util = f"{mg1_report(times, rate).utilization:.0%}"
+        else:
+            util = "-"
+        print(
+            f"{name:<20} {np.mean(times) * 1e3:>14.3f} {idle_bound:>10.0%} "
+            f"{rate:>17.0f} {util:>11}"
+        )
+    print(
+        "\n('idle bound' = mean service / deadline: the Markov miss bound "
+        "with zero queueing. A platform whose idle bound already exceeds "
+        "the target cannot sustain any load at this SLO.)"
+    )
+    print(
+        "\nDecode-time variance matters as much as the mean: channels that "
+        "trigger deep searches inflate the queue (Pollaczek-Khinchine), "
+        "which is why the FPGA's headroom translates into a much higher "
+        "sustainable vector rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

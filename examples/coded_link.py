@@ -1,0 +1,79 @@
+"""A complete coded MIMO link: conv code + soft sphere detection + Viterbi.
+
+Real base stations never run the detector in isolation: information bits
+are convolutionally encoded, interleaved over MIMO transmissions, soft-
+detected and Viterbi-decoded. This example assembles the entire chain
+from the library's pieces and measures the value of each stage:
+
+* uncoded hard detection        (the paper's operating mode)
+* coded + hard-decision Viterbi (slicer bits into the decoder)
+* coded + soft-decision Viterbi (list-sphere LLRs into the decoder)
+
+Run:  python examples/coded_link.py [snr_db]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    ConvolutionalCode,
+    MIMOSystem,
+    NoiseScaledRadius,
+    SoftOutputSphereDetector,
+    ViterbiDecoder,
+)
+
+
+def main() -> None:
+    snr_db = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    system = MIMOSystem(4, 4, "4qam")
+    code = ConvolutionalCode(generators=(0o7, 0o5), constraint_length=3)
+    viterbi = ViterbiDecoder(code)
+    detector = SoftOutputSphereDetector(
+        system.constellation, radius_policy=NoiseScaledRadius(alpha=6.0)
+    )
+    rng = np.random.default_rng(42)
+
+    bits_per_frame = system.bits_per_frame  # 8
+    n_messages = 60
+    msg_len = 46  # -> 96 coded bits = 12 MIMO frames per message
+
+    uncoded_err = hard_err = soft_err = 0
+    uncoded_bits = coded_bits = 0
+    for _ in range(n_messages):
+        msg = rng.integers(0, 2, msg_len).astype(bool)
+        coded = code.encode(msg)
+        llrs = np.empty(coded.size)
+        hard = np.empty(coded.size, dtype=int)
+        for i in range(coded.size // bits_per_frame):
+            chunk = coded[i * bits_per_frame : (i + 1) * bits_per_frame]
+            indices = system.constellation.bits_to_indices(chunk)
+            symbols = system.constellation.map_indices(indices)
+            channel = system.channel_model.draw_channel(rng)
+            noise_var = system.noise_var(snr_db)
+            y = system.channel_model.transmit(channel, symbols, noise_var, rng)
+            detector.prepare(channel, noise_var=noise_var)
+            soft = detector.detect_soft(y)
+            sl = slice(i * bits_per_frame, (i + 1) * bits_per_frame)
+            llrs[sl] = soft.llrs
+            hard[sl] = soft.hard.bits
+            # Uncoded reference: raw detected bits vs transmitted bits.
+            uncoded_err += int(np.count_nonzero(soft.hard.bits != chunk))
+            uncoded_bits += chunk.size
+        hard_err += int(np.count_nonzero(viterbi.decode_hard(hard) != msg))
+        soft_err += int(np.count_nonzero(viterbi.decode_soft(llrs) != msg))
+        coded_bits += msg.size
+
+    print(f"{system!r} @ {snr_db:g} dB, K=3 (7,5) rate-1/2 code, {n_messages} messages")
+    print(f"uncoded (raw detector) BER : {uncoded_err / uncoded_bits:.5f}")
+    print(f"coded, hard Viterbi    BER : {hard_err / coded_bits:.5f}")
+    print(f"coded, soft Viterbi    BER : {soft_err / coded_bits:.5f}")
+    print(
+        "\nThe soft column is why the detector exports LLRs: the channel "
+        "decoder flips exactly the low-confidence bits."
+    )
+
+
+if __name__ == "__main__":
+    main()

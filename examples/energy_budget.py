@@ -1,0 +1,74 @@
+"""Base-station energy budgeting: CPU vs FPGA deployment (Table II).
+
+Signal detection runs in remote base stations with tight power budgets
+(paper section I). This example sizes the energy cost of decoding a
+stream of vectors on the CPU vs the optimised FPGA design for each of
+the paper's Table II configurations, using measured work traces and the
+calibrated power models.
+
+Run:  python examples/energy_budget.py [--fast]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import run_workload_sweep
+from repro.fpga.power import (
+    cpu_power_w,
+    energy_joules,
+    energy_reduction_geomean,
+    fpga_power_w,
+)
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    configs = [(10, "4qam"), (15, "4qam"), (10, "16qam")]
+    if not fast:
+        configs.insert(2, (20, "4qam"))
+    snr_db = 4.0
+    vectors_per_second = 100  # a modest uplink decode load
+
+    print(
+        f"Energy to decode at {snr_db:g} dB "
+        f"({vectors_per_second} vectors/s sustained load):\n"
+    )
+    print(
+        f"{'config':>14} {'CPU W':>7} {'FPGA W':>7} {'CPU mJ/vec':>11} "
+        f"{'FPGA mJ/vec':>12} {'reduction':>10} {'FPGA W avg':>11}"
+    )
+    reductions = []
+    for n, modulation in configs:
+        workload = run_workload_sweep(
+            n,
+            modulation,
+            snrs=[snr_db],
+            channels=2,
+            frames_per_channel=2 if fast else 3,
+            seed=2023,
+        )
+        stats = workload.sweep.points[0].frame_stats
+        cpu_s = workload.cpu.mean_decode_seconds(stats)
+        fpga_s = workload.fpga_optimized.mean_decode_seconds(stats)
+        order = workload.system.constellation.order
+        p_cpu, p_fpga = cpu_power_w(n, order), fpga_power_w(n, order)
+        e_cpu = energy_joules(p_cpu, cpu_s)
+        e_fpga = energy_joules(p_fpga, fpga_s)
+        reductions.append(e_cpu / e_fpga)
+        # Average board power at the sustained load (duty-cycled).
+        duty = min(fpga_s * vectors_per_second, 1.0)
+        avg_w = p_fpga * duty
+        print(
+            f"{n:>11}x{n} {modulation[:5]:<1} {p_cpu:>6.0f} {p_fpga:>7.1f} "
+            f"{e_cpu * 1e3:>11.2f} {e_fpga * 1e3:>12.3f} "
+            f"{e_cpu / e_fpga:>9.1f}x {avg_w:>10.2f}W"
+        )
+    print(
+        f"\nenergy-reduction geomean: {energy_reduction_geomean(reductions):.1f}x "
+        "(paper Table II: 38.1x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

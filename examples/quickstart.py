@@ -1,0 +1,62 @@
+"""Quickstart: decode one MIMO transmission with the sphere decoder.
+
+Builds a 10x10 4-QAM link (the paper's headline configuration),
+transmits a random vector through a Rayleigh fading channel, decodes it
+exactly with the GEMM-based Best-First sphere decoder, and prints what
+the search did plus what the decode would cost on the paper's platforms.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MIMOSystem, SphereDecoder
+from repro.fpga import FPGAPipeline, PipelineConfig
+from repro.perfmodel import CPUCostModel
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    rng = np.random.default_rng(seed)
+
+    # 1. A 10x10 spatial-multiplexing link with Gray-mapped 4-QAM.
+    system = MIMOSystem(n_tx=10, n_rx=10, modulation="4qam")
+    print(f"link      : {system!r}, {system.bits_per_frame} bits/vector")
+
+    # 2. One transmission at 12 dB aggregate receive SNR.
+    frame = system.random_frame(snr_db=12.0, rng=rng)
+    print(f"sent      : {frame.symbol_indices.tolist()}")
+
+    # 3. Exact ML detection via the sphere decoder (Best-FS + GEMM).
+    decoder = SphereDecoder(system.constellation)
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    result = decoder.detect(frame.received)
+    correct = np.array_equal(result.indices, frame.symbol_indices)
+    print(f"decoded   : {result.indices.tolist()}  ({'correct' if correct else 'errors!'})")
+    print(f"ML metric : {result.metric:.4f}")
+
+    # 4. What did the search do?
+    st = result.stats
+    full_tree = system.constellation.order**system.n_tx
+    print(
+        f"search    : {st.nodes_expanded} expansions, "
+        f"{st.nodes_generated} children evaluated in {st.gemm_calls} GEMM "
+        f"batches, {st.nodes_pruned} pruned "
+        f"({st.nodes_generated / full_tree:.2e} of the full tree)"
+    )
+
+    # 5. Platform cost: replay the trace through the models.
+    cpu_ms = CPUCostModel(n_rx=10).decode_seconds(st) * 1e3
+    pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+    report = pipe.decode_report(st)
+    print(
+        f"platforms : CPU {cpu_ms:.3f} ms | FPGA-optimized "
+        f"{report.milliseconds:.3f} ms ({cpu_ms / report.milliseconds:.1f}x, "
+        f"host->HBM staging {report.transfer_fraction * 100:.1f}% of cycles)"
+    )
+
+
+if __name__ == "__main__":
+    main()

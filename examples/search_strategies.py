@@ -1,0 +1,82 @@
+"""Search-strategy shoot-out: why leaf-first beats breadth-first.
+
+Decodes the same frames with four tree-traversal strategies and compares
+the nodes each explores — the argument behind the paper's 57x win over
+the GPU GEMM-BFS implementation (section IV-F and Fig. 11):
+
+* ``best-first``  — global priority queue (this paper / Geosphere idea)
+* ``dfs-sorted``  — LIFO with PD-sorted children (paper Fig. 3)
+* ``babai-seeded``— dfs-sorted + SIC initial radius (our extra tweak)
+* ``bfs``         — level-synchronous sweep (the GPU baseline of [1])
+
+Run:  python examples/search_strategies.py [snr_db]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    BabaiRadius,
+    GemmBfsDecoder,
+    MIMOSystem,
+    NoiseScaledRadius,
+    SphereDecoder,
+)
+
+
+def main() -> None:
+    snr_db = float(sys.argv[1]) if len(sys.argv) > 1 else 6.0
+    system = MIMOSystem(10, 10, "4qam")
+    const = system.constellation
+    rng = np.random.default_rng(0)
+
+    def make_decoders():
+        return {
+            "best-first": SphereDecoder(
+                const, strategy="best-first", radius_policy=NoiseScaledRadius(2.0)
+            ),
+            "dfs-sorted": SphereDecoder(
+                const, strategy="dfs", radius_policy=NoiseScaledRadius(2.0)
+            ),
+            "babai-seeded": SphereDecoder(
+                const, strategy="dfs", radius_policy=BabaiRadius()
+            ),
+            "bfs (GPU [1])": GemmBfsDecoder(
+                const, radius_policy=NoiseScaledRadius(4.0), max_frontier=2**19
+            ),
+        }
+
+    totals = {name: 0 for name in make_decoders()}
+    frames = 8
+    agreement = 0
+    for _ in range(frames):
+        frame = system.random_frame(snr_db, rng)
+        decisions = {}
+        for name, decoder in make_decoders().items():
+            decoder.prepare(frame.channel, noise_var=frame.noise_var)
+            result = decoder.detect(frame.received)
+            totals[name] += result.stats.nodes_expanded
+            decisions[name] = tuple(result.indices)
+        if len(set(decisions.values())) == 1:
+            agreement += 1
+
+    print(f"nodes expanded per decode, 10x10 4-QAM @ {snr_db:g} dB ({frames} frames):")
+    bfs_mean = totals["bfs (GPU [1])"] / frames
+    for name, total in totals.items():
+        mean = total / frames
+        pct = 100.0 * mean / bfs_mean
+        print(f"  {name:<14} {mean:>12.1f}   ({pct:6.2f}% of BFS)")
+    print(
+        f"\nall strategies agreed on the decoded vector in {agreement}/{frames} "
+        "frames (each is exact within its sphere)"
+    )
+    print(
+        "The leaf-first strategies reach solutions after exploring a small "
+        "fraction of what BFS sweeps — the paper's core argument for the "
+        "FPGA design (section IV-F)."
+    )
+
+
+if __name__ == "__main__":
+    main()

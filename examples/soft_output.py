@@ -1,0 +1,58 @@
+"""Soft-output detection: LLRs for a coded-system front end.
+
+Base stations feed detector output into a channel decoder, which wants
+per-bit log-likelihood ratios, not hard decisions. This example runs the
+list sphere decoder and shows how LLR confidence tracks what actually
+happened on the channel: bits decided incorrectly come with visibly
+weaker (smaller-magnitude) LLRs — exactly the information a soft-input
+channel decoder exploits.
+
+Run:  python examples/soft_output.py [snr_db]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MIMOSystem, NoiseScaledRadius, SoftOutputSphereDetector
+
+
+def main() -> None:
+    snr_db = float(sys.argv[1]) if len(sys.argv) > 1 else 8.0
+    system = MIMOSystem(8, 8, "4qam")
+    rng = np.random.default_rng(7)
+    detector = SoftOutputSphereDetector(
+        system.constellation,
+        radius_policy=NoiseScaledRadius(alpha=6.0),  # rich candidate lists
+        max_list=256,
+    )
+
+    frames = 40
+    good_mags, bad_mags = [], []
+    bit_errors = 0
+    total_bits = 0
+    for _ in range(frames):
+        frame = system.random_frame(snr_db, rng)
+        detector.prepare(frame.channel, noise_var=frame.noise_var)
+        soft = detector.detect_soft(frame.received)
+        correct = soft.hard.bits == frame.bits
+        good_mags.extend(np.abs(soft.llrs[correct]))
+        bad_mags.extend(np.abs(soft.llrs[~correct]))
+        bit_errors += int(np.count_nonzero(~correct))
+        total_bits += frame.bits.size
+
+    print(f"{system!r} @ {snr_db:g} dB, {frames} frames, list sphere decoding")
+    print(f"hard BER              : {bit_errors / total_bits:.4f}")
+    print(f"mean |LLR|, correct   : {np.mean(good_mags):8.2f}  ({len(good_mags)} bits)")
+    if bad_mags:
+        print(f"mean |LLR|, erroneous : {np.mean(bad_mags):8.2f}  ({len(bad_mags)} bits)")
+        print(
+            "\nErroneous bits carry much weaker confidence — a soft-input "
+            "channel decoder would flip most of them."
+        )
+    else:
+        print("no bit errors at this SNR; try a lower one, e.g. 4")
+
+
+if __name__ == "__main__":
+    main()

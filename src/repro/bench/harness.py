@@ -1,0 +1,206 @@
+"""Shared experiment machinery: canonical configs, sweeps, table output.
+
+The *canonical decoder* for all paper experiments is the configuration
+Algorithm 1 describes: sorted-DFS traversal (the LIFO list of Fig. 3)
+with the preset noise-scaled radius, GEMM-batched evaluation and radius
+update on every improving leaf. The GPU baseline is the GEMM-BFS decoder
+with a generously provisioned radius (alpha = 4), the way [1] must
+configure it to protect BER at the low end of the SNR range.
+
+Every experiment returns a :class:`SeriesResult` that can render itself
+as an aligned text table (the benches print these, and EXPERIMENTS.md is
+assembled from them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.radius import NoiseScaledRadius
+from repro.core.sphere_decoder import SphereDecoder
+from repro.detectors.base import Detector
+from repro.detectors.sd_bfs import GemmBfsDecoder
+from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
+from repro.mimo.constellation import Constellation
+from repro.mimo.montecarlo import MonteCarloEngine, SweepResult
+from repro.mimo.system import MIMOSystem
+from repro.perfmodel import CPUCostModel
+
+#: SNR grid used by every execution-time figure in the paper.
+CANONICAL_SNRS: tuple[float, ...] = (4.0, 8.0, 12.0, 16.0, 20.0)
+
+#: Safety cap on expanded nodes per decode for the huge low-SNR points
+#: (20x20 at 4 dB); truncations are counted and reported.
+DEFAULT_MAX_NODES = 150_000
+
+#: The paper's real-time constraint (section I).
+REAL_TIME_MS = 10.0
+
+
+def canonical_decoder_factory(
+    constellation: Constellation,
+    *,
+    alpha: float = 2.0,
+    max_nodes: int | None = DEFAULT_MAX_NODES,
+) -> Callable[[], Detector]:
+    """Factory for the paper's Algorithm-1 decoder configuration."""
+
+    def make() -> Detector:
+        return SphereDecoder(
+            constellation,
+            strategy="dfs",
+            radius_policy=NoiseScaledRadius(alpha=alpha),
+            child_ordering="sorted",
+            max_nodes=max_nodes,
+        )
+
+    return make
+
+
+def bfs_gpu_decoder_factory(
+    constellation: Constellation,
+    *,
+    alpha: float = 4.0,
+    max_frontier: int = 2**19,
+) -> Callable[[], Detector]:
+    """Factory for the GPU GEMM-BFS baseline of [1]."""
+
+    def make() -> Detector:
+        return GemmBfsDecoder(
+            constellation,
+            radius_policy=NoiseScaledRadius(alpha=alpha),
+            max_frontier=max_frontier,
+        )
+
+    return make
+
+
+@dataclass
+class SeriesResult:
+    """A table of experiment rows plus provenance notes."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}; have {self.columns}")
+        return [row.get(name) for row in self.rows]
+
+    def format(self) -> str:
+        """Render as an aligned plain-text table."""
+
+        def fmt(value: object) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000 or abs(value) < 0.001:
+                    return f"{value:.3g}"
+                return f"{value:.3f}".rstrip("0").rstrip(".")
+            return str(value)
+
+        cells = [[fmt(row.get(col)) for col in self.columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(
+            "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for r in cells:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+@dataclass
+class WorkloadSweep:
+    """Raw material for the execution-time figures: one MC sweep with
+    traces, plus the platform models bound to the system's geometry."""
+
+    system: MIMOSystem
+    sweep: SweepResult
+    cpu: CPUCostModel
+    fpga_baseline: FPGAPipeline
+    fpga_optimized: FPGAPipeline
+
+
+def run_workload_sweep(
+    n_antennas: int,
+    modulation: str,
+    *,
+    snrs: Sequence[float] = CANONICAL_SNRS,
+    channels: int = 3,
+    frames_per_channel: int = 4,
+    seed: int = 2023,
+    alpha: float = 2.0,
+    max_nodes: int | None = DEFAULT_MAX_NODES,
+) -> WorkloadSweep:
+    """Run the canonical decoder over an SNR grid, keeping traces."""
+    system = MIMOSystem(n_antennas, n_antennas, modulation)
+    const = system.constellation
+    engine = MonteCarloEngine(
+        system,
+        channels=channels,
+        frames_per_channel=frames_per_channel,
+        seed=seed,
+        keep_traces=True,
+    )
+    sweep = engine.run(
+        canonical_decoder_factory(const, alpha=alpha, max_nodes=max_nodes),
+        snrs,
+    )
+    order = const.order
+    return WorkloadSweep(
+        system=system,
+        sweep=sweep,
+        cpu=CPUCostModel(n_rx=n_antennas),
+        fpga_baseline=FPGAPipeline(
+            PipelineConfig.baseline(order),
+            n_tx=n_antennas,
+            n_rx=n_antennas,
+            order=order,
+        ),
+        fpga_optimized=FPGAPipeline(
+            PipelineConfig.optimized(order),
+            n_tx=n_antennas,
+            n_rx=n_antennas,
+            order=order,
+        ),
+    )
+
+
+def time_rows(workload: WorkloadSweep) -> list[dict]:
+    """Per-SNR platform times (the rows of Figs. 6/8/9/10)."""
+    rows = []
+    for point in workload.sweep.points:
+        stats = point.frame_stats
+        cpu_ms = workload.cpu.mean_decode_seconds(stats) * 1e3
+        base_ms = workload.fpga_baseline.mean_decode_seconds(stats) * 1e3
+        opt_ms = workload.fpga_optimized.mean_decode_seconds(stats) * 1e3
+        agg = point.aggregate_stats()
+        rows.append(
+            {
+                "snr_db": point.snr_db,
+                "cpu_ms": cpu_ms,
+                "fpga_baseline_ms": base_ms,
+                "fpga_optimized_ms": opt_ms,
+                "speedup_vs_cpu": cpu_ms / opt_ms,
+                "ber": point.ber,
+                "mean_nodes": point.mean_nodes_expanded(),
+                "truncated_frames": agg.truncated,
+                "real_time_cpu": cpu_ms <= REAL_TIME_MS,
+                "real_time_fpga": opt_ms <= REAL_TIME_MS,
+            }
+        )
+    return rows

@@ -1,0 +1,151 @@
+"""Terminal plotting for experiment series (no plotting deps needed).
+
+The paper's figures are log-y line charts of decode time / BER vs SNR;
+this module renders the same series as ASCII charts so
+``repro-sd experiment fig6 --plot`` can show the *shape* directly in a
+terminal. Pure text, deterministic, unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+#: Marker characters cycled across series.
+MARKERS = "ox*+#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A log-y (or linear) scatter/line chart rendered to text.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in character cells (axes add a margin).
+    log_y:
+        Use a logarithmic y axis (the paper's time/BER figures do).
+    """
+
+    width: int = 60
+    height: int = 18
+    log_y: bool = True
+    title: str = ""
+    x_label: str = "x"
+    y_label: str = "y"
+    _series: list[tuple[str, np.ndarray, np.ndarray]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.width, "width")
+        check_positive_int(self.height, "height")
+        if self.width < 10 or self.height < 4:
+            raise ValueError("chart must be at least 10x4 cells")
+
+    def add_series(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
+        """Register one named series (points with non-finite y are skipped)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError("x and y must be 1-D arrays of equal length")
+        keep = np.isfinite(y) & np.isfinite(x)
+        if self.log_y:
+            keep &= y > 0
+        if not np.any(keep):
+            raise ValueError(f"series {name!r} has no plottable points")
+        self._series.append((str(name), x[keep], y[keep]))
+
+    # ------------------------------------------------------------------
+
+    def _transform_y(self, y: np.ndarray) -> np.ndarray:
+        return np.log10(y) if self.log_y else y
+
+    def render(self) -> str:
+        """Render all series to a multi-line string."""
+        if not self._series:
+            raise ValueError("no series added")
+        all_x = np.concatenate([s[1] for s in self._series])
+        all_y = self._transform_y(
+            np.concatenate([s[2] for s in self._series])
+        )
+        x_lo, x_hi = float(all_x.min()), float(all_x.max())
+        y_lo, y_hi = float(all_y.min()), float(all_y.max())
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for si, (_name, x, y) in enumerate(self._series):
+            marker = MARKERS[si % len(MARKERS)]
+            ty = self._transform_y(y)
+            cols = np.rint(
+                (x - x_lo) / (x_hi - x_lo) * (self.width - 1)
+            ).astype(int)
+            rows = np.rint(
+                (ty - y_lo) / (y_hi - y_lo) * (self.height - 1)
+            ).astype(int)
+            # Connect consecutive points with interpolated cells.
+            for i in range(len(x)):
+                grid[self.height - 1 - rows[i]][cols[i]] = marker
+                if i:
+                    steps = max(abs(int(cols[i]) - int(cols[i - 1])), 1)
+                    for t in range(1, steps):
+                        c = round(cols[i - 1] + (cols[i] - cols[i - 1]) * t / steps)
+                        r = round(rows[i - 1] + (rows[i] - rows[i - 1]) * t / steps)
+                        cell = grid[self.height - 1 - r][c]
+                        if cell == " ":
+                            grid[self.height - 1 - r][c] = "."
+        # Axis labels: top/bottom of the y range, left/right of x.
+        def fmt_y(value: float) -> str:
+            raw = 10**value if self.log_y else value
+            return f"{raw:.3g}"
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        label_width = max(len(fmt_y(y_hi)), len(fmt_y(y_lo)))
+        for r, row in enumerate(grid):
+            if r == 0:
+                label = fmt_y(y_hi).rjust(label_width)
+            elif r == self.height - 1:
+                label = fmt_y(y_lo).rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}|")
+        x_axis = f"{x_lo:g}".ljust(self.width // 2) + f"{x_hi:g}".rjust(
+            self.width - self.width // 2
+        )
+        lines.append(" " * (label_width + 2) + x_axis)
+        lines.append(
+            " " * (label_width + 2)
+            + f"{self.x_label}   [{self.y_label}"
+            + (", log scale]" if self.log_y else "]")
+        )
+        legend = "   ".join(
+            f"{MARKERS[i % len(MARKERS)]} {name}"
+            for i, (name, _x, _y) in enumerate(self._series)
+        )
+        lines.append(" " * (label_width + 2) + legend)
+        return "\n".join(lines)
+
+
+def plot_series_result(
+    result, x_column: str, y_columns: list[str], *, log_y: bool = True
+) -> str:
+    """Chart selected columns of a :class:`SeriesResult`."""
+    chart = AsciiChart(
+        title=f"{result.experiment}: {result.title}",
+        x_label=x_column,
+        y_label=", ".join(y_columns),
+        log_y=log_y,
+    )
+    x = np.asarray(result.column(x_column), dtype=float)
+    for col in y_columns:
+        y = np.asarray(
+            [v if v is not None else np.nan for v in result.column(col)],
+            dtype=float,
+        )
+        chart.add_series(col, x, y)
+    return chart.render()

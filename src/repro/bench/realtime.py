@@ -1,0 +1,117 @@
+"""Real-time latency analysis under load (M/G/1 queueing).
+
+The paper's real-time constraint is "decode within 10 ms" (section I),
+stated for a single vector. A deployed base station decodes a *stream*
+of vectors, so what actually matters is the latency *distribution under
+load*: decode times vary wildly with the channel (the SNR figures show
+100x spreads), and a platform whose mean decode time looks fine can
+still blow the deadline once queueing kicks in.
+
+This module turns a set of measured decode times (or per-frame traces
+run through a platform model) into the standard M/G/1 quantities:
+
+* utilisation ``rho = lambda * E[S]``;
+* mean waiting time via Pollaczek–Khinchine,
+  ``W = lambda * E[S^2] / (2 (1 - rho))``;
+* mean sojourn (queue + service) ``T = W + E[S]``;
+* a sojourn-tail bound via Markov's inequality,
+  ``P(T > d) <= T_mean / d`` (distribution-free, hence honest);
+* the maximum sustainable arrival rate for a latency budget.
+
+These are exact/valid for Poisson arrivals and i.i.d. service — a fair
+first-order model of uplink vector arrivals within a coherence block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_vector
+
+
+@dataclass(frozen=True)
+class QueueReport:
+    """M/G/1 predictions for one platform at one arrival rate."""
+
+    arrival_rate_hz: float
+    mean_service_s: float
+    service_scv: float  # squared coefficient of variation of S
+    utilization: float
+    mean_wait_s: float
+    mean_sojourn_s: float
+
+    def deadline_miss_bound(self, deadline_s: float) -> float:
+        """Markov bound on P(sojourn > deadline); 1.0 when saturated."""
+        if deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        if self.utilization >= 1.0:
+            return 1.0
+        return min(self.mean_sojourn_s / deadline_s, 1.0)
+
+    @property
+    def stable(self) -> bool:
+        """Whether the queue is stable (utilisation < 1)."""
+        return self.utilization < 1.0
+
+
+def mg1_report(service_times_s: np.ndarray, arrival_rate_hz: float) -> QueueReport:
+    """M/G/1 analysis from an empirical service-time sample."""
+    service = check_vector(np.asarray(service_times_s, dtype=float), "service_times_s")
+    if service.size == 0 or np.any(service <= 0):
+        raise ValueError("service times must be positive and non-empty")
+    if arrival_rate_hz <= 0:
+        raise ValueError(f"arrival_rate_hz must be positive, got {arrival_rate_hz}")
+    mean_s = float(np.mean(service))
+    second_moment = float(np.mean(service**2))
+    scv = second_moment / mean_s**2 - 1.0
+    rho = arrival_rate_hz * mean_s
+    if rho >= 1.0:
+        wait = float("inf")
+        sojourn = float("inf")
+    else:
+        wait = arrival_rate_hz * second_moment / (2.0 * (1.0 - rho))
+        sojourn = wait + mean_s
+    return QueueReport(
+        arrival_rate_hz=arrival_rate_hz,
+        mean_service_s=mean_s,
+        service_scv=max(scv, 0.0),
+        utilization=rho,
+        mean_wait_s=wait,
+        mean_sojourn_s=sojourn,
+    )
+
+
+def max_sustainable_rate(
+    service_times_s: np.ndarray,
+    *,
+    deadline_s: float = 10e-3,
+    miss_bound: float = 0.1,
+) -> float:
+    """Largest Poisson arrival rate whose Markov miss-bound stays under
+    ``miss_bound`` for the given deadline.
+
+    Solved by bisection on the (monotone in lambda) sojourn time. Returns
+    0.0 when even an idle system cannot meet the deadline bound
+    (``E[S] / deadline > miss_bound``).
+    """
+    service = np.asarray(service_times_s, dtype=float)
+    if deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    if not 0 < miss_bound <= 1:
+        raise ValueError("miss_bound must lie in (0, 1]")
+    mean_s = float(np.mean(service))
+    if mean_s / deadline_s > miss_bound:
+        return 0.0
+    lo, hi = 0.0, 1.0 / mean_s  # stability limit
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if mid == 0.0:
+            break
+        report = mg1_report(service, mid)
+        if report.stable and report.deadline_miss_bound(deadline_s) <= miss_bound:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,253 @@
+"""Command-line interface: ``repro-sd`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``list``
+    Show the available experiments (tables/figures/ablations).
+``experiment NAME``
+    Run one experiment and print its table. ``--channels`` and
+    ``--frames`` trade Monte Carlo depth for wall time.
+``decode``
+    Decode one random frame and print the decision, the search
+    statistics and the modelled platform times — a minimal end-to-end
+    demonstration.
+``ber``
+    Run a quick BER sweep for a chosen detector.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _parse_snrs(text: str) -> list[float]:
+    """Parse ``"4:20:4"`` (start:stop:step, inclusive) or ``"4,8,12"``."""
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise argparse.ArgumentTypeError(
+                "range SNR must be start:stop:step, e.g. 4:20:4"
+            )
+        start, stop, step = (float(p) for p in parts)
+        if step <= 0:
+            raise argparse.ArgumentTypeError("SNR step must be positive")
+        return [float(s) for s in np.arange(start, stop + step / 2, step)]
+    return [float(p) for p in text.split(",") if p.strip()]
+
+
+def _parse_mimo(text: str) -> tuple[int, int]:
+    """Parse ``"10x10"`` into (n_tx, n_rx)."""
+    try:
+        tx, rx = text.lower().split("x")
+        return int(tx), int(rx)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            "MIMO size must look like 10x10"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sd",
+        description=(
+            "GEMM-based Best-FS sphere decoding for large MIMO "
+            "(reproduction of Hassan et al., IPPS 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", help="experiment id, e.g. fig6, table1")
+    exp.add_argument("--channels", type=int, default=None, help="channel realisations per SNR")
+    exp.add_argument("--frames", type=int, default=None, help="frames per channel")
+    exp.add_argument("--seed", type=int, default=2023)
+    exp.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render an ASCII chart of the main series",
+    )
+
+    dec = sub.add_parser("decode", help="decode one random frame end to end")
+    dec.add_argument("--mimo", type=_parse_mimo, default=(10, 10))
+    dec.add_argument("--mod", default="4qam")
+    dec.add_argument("--snr", type=float, default=8.0)
+    dec.add_argument("--seed", type=int, default=0)
+    dec.add_argument(
+        "--strategy", choices=("best-first", "dfs"), default="best-first"
+    )
+
+    ber = sub.add_parser("ber", help="quick BER sweep")
+    ber.add_argument("--mimo", type=_parse_mimo, default=(10, 10))
+    ber.add_argument("--mod", default="4qam")
+    ber.add_argument("--snr", type=_parse_snrs, default=[4, 8, 12, 16, 20])
+    ber.add_argument(
+        "--detector",
+        choices=("sd", "zf", "mmse", "mrc", "fsd", "bfs"),
+        default="sd",
+    )
+    ber.add_argument("--channels", type=int, default=5)
+    ber.add_argument("--frames", type=int, default=10)
+    ber.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.bench.experiments import EXPERIMENTS
+
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_fn, description) in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import EXPERIMENTS
+
+    if args.name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.name!r}; run `repro-sd list`",
+            file=sys.stderr,
+        )
+        return 2
+    fn, _description = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.channels is not None:
+        kwargs["channels"] = args.channels
+    if args.frames is not None:
+        kwargs["frames_per_channel"] = args.frames
+    if args.name not in ("table1",):
+        kwargs["seed"] = args.seed
+    if args.name == "table1":
+        kwargs = {}
+    result = fn(**kwargs)
+    print(result.format())
+    if args.plot:
+        chart = _plot_experiment(result)
+        if chart:
+            print()
+            print(chart)
+        else:
+            print("(no chartable series for this experiment)")
+    return 0
+
+
+#: Chart configuration per experiment family: (x column, y columns, log_y).
+_PLOT_SPECS = {
+    "fig6": ("snr_db", ["cpu_ms", "fpga_baseline_ms", "fpga_optimized_ms"], True),
+    "fig8": ("snr_db", ["cpu_ms", "fpga_baseline_ms", "fpga_optimized_ms"], True),
+    "fig9": ("snr_db", ["cpu_ms", "fpga_baseline_ms", "fpga_optimized_ms"], True),
+    "fig10": ("snr_db", ["cpu_ms", "fpga_baseline_ms", "fpga_optimized_ms"], True),
+    "fig7": ("snr_db", ["sd_ber", "zf_ber", "mmse_ber"], True),
+    "fig11": ("snr_db", ["gpu_bfs_ms", "fpga_opt_ms"], True),
+    "fig12": ("snr_db", ["zf_ms", "geosphere_warp_ms", "fpga_opt_ms"], True),
+    "ablation-search": ("snr_db", ["bestfs_nodes", "bfs_nodes"], True),
+    "ablation-csi": ("pilot_snr_db", ["mean_nodes"], True),
+    "ablation-correlation": ("rho", ["mean_nodes"], True),
+    "ablation-parallel": ("n_pes", ["latency_speedup"], False),
+}
+
+
+def _plot_experiment(result):
+    from repro.bench.plotting import plot_series_result
+
+    spec = _PLOT_SPECS.get(result.experiment)
+    if spec is None:
+        return None
+    x_col, y_cols, log_y = spec
+    try:
+        return plot_series_result(result, x_col, y_cols, log_y=log_y)
+    except (KeyError, ValueError):
+        return None
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    from repro.core.sphere_decoder import SphereDecoder
+    from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
+    from repro.mimo.system import MIMOSystem
+    from repro.perfmodel import CPUCostModel
+
+    n_tx, n_rx = args.mimo
+    system = MIMOSystem(n_tx, n_rx, args.mod)
+    rng = np.random.default_rng(args.seed)
+    frame = system.random_frame(args.snr, rng)
+    decoder = SphereDecoder(system.constellation, strategy=args.strategy)
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    result = decoder.detect(frame.received)
+    correct = bool(np.array_equal(result.indices, frame.symbol_indices))
+    stats = result.stats
+    print(f"system        : {system!r} @ {args.snr:g} dB")
+    print(f"sent indices  : {frame.symbol_indices.tolist()}")
+    print(f"decoded       : {result.indices.tolist()}  ({'OK' if correct else 'symbol errors'})")
+    print(f"metric        : {result.metric:.4f}")
+    print(
+        "search        : "
+        f"{stats.nodes_expanded} expanded, {stats.nodes_generated} generated, "
+        f"{stats.nodes_pruned} pruned, {stats.leaves_reached} leaves, "
+        f"{stats.radius_updates} radius updates"
+    )
+    order = system.constellation.order
+    cpu_ms = CPUCostModel(n_rx=n_rx).decode_seconds(stats) * 1e3
+    pipe = FPGAPipeline(
+        PipelineConfig.optimized(order), n_tx=n_tx, n_rx=n_rx, order=order
+    )
+    fpga_ms = pipe.decode_report(stats).milliseconds
+    print(f"modelled time : CPU {cpu_ms:.3f} ms | FPGA-optimized {fpga_ms:.3f} ms "
+          f"({cpu_ms / fpga_ms:.1f}x)")
+    return 0
+
+
+def _cmd_ber(args: argparse.Namespace) -> int:
+    from repro.bench.harness import bfs_gpu_decoder_factory, canonical_decoder_factory
+    from repro.detectors.fsd import FixedComplexityDecoder
+    from repro.detectors.linear import MMSEDetector, MRCDetector, ZeroForcingDetector
+    from repro.mimo.montecarlo import MonteCarloEngine
+    from repro.mimo.system import MIMOSystem
+
+    n_tx, n_rx = args.mimo
+    system = MIMOSystem(n_tx, n_rx, args.mod)
+    const = system.constellation
+    factories = {
+        "sd": canonical_decoder_factory(const),
+        "zf": lambda: ZeroForcingDetector(const),
+        "mmse": lambda: MMSEDetector(const),
+        "mrc": lambda: MRCDetector(const),
+        "fsd": lambda: FixedComplexityDecoder(const),
+        "bfs": bfs_gpu_decoder_factory(const),
+    }
+    engine = MonteCarloEngine(
+        system,
+        channels=args.channels,
+        frames_per_channel=args.frames,
+        seed=args.seed,
+        keep_traces=False,
+    )
+    sweep = engine.run(factories[args.detector], args.snr, detector_name=args.detector)
+    print(f"{'SNR(dB)':>8}  {'BER':>10}  {'bits':>8}")
+    for point in sweep.points:
+        print(f"{point.snr_db:8.1f}  {point.ber:10.6f}  {point.errors.bits:8d}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "decode":
+        return _cmd_decode(args)
+    if args.command == "ber":
+        return _cmd_ber(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

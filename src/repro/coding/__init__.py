@@ -1,0 +1,13 @@
+"""Channel coding substrate: convolutional codes and Viterbi decoding.
+
+Real MIMO links are coded; the detector's soft outputs
+(:mod:`repro.detectors.soft`) only pay off when a soft-input decoder
+consumes them. This package provides the classic rate-1/n
+convolutional codes with hard- and soft-decision Viterbi decoding,
+closing the loop for coded-BER experiments.
+"""
+
+from repro.coding.conv import ConvolutionalCode, ViterbiDecoder
+from repro.coding.interleave import BlockInterleaver
+
+__all__ = ["ConvolutionalCode", "ViterbiDecoder", "BlockInterleaver"]

@@ -1,0 +1,238 @@
+"""Rate-1/n convolutional codes with Viterbi decoding.
+
+The encoder is the textbook feed-forward shift register: constraint
+length ``K``, one input bit per step, ``n`` output bits given by octal
+generator polynomials (e.g. the ubiquitous ``(133, 171)`` K=7 code used
+by 802.11, or the toy ``(7, 5)`` K=3 code). Frames are *terminated*:
+``K-1`` flush zeros return the trellis to state 0, so the decoder knows
+both endpoints.
+
+:class:`ViterbiDecoder` implements maximum-likelihood sequence decoding
+over the trellis, vectorised across states per step:
+
+* **hard** input — Hamming branch metrics on sliced bits;
+* **soft** input — correlation metrics on LLRs (positive = bit 1), the
+  natural partner of
+  :class:`~repro.detectors.soft.SoftOutputSphereDetector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+
+class ConvolutionalCode:
+    """A feed-forward rate-1/n convolutional code.
+
+    Parameters
+    ----------
+    generators:
+        Octal (or plain int) generator polynomials; their count sets the
+        inverse rate ``n``.
+    constraint_length:
+        K — register length including the current input bit. Defaults to
+        the highest bit set in the generators.
+    """
+
+    def __init__(
+        self,
+        generators: tuple[int, ...] = (0o133, 0o171),
+        constraint_length: int | None = None,
+    ) -> None:
+        if len(generators) < 2:
+            raise ValueError("need at least two generator polynomials")
+        gens = tuple(int(g) for g in generators)
+        if any(g <= 0 for g in gens):
+            raise ValueError("generator polynomials must be positive")
+        needed = max(g.bit_length() for g in gens)
+        if constraint_length is None:
+            constraint_length = needed
+        constraint_length = check_positive_int(constraint_length, "constraint_length")
+        if constraint_length < needed:
+            raise ValueError(
+                f"constraint_length {constraint_length} too small for generators "
+                f"(need {needed})"
+            )
+        self.generators = gens
+        self.constraint_length = constraint_length
+        self.n_outputs = len(gens)
+        self.n_states = 1 << (constraint_length - 1)
+        # Transition tables: for state s and input b, the register word is
+        # (b << (K-1)) | s read MSB-first as [input, s_bits]; outputs are
+        # generator parities; next state shifts the input in.
+        states = np.arange(self.n_states)
+        self._next_state = np.empty((self.n_states, 2), dtype=np.int64)
+        self._outputs = np.empty((self.n_states, 2, self.n_outputs), dtype=np.int64)
+        for b in (0, 1):
+            word = (b << (constraint_length - 1)) | states
+            self._next_state[:, b] = word >> 1
+            for gi, g in enumerate(gens):
+                masked = word & g
+                # Parity of each masked word.
+                parity = np.zeros_like(masked)
+                m = masked.copy()
+                while np.any(m):
+                    parity ^= m & 1
+                    m >>= 1
+                self._outputs[:, b, gi] = parity
+
+    @property
+    def rate(self) -> float:
+        """Information bits per coded bit (ignoring termination)."""
+        return 1.0 / self.n_outputs
+
+    def coded_length(self, n_info_bits: int) -> int:
+        """Coded bits for ``n_info_bits`` including termination flush."""
+        check_positive_int(n_info_bits, "n_info_bits")
+        return (n_info_bits + self.constraint_length - 1) * self.n_outputs
+
+    def free_distance(self, max_steps: int = 64) -> int:
+        """Free distance of the code (minimum-weight non-zero codeword).
+
+        Dijkstra-style search over the trellis: start by leaving state 0
+        with input 1, accumulate output weight, and find the cheapest
+        return to state 0. Determines the code's guaranteed error
+        correction: ``t = floor((d_free - 1) / 2)`` scattered errors.
+        """
+        import heapq
+
+        check_positive_int(max_steps, "max_steps")
+        best = {s: np.inf for s in range(self.n_states)}
+        heap: list[tuple[int, int]] = []
+        # First transition must be input 1 (else the codeword is zero).
+        w0 = int(self._outputs[0, 1].sum())
+        start = int(self._next_state[0, 1])
+        if start == 0:
+            return w0
+        heapq.heappush(heap, (w0, start))
+        best[start] = w0
+        while heap:
+            weight, state = heapq.heappop(heap)
+            if weight > best[state]:
+                continue
+            for b in (0, 1):
+                nxt = int(self._next_state[state, b])
+                w = weight + int(self._outputs[state, b].sum())
+                if nxt == 0:
+                    return w
+                if w < best[nxt]:
+                    best[nxt] = w
+                    heapq.heappush(heap, (w, nxt))
+        raise RuntimeError("free distance search failed")  # pragma: no cover
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode and terminate a bit array."""
+        bits = np.asarray(bits).astype(np.int64)
+        if bits.ndim != 1 or bits.size == 0:
+            raise ValueError("bits must be a non-empty 1-D array")
+        flushed = np.concatenate(
+            [bits, np.zeros(self.constraint_length - 1, dtype=np.int64)]
+        )
+        out = np.empty(flushed.size * self.n_outputs, dtype=bool)
+        state = 0
+        for i, b in enumerate(flushed):
+            out[i * self.n_outputs : (i + 1) * self.n_outputs] = self._outputs[
+                state, b
+            ].astype(bool)
+            state = int(self._next_state[state, b])
+        if state != 0:  # pragma: no cover - termination is by construction
+            raise AssertionError("trellis did not terminate")
+        return out
+
+
+class ViterbiDecoder:
+    """Maximum-likelihood sequence decoder for a terminated code."""
+
+    #: Effective -infinity for unreachable path metrics.
+    _NEG = -1e18
+
+    def __init__(self, code: ConvolutionalCode) -> None:
+        self.code = code
+
+    # ------------------------------------------------------------------
+
+    def _run_trellis(self, branch_scores: np.ndarray) -> np.ndarray:
+        """Viterbi over precomputed scores.
+
+        ``branch_scores[t, s, b]`` is the reward for taking input ``b``
+        from state ``s`` at step ``t``; returns the decoded input bits
+        (including flush bits).
+        """
+        code = self.code
+        steps = branch_scores.shape[0]
+        metrics = np.full(code.n_states, self._NEG)
+        metrics[0] = 0.0  # encoder starts in state 0
+        prev_state = np.empty((steps, code.n_states), dtype=np.int64)
+        prev_bit = np.empty((steps, code.n_states), dtype=np.int64)
+        for t in range(steps):
+            new_metrics = np.full(code.n_states, self._NEG)
+            new_prev = np.zeros(code.n_states, dtype=np.int64)
+            new_bit = np.zeros(code.n_states, dtype=np.int64)
+            for b in (0, 1):
+                cand = metrics + branch_scores[t, :, b]  # score per origin
+                dest = code._next_state[:, b]
+                # For each destination keep the best origin.
+                order = np.argsort(cand, kind="stable")
+                # Later (larger) candidates overwrite earlier ones.
+                new_metrics_b = new_metrics.copy()
+                np.maximum.at(new_metrics_b, dest, cand)
+                improved = new_metrics_b > new_metrics
+                # Recover argmax per destination.
+                best_origin = np.full(code.n_states, -1, dtype=np.int64)
+                for s in order:
+                    best_origin[dest[s]] = s  # last write = max (sorted)
+                update = improved
+                new_prev[update] = best_origin[update]
+                new_bit[update] = b
+                new_metrics = new_metrics_b
+            prev_state[t] = new_prev
+            prev_bit[t] = new_bit
+            metrics = new_metrics
+        # Terminated frame: end in state 0.
+        state = 0
+        decoded = np.empty(steps, dtype=np.int64)
+        for t in range(steps - 1, -1, -1):
+            decoded[t] = prev_bit[t, state]
+            state = int(prev_state[t, state])
+        return decoded
+
+    def _strip_flush(self, decoded: np.ndarray) -> np.ndarray:
+        return decoded[: decoded.size - (self.code.constraint_length - 1)].astype(
+            bool
+        )
+
+    # ------------------------------------------------------------------
+
+    def decode_hard(self, coded_bits: np.ndarray) -> np.ndarray:
+        """Decode hard-sliced coded bits (Hamming metric)."""
+        code = self.code
+        coded_bits = np.asarray(coded_bits).astype(np.int64)
+        if coded_bits.ndim != 1 or coded_bits.size % code.n_outputs:
+            raise ValueError(
+                f"coded bits length must be a multiple of {code.n_outputs}"
+            )
+        steps = coded_bits.size // code.n_outputs
+        received = coded_bits.reshape(steps, code.n_outputs)
+        # Reward = matching bits: steps x states x 2.
+        matches = (
+            code._outputs[None, :, :, :] == received[:, None, None, :]
+        ).sum(axis=3)
+        decoded = self._run_trellis(matches.astype(float))
+        return self._strip_flush(decoded)
+
+    def decode_soft(self, llrs: np.ndarray) -> np.ndarray:
+        """Decode from per-bit LLRs (positive favours 1; correlation metric)."""
+        code = self.code
+        llrs = np.asarray(llrs, dtype=float)
+        if llrs.ndim != 1 or llrs.size % code.n_outputs:
+            raise ValueError(
+                f"LLR length must be a multiple of {code.n_outputs}"
+            )
+        steps = llrs.size // code.n_outputs
+        observed = llrs.reshape(steps, code.n_outputs)
+        signs = 2.0 * code._outputs[None, :, :, :] - 1.0  # bit -> +-1
+        scores = (signs * observed[:, None, None, :]).sum(axis=3)
+        decoded = self._run_trellis(scores)
+        return self._strip_flush(decoded)

@@ -1,0 +1,34 @@
+"""The paper's core contribution: the GEMM-based Best-FS sphere decoder."""
+
+from repro.core.gemm import GemmEvaluator
+from repro.core.tree import SearchNode, path_symbols
+from repro.core.radius import (
+    RadiusPolicy,
+    InfiniteRadius,
+    NoiseScaledRadius,
+    FixedRadius,
+    BabaiRadius,
+    babai_point,
+)
+from repro.core.enumeration import child_order
+from repro.core.sphere_decoder import SphereDecoder
+from repro.core.parallel import PartitionedSphereDecoder
+from repro.core.lattice import lll_reduce, LLLResult, orthogonality_defect
+
+__all__ = [
+    "GemmEvaluator",
+    "SearchNode",
+    "path_symbols",
+    "RadiusPolicy",
+    "InfiniteRadius",
+    "NoiseScaledRadius",
+    "FixedRadius",
+    "BabaiRadius",
+    "babai_point",
+    "child_order",
+    "SphereDecoder",
+    "PartitionedSphereDecoder",
+    "lll_reduce",
+    "LLLResult",
+    "orthogonality_defect",
+]

@@ -1,0 +1,47 @@
+"""Child enumeration orders (paper section II-B / Fig. 3).
+
+When a node is expanded, its ``P`` children can be visited in the
+constellation's natural order or sorted by partial distance. Sorted
+insertion is the essence of the Best-FS strategy the paper adopts from
+Geosphere: the LIFO list then always pops the locally most promising
+child first, so good leaves — and hence tight radii — are found early.
+The sorting cost depends only on ``P`` and "is dominated by the GEMM
+complexity" (paper), which is why the FPGA design can afford a full sort
+network in the pruning module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_in
+
+#: Available orders: "natural" (constellation index order) and "sorted"
+#: (ascending PD, the Geosphere/Best-FS order).
+CHILD_ORDERS = ("natural", "sorted")
+
+
+def child_order(child_pds: np.ndarray, order: str = "sorted") -> np.ndarray:
+    """Visit order for one node's children.
+
+    Parameters
+    ----------
+    child_pds:
+        ``(P,)`` partial distances of the children.
+    order:
+        ``"sorted"`` for ascending-PD order, ``"natural"`` to keep the
+        constellation order.
+
+    Returns
+    -------
+    ``(P,)`` integer permutation; ``child_pds[result]`` is the visit
+    sequence.
+    """
+    check_in(order, "order", CHILD_ORDERS)
+    child_pds = np.asarray(child_pds)
+    if child_pds.ndim != 1:
+        raise ValueError(f"child_pds must be 1-D, got shape {child_pds.shape}")
+    if order == "natural":
+        return np.arange(child_pds.size)
+    # Stable sort => deterministic on PD ties.
+    return np.argsort(child_pds, kind="stable")

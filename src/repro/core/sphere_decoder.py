@@ -1,0 +1,368 @@
+"""GEMM-based sphere decoder with Best-First / sorted-DFS traversal.
+
+This is the algorithm of the paper (Alg. 1 + section III): the SD search
+tree is explored leaf-first — either globally best-first (a priority
+queue on partial distance, the Geosphere-inspired strategy the paper
+adopts) or depth-first with per-level PD-sorted child insertion (the LIFO
+list of Fig. 3) — while node evaluation is batched into matrix-matrix
+products (:class:`~repro.core.gemm.GemmEvaluator`, the compute-bound
+refactor of Arfaoui et al.).
+
+Exactness
+---------
+Partial distances are sums of non-negative terms, so PD never decreases
+along a path. With an infinite initial radius (or a Babai-seeded
+incumbent) the search is exact maximum likelihood:
+
+* Best-FS pops nodes in ascending PD; once the best frontier PD reaches
+  the incumbent metric no unexplored leaf can beat it — terminate.
+* Sorted-DFS only discards nodes whose PD already meets/exceeds the
+  incumbent metric, which no descendant leaf can undercut.
+
+Both facts are property-tested against brute force in
+``tests/test_sphere_decoder_exactness.py``.
+
+Instrumentation
+---------------
+Every expansion appends a :class:`~repro.detectors.base.BatchEvent` to
+the decode's :class:`~repro.detectors.base.DecodeStats`. The FPGA
+pipeline simulator replays those events through its module cycle models;
+the CPU/GPU models consume the aggregate counters.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.enumeration import CHILD_ORDERS, child_order
+from repro.core.gemm import GemmEvaluator
+from repro.core.radius import BabaiRadius, RadiusPolicy, babai_point
+from repro.core.tree import SearchNode, path_to_level_indices, root_node
+from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
+from repro.mimo.constellation import Constellation
+from repro.mimo.preprocessing import (
+    QRResult,
+    effective_receive,
+    qr_decompose,
+    sorted_qr,
+)
+from repro.util.timing import Timer
+from repro.util.validation import check_in, check_matrix, check_positive_int, check_vector
+
+STRATEGIES = ("best-first", "dfs")
+ORDERINGS = ("natural", "sqrd")
+
+
+class SphereDecoder(Detector):
+    """The paper's GEMM-based leaf-first sphere decoder.
+
+    Parameters
+    ----------
+    constellation:
+        Symbol alphabet (4-QAM / 16-QAM in the paper's evaluation).
+    strategy:
+        ``"best-first"`` (global priority queue; default) or ``"dfs"``
+        (LIFO with PD-sorted child insertion, Fig. 3). Both are exact.
+    radius_policy:
+        Initial-radius strategy; defaults to :class:`BabaiRadius`
+        (exact, never erases, tight pruning).
+    ordering:
+        Column ordering for the QR step: ``"natural"`` (plain QR, as the
+        paper) or ``"sqrd"`` (sorted QR, an ablation that tightens
+        pruning further).
+    pool_size:
+        Best-FS only: up to this many same-level frontier nodes are
+        popped together and evaluated in one GEMM batch. 1 recovers pure
+        best-first; larger pools trade a little search discipline for
+        bigger (more FPGA/GPU-friendly) GEMMs. Never affects exactness —
+        only nodes already inside the sphere are pooled.
+    child_ordering:
+        ``"sorted"`` (Best-FS/Geosphere behaviour) or ``"natural"``; only
+        observable under ``"dfs"``, where it fixes the stack push order.
+    max_nodes:
+        Optional safety cap on expanded nodes; when hit, the best
+        incumbent so far is returned and ``stats.truncated`` is set.
+    record_trace:
+        Keep the per-expansion :class:`BatchEvent` list in the stats.
+    """
+
+    name = "sphere-gemm"
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        *,
+        strategy: str = "best-first",
+        radius_policy: RadiusPolicy | None = None,
+        ordering: str = "natural",
+        pool_size: int = 8,
+        child_ordering: str = "sorted",
+        max_nodes: int | None = None,
+        record_trace: bool = True,
+    ) -> None:
+        self.constellation = constellation
+        self.strategy = check_in(strategy, "strategy", STRATEGIES)
+        self.radius_policy = radius_policy or BabaiRadius()
+        self.ordering = check_in(ordering, "ordering", ORDERINGS)
+        self.pool_size = check_positive_int(pool_size, "pool_size")
+        self.child_ordering = check_in(
+            child_ordering, "child_ordering", CHILD_ORDERS
+        )
+        self.max_nodes = (
+            None if max_nodes is None else check_positive_int(max_nodes, "max_nodes")
+        )
+        self.record_trace = record_trace
+        self._qr: QRResult | None = None
+        self._channel: np.ndarray | None = None
+        self._noise_var = 0.0
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Detector protocol
+    # ------------------------------------------------------------------
+
+    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
+        channel = check_matrix(channel, "channel")
+        if noise_var < 0:
+            raise ValueError(f"noise_var must be non-negative, got {noise_var}")
+        self._channel = channel
+        self._qr = sorted_qr(channel) if self.ordering == "sqrd" else qr_decompose(channel)
+        self._noise_var = float(noise_var)
+        self._prepared = True
+
+    def detect(self, received: np.ndarray) -> DetectionResult:
+        self._require_prepared()
+        received = check_vector(
+            received, "received", length=self._channel.shape[0]
+        )
+        timer = Timer()
+        with timer:
+            ybar = effective_receive(self._qr, received)
+            incumbent, _bound, stats = self.solve(
+                self._qr.r, ybar, self._noise_var
+            )
+        stats.wall_time_s = timer.elapsed
+        # ``incumbent`` is indexed by tree level == factorised column;
+        # map back to the original antenna order.
+        indices = self._qr.unpermute(incumbent)
+        symbols = self.constellation.map_indices(indices)
+        bits = self.constellation.indices_to_bits(indices)
+        residual = received - self._channel @ symbols
+        metric = float(np.real(np.vdot(residual, residual)))
+        return DetectionResult(
+            indices=indices,
+            symbols=symbols,
+            bits=bits,
+            metric=metric,
+            stats=stats,
+        )
+
+    def solve(
+        self,
+        r: np.ndarray,
+        ybar: np.ndarray,
+        noise_var: float = 0.0,
+    ) -> tuple[np.ndarray, float, DecodeStats]:
+        """Decode a pre-triangularised system ``min ||ybar - R s||^2``.
+
+        Lower-level entry point than :meth:`detect`: no QR, no
+        permutation handling — useful when the caller owns the
+        preprocessing (e.g. the reduced-precision ablation quantises R
+        and ybar itself).
+
+        Returns ``(indices_by_level, reduced_metric, stats)`` where
+        ``indices_by_level[k]`` is the constellation index of level ``k``.
+        """
+        stats = DecodeStats()
+        evaluator = GemmEvaluator(r, ybar, self.constellation)
+        init = self.radius_policy.initial(
+            r, ybar, self.constellation, float(noise_var)
+        )
+        bound = float(init.radius_sq)
+        incumbent = init.incumbent_indices
+        stats.radius_trace.append(bound)
+        while True:
+            incumbent, bound = self._search(evaluator, bound, incumbent, stats)
+            if incumbent is not None or not self.radius_policy.can_escalate():
+                break
+            if stats.truncated:
+                # The search hit the node cap before finding any leaf —
+                # a larger radius can only make that worse; give up and
+                # fall back to the Babai point below.
+                break
+            bound *= self.radius_policy.escalation_factor
+            stats.radius_trace.append(bound)
+        if incumbent is None:
+            incumbent, bound = babai_point(r, ybar, self.constellation)
+            stats.truncated = max(stats.truncated, 1)
+        stats.gemm_calls = evaluator.gemm_calls
+        stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
+        if not self.record_trace:
+            stats.batches = []
+        return np.asarray(incumbent), float(bound), stats
+
+    # ------------------------------------------------------------------
+    # Search internals
+    # ------------------------------------------------------------------
+
+    def _search(
+        self,
+        evaluator: GemmEvaluator,
+        bound: float,
+        incumbent: np.ndarray | None,
+        stats: DecodeStats,
+    ) -> tuple[np.ndarray | None, float]:
+        """One full tree exploration under the given initial bound.
+
+        Returns the best complete solution found (ascending-level indices)
+        and its metric — or ``(incumbent, bound)`` unchanged when the
+        sphere is empty.
+        """
+        if self.strategy == "best-first":
+            return self._search_best_first(evaluator, bound, incumbent, stats)
+        return self._search_dfs(evaluator, bound, incumbent, stats)
+
+    def _expand_pool(
+        self,
+        evaluator: GemmEvaluator,
+        pool: list[SearchNode],
+        stats: DecodeStats,
+    ) -> np.ndarray:
+        """Evaluate all children of a same-level node pool via one GEMM."""
+        level = pool[0].level
+        depth = evaluator.n_tx - 1 - level
+        parent_idx = np.fromiter(
+            (i for node in pool for i in node.path),
+            dtype=np.int64,
+            count=len(pool) * depth,
+        ).reshape(len(pool), depth)
+        parent_pds = np.fromiter(
+            (node.pd for node in pool), dtype=float, count=len(pool)
+        )
+        child_pds = evaluator.expand(level, parent_idx, parent_pds)
+        stats.nodes_expanded += len(pool)
+        stats.nodes_generated += len(pool) * evaluator.order
+        if self.record_trace:
+            stats.batches.append(BatchEvent(level=level, pool_size=len(pool)))
+        return child_pds
+
+    def _accept_leaves(
+        self,
+        pool: list[SearchNode],
+        child_pds: np.ndarray,
+        bound: float,
+        incumbent: np.ndarray | None,
+        stats: DecodeStats,
+        n_tx: int,
+    ) -> tuple[np.ndarray | None, float]:
+        """Fold a batch of leaf evaluations into the incumbent/bound."""
+        in_sphere = child_pds < bound
+        stats.leaves_reached += int(np.count_nonzero(in_sphere))
+        stats.nodes_pruned += int(in_sphere.size - np.count_nonzero(in_sphere))
+        flat = int(np.argmin(child_pds))
+        n, c = divmod(flat, child_pds.shape[1])
+        if child_pds[n, c] < bound:
+            bound = float(child_pds[n, c])
+            path = pool[n].path + (c,)
+            incumbent = path_to_level_indices(path, n_tx)
+            stats.radius_updates += 1
+            stats.radius_trace.append(bound)
+        return incumbent, bound
+
+    def _search_best_first(
+        self,
+        evaluator: GemmEvaluator,
+        bound: float,
+        incumbent: np.ndarray | None,
+        stats: DecodeStats,
+    ) -> tuple[np.ndarray | None, float]:
+        n_tx = evaluator.n_tx
+        seq = 1
+        heap: list[SearchNode] = [root_node(n_tx)]
+        while heap:
+            if heap[0].pd >= bound:
+                break  # heap is PD-ordered: nothing left can improve
+            first = heapq.heappop(heap)
+            pool = [first]
+            while (
+                len(pool) < self.pool_size
+                and heap
+                and heap[0].level == first.level
+                and heap[0].pd < bound
+            ):
+                pool.append(heapq.heappop(heap))
+            child_pds = self._expand_pool(evaluator, pool, stats)
+            if first.level == 0:
+                incumbent, bound = self._accept_leaves(
+                    pool, child_pds, bound, incumbent, stats, n_tx
+                )
+            else:
+                mask = child_pds < bound
+                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
+                next_level = first.level - 1
+                for i, node in enumerate(pool):
+                    for c in np.nonzero(mask[i])[0]:
+                        heapq.heappush(
+                            heap,
+                            SearchNode(
+                                pd=float(child_pds[i, c]),
+                                seq=seq,
+                                level=next_level,
+                                path=node.path + (int(c),),
+                            ),
+                        )
+                        seq += 1
+                stats.max_list_size = max(stats.max_list_size, len(heap))
+            if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
+                stats.truncated += 1
+                break
+        return incumbent, bound
+
+    def _search_dfs(
+        self,
+        evaluator: GemmEvaluator,
+        bound: float,
+        incumbent: np.ndarray | None,
+        stats: DecodeStats,
+    ) -> tuple[np.ndarray | None, float]:
+        n_tx = evaluator.n_tx
+        seq = 1
+        stack: list[SearchNode] = [root_node(n_tx)]
+        while stack:
+            node = stack.pop()
+            if node.pd >= bound:
+                # Generated inside an older, looser sphere; the radius has
+                # shrunk since — prune on pop.
+                stats.nodes_pruned += 1
+                continue
+            child_pds = self._expand_pool(evaluator, [node], stats)
+            if node.level == 0:
+                incumbent, bound = self._accept_leaves(
+                    [node], child_pds, bound, incumbent, stats, n_tx
+                )
+            else:
+                pds = child_pds[0]
+                order = child_order(pds, self.child_ordering)
+                mask = pds < bound
+                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
+                next_level = node.level - 1
+                # Push worst-first so the best child is on top of the LIFO
+                # (the sorted insertion of Fig. 3).
+                for c in order[::-1]:
+                    if mask[c]:
+                        stack.append(
+                            SearchNode(
+                                pd=float(pds[c]),
+                                seq=seq,
+                                level=next_level,
+                                path=node.path + (int(c),),
+                            )
+                        )
+                        seq += 1
+                stats.max_list_size = max(stats.max_list_size, len(stack))
+            if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
+                stats.truncated += 1
+                break
+        return incumbent, bound

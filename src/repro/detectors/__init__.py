@@ -1,0 +1,33 @@
+"""Detector zoo: linear baselines, ML ground truth and tree-search decoders."""
+
+from repro.detectors.base import Detector, DetectionResult, DecodeStats, BatchEvent
+from repro.detectors.linear import ZeroForcingDetector, MMSEDetector, MRCDetector
+from repro.detectors.ml import MLDetector
+from repro.detectors.sd_bfs import GemmBfsDecoder
+from repro.detectors.geosphere import GeosphereDecoder
+from repro.detectors.fsd import FixedComplexityDecoder
+from repro.detectors.soft import SoftOutputSphereDetector, SoftDetectionResult
+from repro.detectors.sic import SICDetector
+from repro.detectors.kbest import KBestDecoder
+from repro.detectors.lr import LRZFDetector
+from repro.detectors.real_sd import RealSphereDecoder
+
+__all__ = [
+    "Detector",
+    "DetectionResult",
+    "DecodeStats",
+    "BatchEvent",
+    "ZeroForcingDetector",
+    "MMSEDetector",
+    "MRCDetector",
+    "MLDetector",
+    "GemmBfsDecoder",
+    "GeosphereDecoder",
+    "FixedComplexityDecoder",
+    "SoftOutputSphereDetector",
+    "SoftDetectionResult",
+    "SICDetector",
+    "KBestDecoder",
+    "LRZFDetector",
+    "RealSphereDecoder",
+]

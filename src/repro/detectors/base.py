@@ -1,0 +1,137 @@
+"""Detector interface and instrumentation records.
+
+Every detector follows a two-phase protocol mirroring a real base-station
+deployment (and the paper's FPGA host flow):
+
+1. :meth:`Detector.prepare` — per-channel-realisation preprocessing (QR,
+   filter matrices...). Channels change at fading-block rate, much slower
+   than symbols, so this cost is amortised.
+2. :meth:`Detector.detect` — per-received-vector decoding.
+
+Tree-search detectors additionally emit a :class:`DecodeStats` record of
+how much work the search performed: node counts, GEMM calls/FLOPs and the
+per-expansion :class:`BatchEvent` trace. That trace is what the
+cycle-approximate FPGA pipeline simulator and the CPU/GPU cost models
+consume — the *algorithm* produces the work schedule, the *platform
+models* turn it into time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+
+class BatchEvent(NamedTuple):
+    """One batched node-expansion step.
+
+    Attributes
+    ----------
+    level:
+        Tree level being expanded; level ``k`` assigns transmit symbol
+        ``s_k`` (``k = n_tx - 1`` is the root's children, ``k = 0`` the
+        leaves).
+    pool_size:
+        Number of tree nodes expanded together in this batch (1 for pure
+        best-first pops; the whole frontier for BFS levels).
+    """
+
+    level: int
+    pool_size: int
+
+
+@dataclass
+class DecodeStats:
+    """Work performed by one ``detect`` call of a tree-search detector."""
+
+    nodes_expanded: int = 0
+    nodes_generated: int = 0
+    nodes_pruned: int = 0
+    leaves_reached: int = 0
+    radius_updates: int = 0
+    gemm_calls: int = 0
+    gemm_flops: int = 0
+    max_list_size: int = 0
+    wall_time_s: float = 0.0
+    truncated: int = 0
+    batches: list[BatchEvent] = field(default_factory=list)
+    radius_trace: list[float] = field(default_factory=list)
+
+    def merge(self, other: "DecodeStats") -> "DecodeStats":
+        """Aggregate two stats records (e.g. across Monte Carlo frames)."""
+        return DecodeStats(
+            nodes_expanded=self.nodes_expanded + other.nodes_expanded,
+            nodes_generated=self.nodes_generated + other.nodes_generated,
+            nodes_pruned=self.nodes_pruned + other.nodes_pruned,
+            leaves_reached=self.leaves_reached + other.leaves_reached,
+            radius_updates=self.radius_updates + other.radius_updates,
+            gemm_calls=self.gemm_calls + other.gemm_calls,
+            gemm_flops=self.gemm_flops + other.gemm_flops,
+            max_list_size=max(self.max_list_size, other.max_list_size),
+            wall_time_s=self.wall_time_s + other.wall_time_s,
+            truncated=self.truncated + other.truncated,
+            batches=self.batches + other.batches,
+            radius_trace=self.radius_trace + other.radius_trace,
+        )
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of decoding one received vector.
+
+    Attributes
+    ----------
+    indices:
+        ``(n_tx,)`` decided constellation point indices, in the original
+        antenna order.
+    symbols:
+        The corresponding complex points.
+    bits:
+        The corresponding hard bits (flat, ``n_tx * bits_per_symbol``).
+    metric:
+        ``||y - H s_hat||^2`` of the returned decision (the ML objective,
+        eq. 2). ``inf`` if a detector failed to produce a candidate.
+    stats:
+        Search instrumentation; ``None`` for closed-form detectors.
+    """
+
+    indices: np.ndarray
+    symbols: np.ndarray
+    bits: np.ndarray
+    metric: float
+    stats: DecodeStats | None = None
+
+
+class Detector(abc.ABC):
+    """Abstract MIMO detector (two-phase: ``prepare`` then ``detect``)."""
+
+    #: Short identifier used in reports and experiment tables.
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
+        """Absorb one channel realisation (and the noise variance).
+
+        Must be called before :meth:`detect`; may be called repeatedly
+        with new channels.
+        """
+
+    @abc.abstractmethod
+    def detect(self, received: np.ndarray) -> DetectionResult:
+        """Decode one received vector against the prepared channel."""
+
+    def detect_batch(self, received: np.ndarray) -> list[DetectionResult]:
+        """Decode each row of ``received`` (default: sequential loop)."""
+        received = np.asarray(received)
+        if received.ndim != 2:
+            raise ValueError(f"received must be 2-D, got shape {received.shape}")
+        return [self.detect(row) for row in received]
+
+    def _require_prepared(self, attr: str = "_prepared") -> None:
+        if not getattr(self, attr, False):
+            raise RuntimeError(
+                f"{type(self).__name__}.detect called before prepare()"
+            )

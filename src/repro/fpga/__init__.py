@@ -1,0 +1,52 @@
+"""Cycle-approximate model of the paper's FPGA accelerator (Alveo U280).
+
+The real system is an HLS dataflow pipeline (paper Fig. 4): branching ->
+prefetch/double-buffer -> systolic GEMM engine -> NORM -> sort/prune,
+with the search tree state held in the Meta State Table (MST) in on-chip
+memory. Since the physical card is not available here, this package
+simulates it: per-module cycle models are driven by the *actual* batch
+trace produced by the decoder, and resource / power estimators reproduce
+Tables I and II.
+"""
+
+from repro.fpga.device import DeviceSpec, AlveoU280
+from repro.fpga.gemm_engine import SystolicGemmEngine
+from repro.fpga.memory import (
+    MemoryRequirement,
+    OnChipMemoryPlan,
+    hbm_stream_cycles,
+)
+from repro.fpga.prefetch import PrefetchUnit
+from repro.fpga.mst import MetaStateTable, MstCapacityError
+from repro.fpga.pipeline import FPGAPipeline, PipelineConfig, PipelineReport
+from repro.fpga.resources import ResourceReport, estimate_resources, table1
+from repro.fpga.power import fpga_power_w, cpu_power_w, energy_joules
+from repro.fpga.multi_pipeline import (
+    MultiPipelineDeployment,
+    DeploymentReport,
+    max_pipelines,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "AlveoU280",
+    "SystolicGemmEngine",
+    "MemoryRequirement",
+    "OnChipMemoryPlan",
+    "hbm_stream_cycles",
+    "PrefetchUnit",
+    "MetaStateTable",
+    "MstCapacityError",
+    "FPGAPipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    "ResourceReport",
+    "estimate_resources",
+    "table1",
+    "fpga_power_w",
+    "cpu_power_w",
+    "energy_joules",
+    "MultiPipelineDeployment",
+    "DeploymentReport",
+    "max_pipelines",
+]

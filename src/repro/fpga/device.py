@@ -1,0 +1,89 @@
+"""FPGA device specifications.
+
+Numbers for the Alveo U280 follow the paper's section IV-A and the
+Xilinx data sheet it cites: 8 GB HBM over 32 channels, 32 GB DDR4,
+4032 BRAM18 blocks (18 Kb each), 960 URAM blocks (288 Kb each); the
+logic fabric has ~1.3 M LUTs / ~2.6 M flip-flops / 9024 DSP slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capacity envelope of one FPGA card."""
+
+    name: str
+    luts: int
+    ffs: int
+    dsps: int
+    bram_blocks: int  # 18 Kb each
+    uram_blocks: int  # 288 Kb each
+    hbm_bytes: int
+    ddr_bytes: int
+    hbm_channels: int
+    max_freq_mhz: float
+
+    #: Capacity of one BRAM18 block in bits.
+    BRAM_BITS: int = 18 * 1024
+    #: Capacity of one URAM block in bits.
+    URAM_BITS: int = 288 * 1024
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "luts",
+            "ffs",
+            "dsps",
+            "bram_blocks",
+            "uram_blocks",
+            "hbm_bytes",
+            "ddr_bytes",
+            "hbm_channels",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.max_freq_mhz <= 0:
+            raise ValueError("max_freq_mhz must be positive")
+
+    def bram_bits(self) -> int:
+        """Total on-chip BRAM capacity in bits."""
+        return self.bram_blocks * self.BRAM_BITS
+
+    def uram_bits(self) -> int:
+        """Total on-chip URAM capacity in bits."""
+        return self.uram_blocks * self.URAM_BITS
+
+    def utilization(self, used: dict[str, int]) -> dict[str, float]:
+        """Fractions of each resource consumed by ``used`` counts."""
+        totals = {
+            "luts": self.luts,
+            "ffs": self.ffs,
+            "dsps": self.dsps,
+            "brams": self.bram_blocks,
+            "urams": self.uram_blocks,
+        }
+        out: dict[str, float] = {}
+        for key, count in used.items():
+            if key not in totals:
+                raise KeyError(f"unknown resource {key!r}")
+            if count < 0:
+                raise ValueError(f"{key} count must be non-negative")
+            out[key] = count / totals[key]
+        return out
+
+
+#: The card used in the paper.
+AlveoU280 = DeviceSpec(
+    name="Xilinx Alveo U280",
+    luts=1_303_680,
+    ffs=2_607_360,
+    dsps=9_024,
+    bram_blocks=4_032,
+    uram_blocks=960,
+    hbm_bytes=8 * 1024**3,
+    ddr_bytes=32 * 1024**3,
+    hbm_channels=32,
+    max_freq_mhz=300.0,
+)

@@ -1,0 +1,105 @@
+"""On-chip / off-chip memory models.
+
+Two concerns live here:
+
+* **Capacity planning** — :class:`OnChipMemoryPlan` maps named buffers
+  (tree-state blocks, GEMM operand double-buffers, channel matrix, ...)
+  onto BRAM18/URAM blocks of the device, enforcing that the plan fits.
+  The resource estimator builds Table I's BRAM/URAM columns from it.
+* **Bandwidth/latency** — :func:`hbm_stream_cycles` charges the one-time
+  host->HBM transfer and the prefetch unit's HBM reads. The paper
+  measures the PCIe/HBM staging at <3% of total execution; the pipeline
+  model accounts for it explicitly so that claim can be checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.fpga.device import DeviceSpec
+
+#: First-word latency of an HBM read measured in fabric cycles (~400 ns
+#: at 300 MHz).
+HBM_LATENCY_CYCLES = 120
+#: 32-bit words an HBM pseudo-channel delivers per fabric cycle (256-bit
+#: AXI bus).
+HBM_WORDS_PER_CYCLE_PER_CHANNEL = 8
+#: BRAM/URAM are single-cycle once initiated.
+ONCHIP_LATENCY_CYCLES = 1
+
+
+def hbm_stream_cycles(words: int, channels: int = 1) -> int:
+    """Cycles to stream ``words`` 32-bit words from HBM.
+
+    One fixed first-word latency plus pipelined delivery over the given
+    number of pseudo-channels.
+    """
+    if words < 0:
+        raise ValueError(f"words must be non-negative, got {words}")
+    if channels <= 0:
+        raise ValueError(f"channels must be positive, got {channels}")
+    if words == 0:
+        return 0
+    return HBM_LATENCY_CYCLES + ceil(
+        words / (HBM_WORDS_PER_CYCLE_PER_CHANNEL * channels)
+    )
+
+
+@dataclass(frozen=True)
+class MemoryRequirement:
+    """One named on-chip buffer."""
+
+    name: str
+    bits: int
+    kind: str  # "bram" or "uram"
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError(f"bits must be non-negative, got {self.bits}")
+        if self.kind not in ("bram", "uram"):
+            raise ValueError(f"kind must be 'bram' or 'uram', got {self.kind!r}")
+
+
+@dataclass
+class OnChipMemoryPlan:
+    """A set of buffers mapped onto a device's BRAM/URAM blocks."""
+
+    device: DeviceSpec
+    buffers: list[MemoryRequirement] = field(default_factory=list)
+
+    def add(self, name: str, bits: int, kind: str) -> MemoryRequirement:
+        """Register a buffer and return its requirement record."""
+        req = MemoryRequirement(name=name, bits=bits, kind=kind)
+        self.buffers.append(req)
+        return req
+
+    def bram_blocks(self) -> int:
+        """BRAM18 blocks consumed (each buffer rounds up independently,
+        as HLS partitioning does)."""
+        return sum(
+            ceil(b.bits / self.device.BRAM_BITS)
+            for b in self.buffers
+            if b.kind == "bram" and b.bits
+        )
+
+    def uram_blocks(self) -> int:
+        """URAM blocks consumed."""
+        return sum(
+            ceil(b.bits / self.device.URAM_BITS)
+            for b in self.buffers
+            if b.kind == "uram" and b.bits
+        )
+
+    def fits(self) -> bool:
+        """Whether the plan fits on the device."""
+        return (
+            self.bram_blocks() <= self.device.bram_blocks
+            and self.uram_blocks() <= self.device.uram_blocks
+        )
+
+    def report(self) -> dict[str, float]:
+        """Utilisation fractions {'brams': ..., 'urams': ...}."""
+        return self.device.utilization(
+            {"brams": self.bram_blocks(), "urams": self.uram_blocks()}
+        )

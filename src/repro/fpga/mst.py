@@ -1,0 +1,160 @@
+"""Meta State Table (MST) — the paper's dynamic-tree workaround (III-C3).
+
+FPGAs have no dynamic allocation and pointer-chasing is
+performance-prohibitive, so the paper stores the search tree in a fixed
+database: per-level partitions of a flat table, each entry recording a
+node's parent link, assigned symbol and PD — i.e. the node's block of
+the "tree state matrix" (Fig. 5). Partitioning per level gives
+single-cycle access and lets the prefetch unit compute addresses
+directly from (level, slot).
+
+This is a *functional* model: the Python decoders can run on top of it
+(see ``tests/test_mst.py`` which replays a decode through the table and
+checks path reconstruction), and the resource estimator sizes URAM from
+its capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+#: Parent sentinel for depth-1 nodes (children of the root).
+ROOT_PARENT = -1
+
+
+class MstCapacityError(RuntimeError):
+    """Raised when a level partition is full."""
+
+
+class MetaStateTable:
+    """Fixed-capacity, level-partitioned node store.
+
+    Node IDs encode their partition: ``node_id = depth * capacity + slot``
+    with ``depth in [1, n_levels]`` (the root is virtual and owns no
+    entry). This mirrors the hardware, where the ID *is* the address.
+
+    Parameters
+    ----------
+    n_levels:
+        Tree depth M (one level per transmit symbol).
+    capacity:
+        Entries per level partition.
+    """
+
+    def __init__(self, n_levels: int, capacity: int) -> None:
+        self.n_levels = check_positive_int(n_levels, "n_levels")
+        self.capacity = check_positive_int(capacity, "capacity")
+        size = self.n_levels * self.capacity
+        # Flat, preallocated storage — the hardware's partitioned URAM.
+        self._parent = np.full(size, ROOT_PARENT - 1, dtype=np.int64)
+        self._symbol = np.full(size, -1, dtype=np.int64)
+        self._pd = np.full(size, np.nan, dtype=float)
+        self._used = np.zeros(self.n_levels, dtype=np.int64)
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+
+    def _offset(self, depth: int) -> int:
+        if not 1 <= depth <= self.n_levels:
+            raise ValueError(f"depth must be in [1, {self.n_levels}], got {depth}")
+        return (depth - 1) * self.capacity
+
+    def depth_of(self, node_id: int) -> int:
+        """Partition (depth) a node ID belongs to."""
+        depth = node_id // self.capacity + 1
+        if not 1 <= depth <= self.n_levels:
+            raise KeyError(f"node id {node_id} out of range")
+        return depth
+
+    def alloc(self, depth: int, parent_id: int, symbol_index: int, pd: float) -> int:
+        """Store one node; returns its ID.
+
+        ``parent_id`` is :data:`ROOT_PARENT` for depth-1 nodes, otherwise
+        a previously allocated ID at ``depth - 1``.
+        """
+        self._offset(depth)  # validates the depth range first
+        if depth == 1:
+            if parent_id != ROOT_PARENT:
+                raise ValueError("depth-1 nodes must have ROOT_PARENT as parent")
+        else:
+            if self.depth_of(parent_id) != depth - 1:
+                raise ValueError(
+                    f"parent {parent_id} is not at depth {depth - 1}"
+                )
+            if self._symbol[parent_id] < 0:
+                raise KeyError(f"parent {parent_id} was never allocated")
+        if symbol_index < 0:
+            raise ValueError("symbol_index must be non-negative")
+        if pd < 0:
+            raise ValueError("pd must be non-negative")
+        slot = int(self._used[depth - 1])
+        if slot >= self.capacity:
+            raise MstCapacityError(
+                f"MST level {depth} full (capacity {self.capacity})"
+            )
+        node_id = self._offset(depth) + slot
+        self._parent[node_id] = parent_id
+        self._symbol[node_id] = symbol_index
+        self._pd[node_id] = pd
+        self._used[depth - 1] = slot + 1
+        self.high_water = max(self.high_water, slot + 1)
+        return node_id
+
+    def pd(self, node_id: int) -> float:
+        """Stored partial distance of a node."""
+        self.depth_of(node_id)
+        if self._symbol[node_id] < 0:
+            raise KeyError(f"node {node_id} was never allocated")
+        return float(self._pd[node_id])
+
+    def path(self, node_id: int) -> tuple[int, ...]:
+        """Root-first symbol-index path of a node (follows parent links)."""
+        self.depth_of(node_id)
+        if self._symbol[node_id] < 0:
+            raise KeyError(f"node {node_id} was never allocated")
+        rev: list[int] = []
+        cur = node_id
+        while cur != ROOT_PARENT:
+            rev.append(int(self._symbol[cur]))
+            cur = int(self._parent[cur])
+        return tuple(reversed(rev))
+
+    def occupancy(self, depth: int) -> int:
+        """Allocated entries in one level partition."""
+        self._offset(depth)  # validates depth
+        return int(self._used[depth - 1])
+
+    def total_allocated(self) -> int:
+        """Allocated entries across all partitions."""
+        return int(self._used.sum())
+
+    def reset(self) -> None:
+        """Clear all partitions (new decode, buffers reused)."""
+        self._used[:] = 0
+        self._symbol[:] = -1
+        self._parent[:] = ROOT_PARENT - 1
+        self._pd[:] = np.nan
+
+    # ------------------------------------------------------------------
+
+    def entry_bits(self, n_rx: int, order: int) -> int:
+        """Storage per entry, including its tree-state block (Fig. 5).
+
+        The paper sizes the intermediate tree-state matrix at
+        ``4 * modulation^2 * N`` words (section IV-E); each MST entry
+        additionally keeps parent link, symbol and PD (3 words).
+        """
+        check_positive_int(n_rx, "n_rx")
+        check_positive_int(order, "order")
+        # Per-node share of the level's tree-state block: the full level
+        # block (4 * order^2 * N words) is shared by the order^2 nodes a
+        # double-buffered branching stage emits, leaving 4 * N words per
+        # node, plus parent link, symbol and PD (3 words).
+        words = 4 * n_rx + 3
+        return words * 32
+
+    def storage_bits(self, n_rx: int, order: int) -> int:
+        """Total URAM footprint of the table."""
+        return self.n_levels * self.capacity * self.entry_bits(n_rx, order)

@@ -1,0 +1,133 @@
+"""Multi-pipeline deployments (paper section III-C4's payoff).
+
+The paper optimises resource utilisation specifically so that "one may
+[...] instantiate a second pipeline path to exploit more data
+parallelism": under 50% on every resource, two independent decode
+pipelines fit on the U280. This module models that deployment:
+
+* :func:`max_pipelines` — how many replicas of a design the device
+  carries (the resource estimator supplies per-replica usage);
+* :class:`MultiPipelineDeployment` — throughput and latency of ``c``
+  parallel pipelines fed from one vector queue, using the Allen–Cunneen
+  M/G/c approximation (exact for M/M/c, excellent for these SCVs).
+
+Independent vectors are embarrassingly parallel across pipelines — no
+radius sharing needed — so unlike the multi-PE *single-vector* search
+(:mod:`repro.core.parallel`), replication scales throughput linearly
+until resources run out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+import numpy as np
+
+from repro.fpga.device import AlveoU280, DeviceSpec
+from repro.fpga.pipeline import PipelineConfig
+from repro.fpga.resources import estimate_resources
+from repro.util.validation import check_positive_int, check_vector
+
+
+def max_pipelines(
+    config: PipelineConfig,
+    *,
+    order: int,
+    n_tx: int = 10,
+    n_rx: int = 10,
+    device: DeviceSpec = AlveoU280,
+) -> int:
+    """Replicas of one design that fit the device's resources."""
+    report = estimate_resources(
+        config, order=order, n_tx=n_tx, n_rx=n_rx, device=device
+    )
+    limits = []
+    for used, total in (
+        (report.luts, device.luts),
+        (report.ffs, device.ffs),
+        (report.dsps, device.dsps),
+        (report.brams, device.bram_blocks),
+        (report.urams, device.uram_blocks),
+    ):
+        if used > 0:
+            limits.append(total // used)
+    return max(min(limits), 0) if limits else 0
+
+
+def _erlang_c(c: int, a: float) -> float:
+    """Erlang-C probability of waiting for an M/M/c queue.
+
+    ``a = lambda * E[S]`` is the offered load; requires ``a < c``.
+    """
+    if a >= c:
+        return 1.0
+    rho = a / c
+    summation = sum(a**k / factorial(k) for k in range(c))
+    top = a**c / (factorial(c) * (1.0 - rho))
+    return top / (summation + top)
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Predicted behaviour of a c-pipeline deployment at one load."""
+
+    n_pipelines: int
+    arrival_rate_hz: float
+    mean_service_s: float
+    utilization: float
+    mean_wait_s: float
+    mean_sojourn_s: float
+
+    @property
+    def stable(self) -> bool:
+        """Whether the deployment keeps up with the offered load."""
+        return self.utilization < 1.0
+
+
+class MultiPipelineDeployment:
+    """``c`` replicated pipelines served from one Poisson vector queue."""
+
+    def __init__(
+        self,
+        n_pipelines: int,
+        service_times_s: np.ndarray,
+    ) -> None:
+        self.n_pipelines = check_positive_int(n_pipelines, "n_pipelines")
+        service = check_vector(
+            np.asarray(service_times_s, dtype=float), "service_times_s"
+        )
+        if service.size == 0 or np.any(service <= 0):
+            raise ValueError("service times must be positive and non-empty")
+        self._mean = float(np.mean(service))
+        second = float(np.mean(service**2))
+        self._scv = max(second / self._mean**2 - 1.0, 0.0)
+
+    @property
+    def max_throughput_hz(self) -> float:
+        """Saturation throughput: ``c / E[S]``."""
+        return self.n_pipelines / self._mean
+
+    def report(self, arrival_rate_hz: float) -> DeploymentReport:
+        """Allen–Cunneen M/G/c waiting-time approximation."""
+        if arrival_rate_hz <= 0:
+            raise ValueError("arrival_rate_hz must be positive")
+        c = self.n_pipelines
+        offered = arrival_rate_hz * self._mean
+        rho = offered / c
+        if rho >= 1.0:
+            wait = float("inf")
+            sojourn = float("inf")
+        else:
+            wait_mmc = _erlang_c(c, offered) * self._mean / (c * (1.0 - rho))
+            # Allen-Cunneen: scale the M/M/c wait by (1 + SCV)/2.
+            wait = wait_mmc * (1.0 + self._scv) / 2.0
+            sojourn = wait + self._mean
+        return DeploymentReport(
+            n_pipelines=c,
+            arrival_rate_hz=arrival_rate_hz,
+            mean_service_s=self._mean,
+            utilization=rho,
+            mean_wait_s=wait,
+            mean_sojourn_s=sojourn,
+        )

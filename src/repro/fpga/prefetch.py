@@ -1,0 +1,63 @@
+"""Pre-fetching unit model (paper section III-C2).
+
+The SD's traversal path is unpredictable (pruning makes memory access
+irregular), so the design pre-calculates the addresses the GEMM engine
+will need from the level/node information, gathers the blocks, and
+stages them contiguously in BRAM. With **double buffering** the fetch of
+batch *i+1* overlaps the compute of batch *i*, hiding the HBM latency;
+the baseline design fetches and computes sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.memory import hbm_stream_cycles
+
+
+@dataclass(frozen=True)
+class PrefetchUnit:
+    """Address generation + gather + staging model.
+
+    Parameters
+    ----------
+    double_buffered:
+        Overlap fetch with compute (the optimised design).
+    address_setup_cycles:
+        Fixed cycles to derive the block addresses from (level, node id).
+    hbm_channels:
+        Pseudo-channels the gather spreads across.
+    """
+
+    double_buffered: bool = True
+    address_setup_cycles: int = 4
+    hbm_channels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.address_setup_cycles < 0:
+            raise ValueError("address_setup_cycles must be non-negative")
+        if self.hbm_channels <= 0:
+            raise ValueError("hbm_channels must be positive")
+
+    def fetch_cycles(self, words: int) -> int:
+        """Cycles to gather ``words`` 32-bit words for one batch."""
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        if words == 0:
+            return 0
+        return self.address_setup_cycles + hbm_stream_cycles(
+            words, self.hbm_channels
+        )
+
+    def effective_cycles(self, compute_cycles: int, fetch_words: int) -> int:
+        """Combined fetch+compute cost for one batch.
+
+        Double buffering hides whichever of the two is shorter; the
+        baseline pays both in sequence.
+        """
+        if compute_cycles < 0:
+            raise ValueError("compute_cycles must be non-negative")
+        fetch = self.fetch_cycles(fetch_words)
+        if self.double_buffered:
+            return max(compute_cycles, fetch)
+        return compute_cycles + fetch

@@ -1,0 +1,63 @@
+"""Link-level MIMO substrate: constellations, channel, Monte Carlo engine."""
+
+from repro.mimo.constellation import Constellation
+from repro.mimo.modulation import Modulator, Demodulator
+from repro.mimo.channel import (
+    ChannelModel,
+    snr_db_to_noise_var,
+    noise_var_to_snr_db,
+    db_to_linear,
+    linear_to_db,
+)
+from repro.mimo.preprocessing import (
+    qr_decompose,
+    sorted_qr,
+    effective_receive,
+    real_decomposition,
+)
+from repro.mimo.metrics import bit_errors, symbol_errors, ErrorCounter
+from repro.mimo.system import MIMOSystem, Frame
+from repro.mimo.montecarlo import MonteCarloEngine, SweepResult, SnrPoint
+from repro.mimo.correlation import (
+    KroneckerChannelModel,
+    exponential_correlation,
+    matrix_sqrt,
+)
+from repro.mimo.estimation import (
+    EstimatedChannelLink,
+    EstimationReport,
+    ls_estimate,
+    lmmse_estimate,
+    orthogonal_pilots,
+)
+
+__all__ = [
+    "Constellation",
+    "Modulator",
+    "Demodulator",
+    "ChannelModel",
+    "snr_db_to_noise_var",
+    "noise_var_to_snr_db",
+    "db_to_linear",
+    "linear_to_db",
+    "qr_decompose",
+    "sorted_qr",
+    "effective_receive",
+    "real_decomposition",
+    "bit_errors",
+    "symbol_errors",
+    "ErrorCounter",
+    "MIMOSystem",
+    "Frame",
+    "MonteCarloEngine",
+    "SweepResult",
+    "SnrPoint",
+    "KroneckerChannelModel",
+    "exponential_correlation",
+    "matrix_sqrt",
+    "EstimatedChannelLink",
+    "EstimationReport",
+    "ls_estimate",
+    "lmmse_estimate",
+    "orthogonal_pilots",
+]

@@ -1,0 +1,155 @@
+"""Small-scale Rayleigh fading channel and AWGN (paper section II-A).
+
+The channel matrix ``H`` is ``n_rx x n_tx`` with i.i.d. CN(0, 1) entries
+(zero-mean unit-variance circularly-symmetric complex Gaussians); the
+noise vector has i.i.d. CN(0, sigma^2) entries. Received signal:
+``y = H s + n``.
+
+SNR conventions
+---------------
+With unit-energy symbols (Es = 1) two definitions are common:
+
+``"per-antenna"`` (default)
+    ``sigma^2 = M Es / rho``: rho is the aggregate receive SNR. This is
+    the standard definition (the received power per antenna is
+    ``E||h_i^T s||^2 = M Es`` for unit-variance fading) and it produces
+    the strong SNR-dependence of decode complexity the paper's
+    execution-time figures show.
+
+``"per-stream"``
+    ``sigma^2 = Es / rho``. Each *stream* has SNR rho at a single receive
+    antenna; the array gain ``10 log10(M)`` dB is implicit, which is why
+    papers using it (this one quotes usable BER for 10x10 4-QAM at only
+    4 dB) report such low operating SNRs. See EXPERIMENTS.md for how the
+    two conventions reconcile the paper's BER and runtime claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import as_generator
+from repro.util.validation import check_in, check_positive_int
+
+_CONVENTIONS = ("per-stream", "per-antenna")
+
+
+def db_to_linear(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a linear power ratio."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear: float | np.ndarray) -> float | np.ndarray:
+    """Convert a linear power ratio to decibels."""
+    linear = np.asarray(linear, dtype=float)
+    if np.any(linear <= 0):
+        raise ValueError("linear power ratio must be positive")
+    return 10.0 * np.log10(linear)
+
+
+def snr_db_to_noise_var(
+    snr_db: float,
+    n_tx: int,
+    *,
+    es: float = 1.0,
+    convention: str = "per-antenna",
+) -> float:
+    """Noise variance sigma^2 for a target SNR in dB.
+
+    See the module docstring for the two conventions.
+    """
+    check_in(convention, "convention", _CONVENTIONS)
+    n_tx = check_positive_int(n_tx, "n_tx")
+    rho = float(db_to_linear(snr_db))
+    if convention == "per-stream":
+        return es / rho
+    return n_tx * es / rho
+
+
+def noise_var_to_snr_db(
+    noise_var: float,
+    n_tx: int,
+    *,
+    es: float = 1.0,
+    convention: str = "per-antenna",
+) -> float:
+    """Inverse of :func:`snr_db_to_noise_var`."""
+    check_in(convention, "convention", _CONVENTIONS)
+    n_tx = check_positive_int(n_tx, "n_tx")
+    if noise_var <= 0:
+        raise ValueError(f"noise_var must be positive, got {noise_var}")
+    if convention == "per-stream":
+        return float(linear_to_db(es / noise_var))
+    return float(linear_to_db(n_tx * es / noise_var))
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """i.i.d. Rayleigh flat-fading MIMO channel with AWGN.
+
+    Parameters
+    ----------
+    n_tx, n_rx:
+        Antenna counts (M transmitters, N receivers in the paper).
+    es:
+        Average transmit symbol energy (1.0 with normalised
+        constellations).
+    snr_convention:
+        ``"per-stream"`` or ``"per-antenna"`` — see module docstring.
+    """
+
+    n_tx: int
+    n_rx: int
+    es: float = 1.0
+    snr_convention: str = "per-antenna"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_tx, "n_tx")
+        check_positive_int(self.n_rx, "n_rx")
+        check_in(self.snr_convention, "snr_convention", _CONVENTIONS)
+        if self.es <= 0:
+            raise ValueError(f"es must be positive, got {self.es}")
+
+    def noise_var(self, snr_db: float) -> float:
+        """sigma^2 corresponding to ``snr_db`` under this model's convention."""
+        return snr_db_to_noise_var(
+            snr_db, self.n_tx, es=self.es, convention=self.snr_convention
+        )
+
+    def draw_channel(self, rng: object = None) -> np.ndarray:
+        """Draw an ``(n_rx, n_tx)`` matrix of i.i.d. CN(0, 1) fading gains."""
+        gen = as_generator(rng)
+        shape = (self.n_rx, self.n_tx)
+        return (gen.standard_normal(shape) + 1j * gen.standard_normal(shape)) / np.sqrt(2.0)
+
+    def draw_noise(self, noise_var: float, rng: object = None) -> np.ndarray:
+        """Draw an ``(n_rx,)`` vector of i.i.d. CN(0, noise_var) noise."""
+        if noise_var < 0:
+            raise ValueError(f"noise_var must be non-negative, got {noise_var}")
+        gen = as_generator(rng)
+        scale = np.sqrt(noise_var / 2.0)
+        return scale * (
+            gen.standard_normal(self.n_rx) + 1j * gen.standard_normal(self.n_rx)
+        )
+
+    def transmit(
+        self,
+        channel: np.ndarray,
+        symbols: np.ndarray,
+        noise_var: float,
+        rng: object = None,
+    ) -> np.ndarray:
+        """Received vector ``y = H s + n`` for a given channel realisation."""
+        channel = np.asarray(channel)
+        symbols = np.asarray(symbols)
+        if channel.shape != (self.n_rx, self.n_tx):
+            raise ValueError(
+                f"channel must have shape {(self.n_rx, self.n_tx)}, got {channel.shape}"
+            )
+        if symbols.shape != (self.n_tx,):
+            raise ValueError(
+                f"symbols must have shape {(self.n_tx,)}, got {symbols.shape}"
+            )
+        return channel @ symbols + self.draw_noise(noise_var, rng)

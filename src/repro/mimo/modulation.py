@@ -1,0 +1,58 @@
+"""Bit <-> symbol conversion for MIMO transmit vectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mimo.constellation import Constellation
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Modulator:
+    """Maps information bits onto complex transmit symbol vectors.
+
+    One instance serves one constellation; the number of spatial streams
+    is passed per call so a single modulator can be shared across MIMO
+    configurations.
+    """
+
+    constellation: Constellation
+
+    def bits_to_symbols(self, bits: np.ndarray) -> np.ndarray:
+        """Map a flat bit array onto complex symbols (one per group)."""
+        indices = self.constellation.bits_to_indices(bits)
+        return self.constellation.map_indices(indices)
+
+    def random_indices(self, n_streams: int, rng: object = None) -> np.ndarray:
+        """Uniformly random point indices for ``n_streams`` transmitters."""
+        n_streams = check_positive_int(n_streams, "n_streams")
+        gen = as_generator(rng)
+        return gen.integers(0, self.constellation.order, size=n_streams)
+
+    def random_bits(self, n_streams: int, rng: object = None) -> np.ndarray:
+        """Uniformly random bits for ``n_streams`` transmitters."""
+        n_streams = check_positive_int(n_streams, "n_streams")
+        gen = as_generator(rng)
+        return gen.integers(
+            0, 2, size=n_streams * self.constellation.bits_per_symbol
+        ).astype(bool)
+
+
+@dataclass(frozen=True)
+class Demodulator:
+    """Hard demodulation: received symbol estimates -> bits."""
+
+    constellation: Constellation
+
+    def symbols_to_bits(self, symbols: np.ndarray) -> np.ndarray:
+        """Slice noisy symbols to the nearest points and emit their bits."""
+        indices = self.constellation.nearest_indices(symbols)
+        return self.constellation.indices_to_bits(indices)
+
+    def indices_to_bits(self, indices: np.ndarray) -> np.ndarray:
+        """Bits for already-decided point indices (no slicing)."""
+        return self.constellation.indices_to_bits(indices)

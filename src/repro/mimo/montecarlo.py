@@ -1,0 +1,241 @@
+"""Monte Carlo link-level simulation engine.
+
+Reproduces the paper's methodology (section IV-A): "the testing data set
+is randomly generated using Monte Carlo simulations to emulate the MIMO
+system". For each SNR point the engine draws block-fading channel
+realisations, runs a number of frames through each, and accumulates error
+counters plus the detector's :class:`~repro.detectors.base.DecodeStats`
+(the work traces later consumed by the FPGA/CPU/GPU time models).
+
+Work is optionally spread over processes with independent
+``SeedSequence``-spawned streams; results are bit-exact reproducible for
+a given ``(seed, n_workers-independent plan)`` because every channel
+block owns its own generator.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.detectors.base import DecodeStats, Detector
+from repro.mimo.metrics import ErrorCounter
+from repro.mimo.system import MIMOSystem
+from repro.util.timing import Timer
+from repro.util.validation import check_positive_int
+
+DetectorFactory = Callable[[], Detector]
+
+
+@dataclass
+class SnrPoint:
+    """Aggregated Monte Carlo outcome at one SNR."""
+
+    snr_db: float
+    errors: ErrorCounter
+    frame_stats: list[DecodeStats] = field(default_factory=list)
+    decode_time_s: float = 0.0
+    frames: int = 0
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate at this SNR."""
+        return self.errors.ber
+
+    @property
+    def mean_decode_time_s(self) -> float:
+        """Mean wall-clock decode time per frame (this host, not the FPGA)."""
+        return self.decode_time_s / self.frames if self.frames else float("nan")
+
+    def aggregate_stats(self) -> DecodeStats:
+        """Sum of all per-frame search statistics at this point."""
+        total = DecodeStats()
+        for st in self.frame_stats:
+            total = total.merge(st)
+        return total
+
+    def mean_nodes_expanded(self) -> float:
+        """Average tree nodes expanded per frame (NaN for linear detectors)."""
+        if not self.frame_stats:
+            return float("nan")
+        return float(
+            np.mean([st.nodes_expanded for st in self.frame_stats])
+        )
+
+
+@dataclass
+class SweepResult:
+    """Result of an SNR sweep for one detector."""
+
+    detector_name: str
+    system_label: str
+    points: list[SnrPoint]
+
+    @property
+    def snrs_db(self) -> np.ndarray:
+        """SNR grid of the sweep."""
+        return np.array([p.snr_db for p in self.points])
+
+    @property
+    def bers(self) -> np.ndarray:
+        """BER at each SNR point."""
+        return np.array([p.errors.ber for p in self.points])
+
+    def point_at(self, snr_db: float) -> SnrPoint:
+        """The :class:`SnrPoint` matching ``snr_db`` exactly."""
+        for p in self.points:
+            if p.snr_db == snr_db:
+                return p
+        raise KeyError(f"no point at {snr_db} dB in sweep {self.detector_name}")
+
+
+def _run_block(
+    system: MIMOSystem,
+    factory: DetectorFactory,
+    snr_db: float,
+    frames: int,
+    rng: np.random.Generator,
+    keep_traces: bool,
+) -> tuple[ErrorCounter, list[DecodeStats], float]:
+    """Run ``frames`` transmissions over one fresh channel realisation."""
+    detector = factory()
+    counter = ErrorCounter()
+    stats: list[DecodeStats] = []
+    timer = Timer()
+    channel = system.channel_model.draw_channel(rng)
+    detector.prepare(channel, noise_var=system.noise_var(snr_db))
+    for _ in range(frames):
+        frame = system.random_frame(snr_db, rng, channel=channel)
+        with timer:
+            result = detector.detect(frame.received)
+        counter.update(
+            frame.bits, result.bits, frame.symbol_indices, result.indices
+        )
+        if result.stats is not None:
+            st = result.stats
+            if not keep_traces:
+                st.batches = []
+            stats.append(st)
+    return counter, stats, timer.elapsed
+
+
+def _worker(args: tuple) -> tuple[ErrorCounter, list[DecodeStats], float]:
+    """Top-level (picklable) wrapper for process-pool execution."""
+    system, factory, snr_db, frames, seed_seq, keep_traces = args
+    rng = np.random.default_rng(seed_seq)
+    return _run_block(system, factory, snr_db, frames, rng, keep_traces)
+
+
+class MonteCarloEngine:
+    """Drives BER / workload sweeps over an SNR grid.
+
+    Parameters
+    ----------
+    system:
+        The MIMO link to simulate.
+    channels:
+        Block-fading channel realisations per SNR point.
+    frames_per_channel:
+        Received vectors decoded per channel realisation.
+    seed:
+        Root seed; all randomness derives from it reproducibly.
+    target_bit_errors:
+        Optional early-stop: once a point has accumulated this many bit
+        errors *and* at least one channel block has run, remaining blocks
+        for that point are skipped (serial mode only).
+    keep_traces:
+        Keep per-expansion :class:`BatchEvent` traces in the stats (needed
+        by the FPGA pipeline simulator; disable to save memory on very
+        long BER runs).
+    """
+
+    def __init__(
+        self,
+        system: MIMOSystem,
+        *,
+        channels: int = 10,
+        frames_per_channel: int = 10,
+        seed: int | None = 0,
+        target_bit_errors: int | None = None,
+        keep_traces: bool = True,
+    ) -> None:
+        self.system = system
+        self.channels = check_positive_int(channels, "channels")
+        self.frames_per_channel = check_positive_int(
+            frames_per_channel, "frames_per_channel"
+        )
+        self.seed = seed
+        self.target_bit_errors = target_bit_errors
+        self.keep_traces = keep_traces
+
+    def run(
+        self,
+        detector_factory: DetectorFactory,
+        snrs_db: Sequence[float],
+        *,
+        n_workers: int = 1,
+        detector_name: str | None = None,
+    ) -> SweepResult:
+        """Sweep the SNR grid and return aggregated results.
+
+        ``detector_factory`` is called once per channel block (so each
+        block gets a fresh detector — important for process workers); it
+        must be picklable when ``n_workers > 1``.
+        """
+        snrs = [float(s) for s in snrs_db]
+        if not snrs:
+            raise ValueError("snrs_db must be non-empty")
+        n_workers = check_positive_int(n_workers, "n_workers")
+        seqs = np.random.SeedSequence(self.seed).spawn(len(snrs))
+        points: list[SnrPoint] = []
+        for snr_db, seq in zip(snrs, seqs):
+            block_seqs = seq.spawn(self.channels)
+            point = SnrPoint(snr_db=snr_db, errors=ErrorCounter())
+            if n_workers == 1:
+                for bseq in block_seqs:
+                    rng = np.random.default_rng(bseq)
+                    counter, stats, elapsed = _run_block(
+                        self.system,
+                        detector_factory,
+                        snr_db,
+                        self.frames_per_channel,
+                        rng,
+                        self.keep_traces,
+                    )
+                    point.errors = point.errors.merge(counter)
+                    point.frame_stats.extend(stats)
+                    point.decode_time_s += elapsed
+                    point.frames += self.frames_per_channel
+                    if (
+                        self.target_bit_errors is not None
+                        and point.errors.bit_errors >= self.target_bit_errors
+                    ):
+                        break
+            else:
+                jobs = [
+                    (
+                        self.system,
+                        detector_factory,
+                        snr_db,
+                        self.frames_per_channel,
+                        bseq,
+                        self.keep_traces,
+                    )
+                    for bseq in block_seqs
+                ]
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    for counter, stats, elapsed in pool.map(_worker, jobs):
+                        point.errors = point.errors.merge(counter)
+                        point.frame_stats.extend(stats)
+                        point.decode_time_s += elapsed
+                        point.frames += self.frames_per_channel
+            points.append(point)
+        probe = detector_factory()
+        return SweepResult(
+            detector_name=detector_name or probe.name,
+            system_label=repr(self.system),
+            points=points,
+        )

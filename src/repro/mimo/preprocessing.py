@@ -1,0 +1,153 @@
+"""Channel preprocessing: QR decomposition and friends (paper eq. 4).
+
+The sphere decoder works on the triangularised system
+``||ybar - R s||^2`` where ``H = Q R`` and ``ybar = Q^H y``. This module
+provides:
+
+* :func:`qr_decompose` — deterministic thin QR with a positive real
+  diagonal on ``R`` (the sign convention matters for reproducibility and
+  keeps partial-distance bookkeeping stable);
+* :func:`sorted_qr` — SQRD column ordering (weakest stream detected last),
+  which tightens pruning for all tree-search detectors;
+* :func:`effective_receive` — ``ybar = Q^H y``;
+* :func:`real_decomposition` — the equivalent real-valued ``2N x 2M``
+  lattice formulation used by PAM-domain decoders and some baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_matrix, check_vector
+
+
+@dataclass(frozen=True)
+class QRResult:
+    """Triangularised channel.
+
+    Attributes
+    ----------
+    q:
+        ``(n_rx, n_tx)`` thin orthonormal factor.
+    r:
+        ``(n_tx, n_tx)`` upper-triangular factor with real positive
+        diagonal.
+    permutation:
+        Column order applied to ``H`` before factorisation: column ``j``
+        of the factorised matrix is column ``permutation[j]`` of the
+        original ``H``. Identity for plain QR.
+    """
+
+    q: np.ndarray
+    r: np.ndarray
+    permutation: np.ndarray
+
+    def unpermute(self, symbols: np.ndarray) -> np.ndarray:
+        """Reorder a decoded vector back to the original antenna order."""
+        out = np.empty_like(symbols)
+        out[self.permutation] = symbols
+        return out
+
+    def permute(self, symbols: np.ndarray) -> np.ndarray:
+        """Apply the detection ordering to an original-order vector."""
+        return np.asarray(symbols)[self.permutation]
+
+
+def _fix_diagonal_signs(q: np.ndarray, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Rescale so diag(R) is real and positive (unique QR for full rank)."""
+    diag = np.diagonal(r).copy()
+    # Phase of each diagonal entry; zero diagonals (rank deficiency) keep
+    # phase 1 so we do not divide by zero.
+    phase = np.where(np.abs(diag) > 0, diag / np.abs(np.where(diag == 0, 1, diag)), 1.0)
+    r = r * np.conj(phase)[:, None]
+    q = q * phase[None, :]
+    return q, r
+
+
+def qr_decompose(channel: np.ndarray) -> QRResult:
+    """Thin QR of the channel with deterministic sign convention.
+
+    Requires ``n_rx >= n_tx`` (overdetermined or square systems, as in
+    the paper's ``N x M`` model with ``N >= M``).
+    """
+    channel = check_matrix(channel, "channel")
+    n_rx, n_tx = channel.shape
+    if n_rx < n_tx:
+        raise ValueError(
+            f"QR-based detection needs n_rx >= n_tx, got {n_rx} < {n_tx}"
+        )
+    q, r = np.linalg.qr(channel, mode="reduced")
+    q, r = _fix_diagonal_signs(q, r)
+    return QRResult(q=q, r=r, permutation=np.arange(n_tx))
+
+
+def sorted_qr(channel: np.ndarray) -> QRResult:
+    """Sorted QR decomposition (SQRD, Wuebben et al.).
+
+    Greedy modified Gram-Schmidt that, at each step, picks the remaining
+    column with the smallest residual norm. The effect is that the
+    *largest* residual norms end up in the last rows of ``R`` — i.e. the
+    most reliable streams are detected first at the top of the search
+    tree, which makes early radius updates much tighter.
+    """
+    channel = check_matrix(channel, "channel")
+    n_rx, n_tx = channel.shape
+    if n_rx < n_tx:
+        raise ValueError(
+            f"QR-based detection needs n_rx >= n_tx, got {n_rx} < {n_tx}"
+        )
+    a = channel.astype(np.complex128, copy=True)
+    q = np.zeros((n_rx, n_tx), dtype=np.complex128)
+    r = np.zeros((n_tx, n_tx), dtype=np.complex128)
+    perm = np.arange(n_tx)
+    norms = np.sum(np.abs(a) ** 2, axis=0).astype(float)
+    for i in range(n_tx):
+        # Choose the weakest remaining column -> it is detected *last*
+        # (deepest tree level handles the strongest stream).
+        k = i + int(np.argmin(norms[i:]))
+        if k != i:
+            a[:, [i, k]] = a[:, [k, i]]
+            r[:, [i, k]] = r[:, [k, i]]
+            perm[[i, k]] = perm[[k, i]]
+            norms[[i, k]] = norms[[k, i]]
+        r[i, i] = np.sqrt(max(norms[i], 0.0))
+        if r[i, i] == 0:
+            raise np.linalg.LinAlgError("channel matrix is rank deficient")
+        q[:, i] = a[:, i] / r[i, i]
+        if i + 1 < n_tx:
+            r[i, i + 1 :] = np.conj(q[:, i]) @ a[:, i + 1 :]
+            a[:, i + 1 :] -= np.outer(q[:, i], r[i, i + 1 :])
+            norms[i + 1 :] -= np.abs(r[i, i + 1 :]) ** 2
+            np.clip(norms[i + 1 :], 0.0, None, out=norms[i + 1 :])
+    return QRResult(q=q, r=r, permutation=perm)
+
+
+def effective_receive(qr: QRResult, received: np.ndarray) -> np.ndarray:
+    """``ybar = Q^H y`` — the rotated receive vector of eq. (4)."""
+    received = check_vector(received, "received", length=qr.q.shape[0])
+    return np.conj(qr.q.T) @ received
+
+
+def real_decomposition(
+    channel: np.ndarray, received: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equivalent real-valued system.
+
+    Maps ``y = H s + n`` over C^(N x M) to a real system of size
+    ``2N x 2M`` with the standard block structure::
+
+        [Re y]   [Re H  -Im H] [Re s]
+        [Im y] = [Im H   Re H] [Im s] + noise
+
+    Returns ``(H_real, y_real)``.
+    """
+    channel = check_matrix(channel, "channel")
+    received = check_vector(received, "received", length=channel.shape[0])
+    h_re, h_im = channel.real, channel.imag
+    top = np.concatenate([h_re, -h_im], axis=1)
+    bottom = np.concatenate([h_im, h_re], axis=1)
+    h_real = np.concatenate([top, bottom], axis=0)
+    y_real = np.concatenate([received.real, received.imag])
+    return h_real, y_real

@@ -1,0 +1,134 @@
+"""End-to-end MIMO link model: bits -> symbols -> channel -> received.
+
+:class:`MIMOSystem` bundles a constellation, modulator and channel model
+for one ``M x N`` configuration and produces :class:`Frame` objects — one
+transmit/receive realisation each — that detectors consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mimo.channel import ChannelModel
+from repro.mimo.constellation import Constellation
+from repro.mimo.modulation import Demodulator, Modulator
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One Monte Carlo realisation of the link.
+
+    ``received = channel @ symbols + noise`` with
+    ``noise ~ CN(0, noise_var I)``.
+    """
+
+    bits: np.ndarray
+    symbol_indices: np.ndarray
+    symbols: np.ndarray
+    channel: np.ndarray
+    received: np.ndarray
+    noise_var: float
+    snr_db: float
+
+    @property
+    def n_tx(self) -> int:
+        """Number of transmit antennas (streams)."""
+        return self.symbols.shape[0]
+
+    @property
+    def n_rx(self) -> int:
+        """Number of receive antennas."""
+        return self.received.shape[0]
+
+
+class MIMOSystem:
+    """An ``n_tx x n_rx`` spatial-multiplexing MIMO link.
+
+    Parameters
+    ----------
+    n_tx, n_rx:
+        Antenna counts; ``n_rx >= n_tx`` is required by the QR-based
+        detectors (the paper uses square systems: 10x10 ... 20x20).
+    modulation:
+        Constellation name (``"4qam"``, ``"16qam"``, ``"bpsk"`` ...) or a
+        :class:`Constellation` instance.
+    snr_convention:
+        Passed to :class:`~repro.mimo.channel.ChannelModel`.
+    """
+
+    def __init__(
+        self,
+        n_tx: int,
+        n_rx: int,
+        modulation: str | Constellation = "4qam",
+        *,
+        snr_convention: str = "per-antenna",
+    ) -> None:
+        self.n_tx = check_positive_int(n_tx, "n_tx")
+        self.n_rx = check_positive_int(n_rx, "n_rx")
+        if isinstance(modulation, Constellation):
+            self.constellation = modulation
+        else:
+            self.constellation = Constellation.from_name(modulation)
+        self.channel_model = ChannelModel(
+            n_tx=self.n_tx, n_rx=self.n_rx, snr_convention=snr_convention
+        )
+        self.modulator = Modulator(self.constellation)
+        self.demodulator = Demodulator(self.constellation)
+
+    @property
+    def bits_per_frame(self) -> int:
+        """Information bits carried by one transmit vector."""
+        return self.n_tx * self.constellation.bits_per_symbol
+
+    def noise_var(self, snr_db: float) -> float:
+        """Noise variance for an SNR under the system's convention."""
+        return self.channel_model.noise_var(snr_db)
+
+    def random_frame(
+        self,
+        snr_db: float,
+        rng: object = None,
+        *,
+        channel: np.ndarray | None = None,
+    ) -> Frame:
+        """Generate one random transmission.
+
+        A fixed ``channel`` may be supplied to reuse a realisation across
+        many frames (block-fading operation, which is also how the
+        detectors amortise their ``prepare`` step).
+        """
+        gen = as_generator(rng)
+        indices = self.modulator.random_indices(self.n_tx, gen)
+        bits = self.constellation.indices_to_bits(indices)
+        symbols = self.constellation.map_indices(indices)
+        if channel is None:
+            channel = self.channel_model.draw_channel(gen)
+        else:
+            channel = np.asarray(channel)
+            if channel.shape != (self.n_rx, self.n_tx):
+                raise ValueError(
+                    f"channel must have shape {(self.n_rx, self.n_tx)}, "
+                    f"got {channel.shape}"
+                )
+        noise_var = self.noise_var(snr_db)
+        received = self.channel_model.transmit(channel, symbols, noise_var, gen)
+        return Frame(
+            bits=bits,
+            symbol_indices=indices,
+            symbols=symbols,
+            channel=channel,
+            received=received,
+            noise_var=noise_var,
+            snr_db=float(snr_db),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MIMOSystem({self.n_tx}x{self.n_rx}, "
+            f"{self.constellation.name})"
+        )

@@ -1,0 +1,44 @@
+"""Execution-time models for the paper's comparison platforms.
+
+The decoders in :mod:`repro.core` / :mod:`repro.detectors` produce
+platform-independent *work traces* (:class:`~repro.detectors.base.DecodeStats`).
+This package converts those traces into execution time on each platform
+the paper compares:
+
+* :class:`CPUCostModel` — the 64-core MKL/Boost CPU implementation;
+* :class:`GPUCostModel` — the A100 GEMM-BFS implementation of [1]
+  (whose per-level kernel-launch + radius-synchronisation overhead is
+  the paper's core argument in section IV-F);
+* :class:`WARPCostModel` — Geosphere on the Rice WARP v3 radio platform
+  (Fig. 12);
+* :func:`linear_detector_seconds` — ZF/MMSE filters on the CPU.
+
+The FPGA itself is modelled structurally in :mod:`repro.fpga.pipeline`.
+All constants live in :mod:`repro.perfmodel.calibration` together with
+the anchor points they were fitted against.
+"""
+
+from repro.perfmodel.calibration import (
+    CpuParams,
+    GpuParams,
+    WarpParams,
+    CPU_DEFAULTS,
+    GPU_DEFAULTS,
+    WARP_DEFAULTS,
+)
+from repro.perfmodel.cpu import CPUCostModel, linear_detector_seconds
+from repro.perfmodel.gpu import GPUCostModel
+from repro.perfmodel.warp import WARPCostModel
+
+__all__ = [
+    "CpuParams",
+    "GpuParams",
+    "WarpParams",
+    "CPU_DEFAULTS",
+    "GPU_DEFAULTS",
+    "WARP_DEFAULTS",
+    "CPUCostModel",
+    "linear_detector_seconds",
+    "GPUCostModel",
+    "WARPCostModel",
+]

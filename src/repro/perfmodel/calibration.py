@@ -1,0 +1,117 @@
+"""Cost-model constants and the anchors they were calibrated against.
+
+Methodology
+-----------
+Absolute times in the paper come from physical machines we do not have
+(64-core AMD + MKL, A100, WARP v3). Each platform model here is a small
+analytic formula over the decoder's work trace; its constants are set in
+two steps:
+
+1. *Structural* terms come from the platform's characteristics (kernel
+   launch + synchronisation latency, effective memory-bound flop rates,
+   per-batch dispatch overhead).
+2. The remaining constants are solved from *anchor* points the paper
+   reports for the 10x10 4-QAM system, using the canonical decode trace
+   of this repository (sorted-DFS, noise-scaled radius alpha=2,
+   per-antenna SNR; about 530 expansions/frame at 4 dB and 12 at 20 dB).
+
+Everything away from the anchors — the SNR dependence, antenna and
+modulation scaling, platform crossovers — then follows from the measured
+traces, which is the reproduction target. EXPERIMENTS.md discusses where
+the paper's own absolute numbers are mutually inconsistent and how far
+the trace-driven models land from them.
+
+Anchors (10x10, 4-QAM unless noted):
+
+===========  ========================================  ================
+Platform     Anchor                                    Paper source
+===========  ========================================  ================
+CPU          7 ms at SNR 4 dB; ~1 ms at SNR 20 dB      Table II / Fig. 6
+FPGA (opt)   ~1.4 ms at 4 dB (5x CPU); 5x at 20 dB     Fig. 6
+FPGA (base)  ~1.4x faster than CPU at 4 dB             Fig. 6
+GPU (BFS)    6 ms at SNR 12 dB (flat-ish vs SNR)       Section IV-F
+WARP         11 ms at SNR 20 dB (Geosphere)            Fig. 12
+===========  ========================================  ================
+
+(The FPGA anchors are applied inside
+:class:`repro.fpga.pipeline.PipelineConfig` as the ``node_roundtrip_cycles``
+and ``setup_cycles`` terms.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Multi-core MKL sphere-decoder cost model.
+
+    ``decode_time = setup + batches * dispatch
+    + children * (child + word * words_per_child) + flops / flop_rate``
+
+    The per-batch dispatch term models MKL call overhead plus list
+    synchronisation; the per-word term charges the tree-state traffic
+    (whose row length grows with N — the cache-unfriendly, memory-bound
+    profile the FPGA's prefetch unit hides). ``setup`` covers QR given a
+    new ``ybar`` plus list initialisation.
+    """
+
+    setup_s: float = 8.6e-4
+    dispatch_s: float = 8.0e-6
+    child_s: float = 1.35e-7
+    word_s: float = 3.5e-8
+    flop_rate: float = 4.0e9
+
+    def __post_init__(self) -> None:
+        _check_positive(self)
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    """A100 GEMM-BFS cost model (the [1] implementation).
+
+    One kernel launch + device-wide synchronisation + frontier
+    compaction per tree level (the radius/frontier handshake the paper
+    blames for GPU inefficiency, dominant at every SNR), GEMM work at an
+    effective rate well below peak (skinny frontier matrices), and
+    per-node frontier management cost.
+    """
+
+    setup_s: float = 1.0e-3  # PCIe staging + plan + final argmin readback
+    sync_per_level_s: float = 4.5e-4
+    node_s: float = 1.0e-7
+    flop_rate: float = 5.0e11
+
+    def __post_init__(self) -> None:
+        _check_positive(self)
+
+
+@dataclass(frozen=True)
+class WarpParams:
+    """Geosphere on the WARP v3 software-defined radio (Fig. 12).
+
+    Scalar (non-batched) per-node processing on the 160 MHz platform.
+    The per-node constant is solved from the paper's single WARP anchor
+    (11 ms at 20 dB) against our trace (~14 expansions/frame there), so
+    it absorbs Geosphere's whole per-vector pipeline on that platform —
+    the memory-bound profile the paper's GEMM refactor removes.
+    """
+
+    clock_hz: float = 160.0e6
+    cycles_per_node: float = 125_000.0
+    setup_s: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        _check_positive(self)
+
+
+def _check_positive(params: object) -> None:
+    for name, value in vars(params).items():
+        if value <= 0:
+            raise ValueError(f"{type(params).__name__}.{name} must be positive")
+
+
+CPU_DEFAULTS = CpuParams()
+GPU_DEFAULTS = GpuParams()
+WARP_DEFAULTS = WarpParams()

@@ -1,0 +1,34 @@
+"""WARP v3 (Geosphere) execution-time model for the Fig. 12 baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detectors.base import DecodeStats
+from repro.perfmodel.calibration import WARP_DEFAULTS, WarpParams
+
+
+class WARPCostModel:
+    """Geosphere's scalar per-node cost on the WARP radio platform.
+
+    Geosphere processes one tree node at a time with memory-bound state
+    updates (the profile the paper's GEMM refactor eliminates); the
+    model charges a calibrated cycle count per expanded node at the
+    platform clock.
+    """
+
+    name = "warp-geosphere"
+
+    def __init__(self, params: WarpParams = WARP_DEFAULTS) -> None:
+        self.params = params
+
+    def decode_seconds(self, stats: DecodeStats) -> float:
+        """Execution time for one decode's work trace."""
+        p = self.params
+        return p.setup_s + stats.nodes_expanded * p.cycles_per_node / p.clock_hz
+
+    def mean_decode_seconds(self, stats_list: list[DecodeStats]) -> float:
+        """Mean decode time over per-frame stats records."""
+        if not stats_list:
+            raise ValueError("stats_list must be non-empty")
+        return float(np.mean([self.decode_seconds(st) for st in stats_list]))

@@ -1,0 +1,23 @@
+"""Shared utilities: argument validation, RNG plumbing, timing."""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_square_matrix,
+    check_vector,
+    check_probability,
+    check_in,
+)
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.timing import Timer, WallClock
+
+__all__ = [
+    "check_positive_int",
+    "check_square_matrix",
+    "check_vector",
+    "check_probability",
+    "check_in",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "WallClock",
+]

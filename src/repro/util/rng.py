@@ -1,0 +1,61 @@
+"""Random-number plumbing.
+
+All stochastic code in the library accepts either a seed, a
+``numpy.random.Generator`` or ``None`` and normalises it through
+:func:`as_generator`. Monte Carlo workers derive statistically independent
+streams via :func:`spawn_generators` (``SeedSequence.spawn`` under the
+hood), which is the supported NumPy mechanism for parallel reproducible
+randomness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(rng: object = None) -> np.random.Generator:
+    """Normalise ``rng`` into a ``numpy.random.Generator``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh OS-entropy generator), an integer seed, a
+        ``SeedSequence`` or an existing ``Generator`` (returned as-is).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        "rng must be None, an int seed, a SeedSequence or a Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_generators(n: int, rng: object = None) -> list[np.random.Generator]:
+    """Return ``n`` independent generators derived from one seed source.
+
+    The streams are derived with ``SeedSequence.spawn`` so they are
+    reproducible (same seed in → same streams out) and statistically
+    independent regardless of how much each stream is consumed.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if isinstance(rng, np.random.SeedSequence):
+        seq = rng
+    elif rng is None or isinstance(rng, (int, np.integer)):
+        seq = np.random.SeedSequence(rng)
+    elif isinstance(rng, np.random.Generator):
+        # Derive a child sequence from the generator's own bit stream so
+        # repeated calls on the same generator yield different spawns.
+        seq = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    else:
+        raise TypeError(
+            "rng must be None, an int seed, a SeedSequence or a Generator, "
+            f"got {type(rng).__name__}"
+        )
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

@@ -1,0 +1,56 @@
+"""Timing helpers used by the benchmark harness and Monte Carlo engine."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallClock:
+    """Monotonic wall clock; injectable for deterministic tests."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic)."""
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        timer = Timer()
+        with timer:
+            work()
+        print(timer.elapsed, timer.calls)
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    elapsed: float = 0.0
+    calls: int = 0
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer is not reentrant")
+        self._start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            raise RuntimeError("Timer.__exit__ without __enter__")
+        self.elapsed += self.clock.now() - self._start
+        self.calls += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed call (0.0 before any call completes)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None

@@ -1,0 +1,153 @@
+"""Tests for repro.mimo.channel: fading statistics and SNR bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mimo.channel import (
+    ChannelModel,
+    db_to_linear,
+    linear_to_db,
+    noise_var_to_snr_db,
+    snr_db_to_noise_var,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_one(self):
+        assert db_to_linear(0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10) == pytest.approx(10.0)
+
+    def test_three_db_doubles(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-3)
+
+    def test_linear_to_db_inverse(self):
+        assert linear_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    @given(st.floats(min_value=-40, max_value=40))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, db):
+        assert float(linear_to_db(db_to_linear(db))) == pytest.approx(db, abs=1e-9)
+
+
+class TestSnrConversions:
+    def test_per_stream(self):
+        # sigma^2 = Es / rho
+        assert snr_db_to_noise_var(10, 8, convention="per-stream") == pytest.approx(0.1)
+
+    def test_per_antenna(self):
+        # sigma^2 = M Es / rho
+        assert snr_db_to_noise_var(10, 8, convention="per-antenna") == pytest.approx(0.8)
+
+    def test_default_is_per_antenna(self):
+        assert snr_db_to_noise_var(10, 8) == snr_db_to_noise_var(
+            10, 8, convention="per-antenna"
+        )
+
+    def test_es_scaling(self):
+        assert snr_db_to_noise_var(0, 4, es=2.0, convention="per-stream") == pytest.approx(2.0)
+
+    def test_inverse(self):
+        var = snr_db_to_noise_var(13.0, 10)
+        assert noise_var_to_snr_db(var, 10) == pytest.approx(13.0)
+
+    def test_inverse_per_stream(self):
+        var = snr_db_to_noise_var(6.0, 10, convention="per-stream")
+        assert noise_var_to_snr_db(var, 10, convention="per-stream") == pytest.approx(6.0)
+
+    def test_rejects_unknown_convention(self):
+        with pytest.raises(ValueError):
+            snr_db_to_noise_var(10, 4, convention="bogus")
+
+    def test_rejects_nonpositive_var(self):
+        with pytest.raises(ValueError):
+            noise_var_to_snr_db(0.0, 4)
+
+    def test_higher_snr_lower_noise(self):
+        assert snr_db_to_noise_var(20, 4) < snr_db_to_noise_var(4, 4)
+
+
+class TestChannelModel:
+    def test_channel_shape(self, rng):
+        model = ChannelModel(n_tx=3, n_rx=5)
+        h = model.draw_channel(rng)
+        assert h.shape == (5, 3)
+        assert np.iscomplexobj(h)
+
+    def test_channel_unit_variance(self, rng):
+        model = ChannelModel(n_tx=40, n_rx=40)
+        h = model.draw_channel(rng)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_channel_zero_mean(self, rng):
+        model = ChannelModel(n_tx=50, n_rx=50)
+        h = model.draw_channel(rng)
+        assert abs(np.mean(h)) < 0.05
+
+    def test_noise_variance(self, rng):
+        model = ChannelModel(n_tx=4, n_rx=4)
+        samples = np.concatenate(
+            [model.draw_noise(0.25, rng) for _ in range(500)]
+        )
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(0.25, rel=0.1)
+
+    def test_noise_circularly_symmetric(self, rng):
+        model = ChannelModel(n_tx=4, n_rx=4)
+        samples = np.concatenate(
+            [model.draw_noise(1.0, rng) for _ in range(500)]
+        )
+        # Real/imag parts each carry half the power.
+        assert np.var(samples.real) == pytest.approx(0.5, rel=0.15)
+        assert np.var(samples.imag) == pytest.approx(0.5, rel=0.15)
+
+    def test_zero_noise_var(self, rng):
+        model = ChannelModel(n_tx=2, n_rx=2)
+        assert np.allclose(model.draw_noise(0.0, rng), 0.0)
+
+    def test_negative_noise_var_rejected(self, rng):
+        model = ChannelModel(n_tx=2, n_rx=2)
+        with pytest.raises(ValueError):
+            model.draw_noise(-1.0, rng)
+
+    def test_transmit_is_hs_plus_n(self, rng):
+        model = ChannelModel(n_tx=3, n_rx=4)
+        h = model.draw_channel(rng)
+        s = np.ones(3, dtype=complex)
+        y = model.transmit(h, s, 0.0, rng)
+        assert np.allclose(y, h @ s)
+
+    def test_transmit_shape_checks(self, rng):
+        model = ChannelModel(n_tx=3, n_rx=4)
+        h = model.draw_channel(rng)
+        with pytest.raises(ValueError):
+            model.transmit(h, np.ones(4, dtype=complex), 0.0, rng)
+        with pytest.raises(ValueError):
+            model.transmit(h.T, np.ones(3, dtype=complex), 0.0, rng)
+
+    def test_noise_var_uses_convention(self):
+        a = ChannelModel(n_tx=10, n_rx=10, snr_convention="per-antenna")
+        s = ChannelModel(n_tx=10, n_rx=10, snr_convention="per-stream")
+        assert a.noise_var(10.0) == pytest.approx(10 * s.noise_var(10.0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ChannelModel(n_tx=0, n_rx=4)
+        with pytest.raises(ValueError):
+            ChannelModel(n_tx=4, n_rx=4, es=-1.0)
+        with pytest.raises(ValueError):
+            ChannelModel(n_tx=4, n_rx=4, snr_convention="weird")
+
+    def test_received_power_matches_convention(self, rng):
+        """Per-antenna receive SNR should match the requested rho."""
+        model = ChannelModel(n_tx=8, n_rx=8, snr_convention="per-antenna")
+        snr_db = 10.0
+        var = model.noise_var(snr_db)
+        # E||H s||^2 per antenna = M Es = 8; sigma^2 = 8/10 = 0.8.
+        assert var == pytest.approx(0.8)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_mimo, _parse_snrs, build_parser, main
+
+
+class TestParsers:
+    def test_snr_range(self):
+        assert _parse_snrs("4:20:4") == [4.0, 8.0, 12.0, 16.0, 20.0]
+
+    def test_snr_list(self):
+        assert _parse_snrs("4,8,12") == [4.0, 8.0, 12.0]
+
+    def test_snr_bad_range(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_snrs("4:20")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_snrs("4:20:0")
+
+    def test_mimo(self):
+        assert _parse_mimo("10x10") == (10, 10)
+        assert _parse_mimo("4X8") == (4, 8)
+
+    def test_mimo_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_mimo("10-10")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table1" in out
+
+    def test_decode(self, capsys):
+        assert main(["decode", "--mimo", "4x4", "--snr", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "decoded" in out
+        assert "modelled time" in out
+
+    def test_decode_dfs_strategy(self, capsys):
+        assert main(["decode", "--mimo", "3x3", "--strategy", "dfs"]) == 0
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-16qam" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_with_scale_flags(self, capsys):
+        code = main(
+            ["experiment", "fig6", "--channels", "1", "--frames", "1", "--seed", "1"]
+        )
+        assert code == 0
+        assert "fig6" in capsys.readouterr().out
+
+    def test_ber_sd(self, capsys):
+        code = main(
+            [
+                "ber",
+                "--mimo",
+                "4x4",
+                "--snr",
+                "10,20",
+                "--channels",
+                "1",
+                "--frames",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BER" in out
+
+    @pytest.mark.parametrize("detector", ["zf", "mmse", "mrc", "fsd"])
+    def test_ber_other_detectors(self, detector, capsys):
+        code = main(
+            [
+                "ber",
+                "--mimo",
+                "3x3",
+                "--snr",
+                "15",
+                "--detector",
+                detector,
+                "--channels",
+                "1",
+                "--frames",
+                "2",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,99 @@
+"""Tests for repro.detectors.base: stats records and the Detector ABC."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
+
+
+class TestBatchEvent:
+    def test_fields(self):
+        ev = BatchEvent(level=3, pool_size=8)
+        assert ev.level == 3
+        assert ev.pool_size == 8
+
+    def test_is_tuple(self):
+        assert tuple(BatchEvent(1, 2)) == (1, 2)
+
+
+class TestDecodeStats:
+    def test_defaults_zero(self):
+        st = DecodeStats()
+        assert st.nodes_expanded == 0
+        assert st.batches == []
+        assert st.truncated == 0
+
+    def test_merge_sums_counters(self):
+        a = DecodeStats(nodes_expanded=3, nodes_generated=12, gemm_calls=2)
+        b = DecodeStats(nodes_expanded=5, nodes_generated=20, gemm_calls=4)
+        m = a.merge(b)
+        assert m.nodes_expanded == 8
+        assert m.nodes_generated == 32
+        assert m.gemm_calls == 6
+
+    def test_merge_max_list_size(self):
+        a = DecodeStats(max_list_size=10)
+        b = DecodeStats(max_list_size=7)
+        assert a.merge(b).max_list_size == 10
+
+    def test_merge_concatenates_traces(self):
+        a = DecodeStats(batches=[BatchEvent(1, 1)], radius_trace=[5.0])
+        b = DecodeStats(batches=[BatchEvent(0, 2)], radius_trace=[3.0])
+        m = a.merge(b)
+        assert m.batches == [BatchEvent(1, 1), BatchEvent(0, 2)]
+        assert m.radius_trace == [5.0, 3.0]
+
+    def test_merge_does_not_mutate(self):
+        a = DecodeStats(nodes_expanded=1)
+        b = DecodeStats(nodes_expanded=2)
+        a.merge(b)
+        assert a.nodes_expanded == 1
+        assert b.nodes_expanded == 2
+
+    def test_merge_truncated(self):
+        assert DecodeStats(truncated=1).merge(DecodeStats(truncated=2)).truncated == 3
+
+
+class _DummyDetector(Detector):
+    name = "dummy"
+
+    def __init__(self):
+        self._prepared = False
+
+    def prepare(self, channel, noise_var=0.0):
+        self._prepared = True
+
+    def detect(self, received):
+        self._require_prepared()
+        received = np.asarray(received)
+        return DetectionResult(
+            indices=np.zeros(2, dtype=int),
+            symbols=np.zeros(2, dtype=complex),
+            bits=np.zeros(2, dtype=bool),
+            metric=0.0,
+        )
+
+
+class TestDetectorABC:
+    def test_require_prepared(self):
+        det = _DummyDetector()
+        with pytest.raises(RuntimeError, match="before prepare"):
+            det.detect(np.zeros(2))
+
+    def test_detect_after_prepare(self):
+        det = _DummyDetector()
+        det.prepare(np.eye(2))
+        result = det.detect(np.zeros(2))
+        assert result.metric == 0.0
+
+    def test_detect_batch(self):
+        det = _DummyDetector()
+        det.prepare(np.eye(2))
+        results = det.detect_batch(np.zeros((3, 2)))
+        assert len(results) == 3
+
+    def test_detect_batch_requires_2d(self):
+        det = _DummyDetector()
+        det.prepare(np.eye(2))
+        with pytest.raises(ValueError):
+            det.detect_batch(np.zeros(2))

@@ -1,0 +1,70 @@
+"""Tests for the FPGA device spec."""
+
+import pytest
+
+from repro.fpga.device import AlveoU280, DeviceSpec
+
+
+class TestAlveoU280:
+    def test_paper_figures(self):
+        """Sanity against the data sheet the paper cites."""
+        assert AlveoU280.bram_blocks == 4032
+        assert AlveoU280.uram_blocks == 960
+        assert AlveoU280.hbm_bytes == 8 * 1024**3
+        assert AlveoU280.ddr_bytes == 32 * 1024**3
+        assert AlveoU280.hbm_channels == 32
+        assert AlveoU280.max_freq_mhz == 300.0
+
+    def test_memory_bits(self):
+        assert AlveoU280.bram_bits() == 4032 * 18 * 1024
+        assert AlveoU280.uram_bits() == 960 * 288 * 1024
+
+    def test_uram_larger_than_bram_total(self):
+        assert AlveoU280.uram_bits() > AlveoU280.bram_bits()
+
+
+class TestUtilization:
+    def test_fractions(self):
+        util = AlveoU280.utilization({"dsps": 9024 // 2, "luts": 0})
+        assert util["dsps"] == pytest.approx(0.5)
+        assert util["luts"] == 0.0
+
+    def test_unknown_resource(self):
+        with pytest.raises(KeyError):
+            AlveoU280.utilization({"gpus": 1})
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            AlveoU280.utilization({"dsps": -1})
+
+
+class TestValidation:
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                luts=0,
+                ffs=1,
+                dsps=1,
+                bram_blocks=1,
+                uram_blocks=1,
+                hbm_bytes=1,
+                ddr_bytes=1,
+                hbm_channels=1,
+                max_freq_mhz=100.0,
+            )
+
+    def test_rejects_zero_freq(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                luts=1,
+                ffs=1,
+                dsps=1,
+                bram_blocks=1,
+                uram_blocks=1,
+                hbm_bytes=1,
+                ddr_bytes=1,
+                hbm_channels=1,
+                max_freq_mhz=0.0,
+            )

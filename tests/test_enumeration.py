@@ -1,0 +1,54 @@
+"""Tests for child-enumeration orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration import CHILD_ORDERS, child_order
+
+
+class TestChildOrder:
+    def test_natural_is_identity(self):
+        pds = np.array([3.0, 1.0, 2.0])
+        assert np.array_equal(child_order(pds, "natural"), [0, 1, 2])
+
+    def test_sorted_ascending(self):
+        pds = np.array([3.0, 1.0, 2.0])
+        order = child_order(pds, "sorted")
+        assert np.array_equal(pds[order], [1.0, 2.0, 3.0])
+
+    def test_sorted_is_default(self):
+        pds = np.array([5.0, 4.0])
+        assert np.array_equal(child_order(pds), child_order(pds, "sorted"))
+
+    def test_stable_on_ties(self):
+        pds = np.array([1.0, 1.0, 0.5])
+        order = child_order(pds, "sorted")
+        assert np.array_equal(order, [2, 0, 1])
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            child_order(np.array([1.0]), "zigzag")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            child_order(np.zeros((2, 2)))
+
+    def test_orders_registry(self):
+        assert set(CHILD_ORDERS) == {"natural", "sorted"}
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=16,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_sorted_is_permutation_and_monotone(pds):
+    pds = np.asarray(pds)
+    order = child_order(pds, "sorted")
+    assert sorted(order.tolist()) == list(range(len(pds)))
+    assert np.all(np.diff(pds[order]) >= 0)

@@ -1,0 +1,174 @@
+"""Smoke + shape tests for every paper experiment (tiny Monte Carlo).
+
+Each experiment is run at reduced scale: the assertions target structure
+and qualitative shape (orderings, monotonicity), not absolute numbers —
+those are exercised at full scale by the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_fpga_optimizations,
+    ablation_precision,
+    ablation_search_strategy,
+    fig6_time_10x10_4qam,
+    fig7_ber_10x10_4qam,
+    fig11_gpu_comparison,
+    fig12_detector_comparison,
+    table1_resources,
+    table2_power,
+)
+
+TINY = dict(channels=1, frames_per_channel=2, seed=7)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ablation-search",
+            "ablation-fpga",
+            "ablation-precision",
+            "ablation-parallel",
+            "ablation-csi",
+            "ablation-correlation",
+            "ablation-domain",
+            "profile",
+            "scaling-modulation",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_registry_entries_documented(self):
+        for name, (fn, description) in EXPERIMENTS.items():
+            assert callable(fn)
+            assert description
+
+
+class TestTimeFigures:
+    def test_fig6_structure_and_shape(self):
+        result = fig6_time_10x10_4qam(snrs=[4.0, 20.0], **TINY)
+        assert result.experiment == "fig6"
+        assert len(result.rows) == 2
+        low, high = result.rows
+        # decode time falls with SNR; FPGA-opt fastest platform
+        assert low["cpu_ms"] > high["cpu_ms"]
+        assert low["fpga_optimized_ms"] < low["fpga_baseline_ms"] < low["cpu_ms"]
+        assert 2.0 < low["speedup_vs_cpu"] < 10.0
+
+    def test_fig6_format_renders(self):
+        result = fig6_time_10x10_4qam(snrs=[8.0], **TINY)
+        assert "fig6" in result.format()
+
+
+class TestBerFigure:
+    def test_fig7_monotone_and_ordered(self):
+        result = fig7_ber_10x10_4qam(
+            snrs=[4.0, 12.0, 20.0], channels=3, frames_per_channel=10, seed=7
+        )
+        sd = result.column("sd_ber")
+        zf = result.column("zf_ber")
+        # SD BER non-increasing with SNR.
+        assert sd[0] >= sd[-1]
+        # SD (= ML) never worse than ZF at any point.
+        for s, z in zip(sd, zf):
+            assert s <= z + 1e-12
+
+
+class TestGpuFigure:
+    def test_fig11_fpga_wins_everywhere(self):
+        result = fig11_gpu_comparison(snrs=[8.0, 16.0], **TINY)
+        for row in result.rows:
+            assert row["gpu_bfs_ms"] > row["fpga_opt_ms"]
+            assert row["speedup"] > 1.0
+            assert 0 < row["node_fraction"] <= 1.0
+
+    def test_fig11_node_fraction_small_at_low_snr(self):
+        result = fig11_gpu_comparison(
+            snrs=[4.0], channels=2, frames_per_channel=2, seed=3
+        )
+        # the paper's IV-F claim: leaf-first visits a tiny fraction
+        assert result.rows[0]["node_fraction"] < 0.10
+
+
+class TestDetectorFigure:
+    def test_fig12_columns_and_orderings(self):
+        result = fig12_detector_comparison(snrs=[8.0, 20.0], **TINY)
+        for row in result.rows:
+            # linear detectors fastest, but BER-worst.
+            assert row["zf_ms"] < row["fpga_opt_ms"]
+            assert row["sd_ber"] <= row["zf_ber"] + 1e-12
+        # Geosphere on WARP is the slowest decoder in the comparison.
+        assert result.rows[0]["geosphere_warp_ms"] > result.rows[0]["fpga_opt_ms"]
+
+
+class TestTables:
+    def test_table1_has_four_designs(self):
+        result = table1_resources()
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert abs(row["luts_pct"] - row["luts_paper"]) < 3.0
+
+    def test_table2_energy_reduction(self):
+        result = table2_power(channels=1, frames_per_channel=2, seed=7)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row["fpga_power_w"] < row["cpu_power_w"]
+            assert row["energy_reduction"] > 1.0
+        assert "geomean" in result.notes
+
+
+class TestAblations:
+    def test_search_ablation_orderings(self):
+        result = ablation_search_strategy(
+            snrs=[4.0], channels=2, frames_per_channel=2, seed=7
+        )
+        row = result.rows[0]
+        # BFS explores the most; Babai seeding the least (or near it).
+        assert row["bfs_nodes"] > row["dfs_sorted_nodes"]
+        assert row["babai_seeded_nodes"] <= row["dfs_sorted_nodes"] * 1.5
+        assert row["bestfs_vs_bfs_pct"] < 50.0
+
+    def test_fpga_ablation_every_feature_matters(self):
+        result = ablation_fpga_optimizations(
+            snr_db=8.0, channels=1, frames_per_channel=2, seed=7
+        )
+        by_name = {row["variant"]: row for row in result.rows}
+        opt = by_name["optimized (all on)"]["decode_ms"]
+        base = by_name["baseline (all off)"]["decode_ms"]
+        assert base > opt
+        for name, row in by_name.items():
+            if name != "optimized (all on)":
+                assert row["decode_ms"] >= opt
+
+    def test_precision_ablation_fp32_neutral(self):
+        result = ablation_precision(
+            snrs=[8.0], channels=2, frames_per_channel=4, seed=7
+        )
+        row = result.rows[0]
+        assert row["fp32_ber"] == pytest.approx(row["fp64_ber"], abs=0.02)
+        assert 0.0 <= row["fp16_ber"] <= 1.0
+
+    def test_parallel_ablation_shape(self):
+        from repro.bench.experiments import ablation_parallel_pes
+
+        result = ablation_parallel_pes(
+            snr_db=6.0,
+            pe_counts=(1, 4),
+            channels=2,
+            frames_per_channel=2,
+            seed=7,
+        )
+        rows = {row["n_pes"]: row for row in result.rows}
+        assert rows[1]["latency_speedup"] == 1.0
+        assert rows[4]["latency_speedup"] >= 1.0
+        assert rows[4]["mean_makespan"] <= rows[1]["mean_makespan"]

@@ -1,0 +1,100 @@
+"""Tests for the systolic GEMM engine cycle model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.gemm_engine import DSPS_PER_FP32_MAC, SystolicGemmEngine
+
+
+class TestStructure:
+    def test_macs_and_dsps(self):
+        engine = SystolicGemmEngine(rows=8, cols=8)
+        assert engine.macs == 64
+        assert engine.dsp_usage == 64 * DSPS_PER_FP32_MAC
+
+    def test_custom_dsps_per_mac(self):
+        engine = SystolicGemmEngine(rows=4, cols=4, dsps_per_mac=4)
+        assert engine.dsp_usage == 64
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SystolicGemmEngine(rows=0)
+        with pytest.raises(ValueError):
+            SystolicGemmEngine(initiation_interval=0)
+
+
+class TestTiles:
+    def test_exact_fit(self):
+        engine = SystolicGemmEngine(rows=8, cols=8)
+        assert engine.tile_count(8, 8) == 1
+        assert engine.tile_count(16, 8) == 2
+        assert engine.tile_count(16, 16) == 4
+
+    def test_partial_tiles_round_up(self):
+        engine = SystolicGemmEngine(rows=8, cols=8)
+        assert engine.tile_count(9, 1) == 2
+        assert engine.tile_count(1, 9) == 2
+
+    def test_rejects_nonpositive_dims(self):
+        engine = SystolicGemmEngine()
+        with pytest.raises(ValueError):
+            engine.tile_count(0, 4)
+
+
+class TestCycles:
+    def test_single_tile_formula(self):
+        engine = SystolicGemmEngine(
+            rows=8, cols=8, pipeline_depth=10, initiation_interval=1
+        )
+        # complex: 4 real MACs per complex MAC along k
+        assert engine.cycles(4, 4, 5) == 4 * 5 * 1 + 10
+
+    def test_real_data(self):
+        engine = SystolicGemmEngine(
+            rows=8, cols=8, pipeline_depth=10, initiation_interval=1
+        )
+        assert engine.cycles(4, 4, 5, complex_data=False) == 5 + 10
+
+    def test_ii_scales_reduction(self):
+        fast = SystolicGemmEngine(initiation_interval=1)
+        slow = SystolicGemmEngine(initiation_interval=4)
+        k = 16
+        assert slow.cycles(4, 4, k) > fast.cycles(4, 4, k)
+
+    def test_zero_k_is_fill_only(self):
+        engine = SystolicGemmEngine(pipeline_depth=12)
+        assert engine.cycles(4, 4, 0) == 12
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            SystolicGemmEngine().cycles(4, 4, -1)
+
+    def test_batching_amortises(self):
+        """One (64, P) GEMM costs fewer cycles than 64 (1, P) GEMMs —
+        the motivation for the paper's GEMM batching."""
+        engine = SystolicGemmEngine(rows=8, cols=8, pipeline_depth=12)
+        one_big = engine.cycles(64, 4, 10)
+        many_small = 64 * engine.cycles(1, 4, 10)
+        assert one_big < many_small
+
+    def test_sustained_throughput_improves_with_size(self):
+        engine = SystolicGemmEngine(rows=8, cols=8)
+        small = engine.sustained_macs_per_cycle(1, 1, 4)
+        large = engine.sustained_macs_per_cycle(64, 64, 64)
+        assert large > small
+
+
+@given(
+    m=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=1, max_value=64),
+    k=st.integers(min_value=0, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_cycles_monotone(m, n, k):
+    """More work never takes fewer cycles."""
+    engine = SystolicGemmEngine(rows=8, cols=8)
+    base = engine.cycles(m, n, k)
+    assert engine.cycles(m + 1, n, k) >= base
+    assert engine.cycles(m, n + 1, k) >= base
+    assert engine.cycles(m, n, k + 1) >= base

@@ -1,0 +1,112 @@
+"""Tests for the block interleaver and the exact BER confidence interval."""
+
+import numpy as np
+import pytest
+
+from repro.coding import BlockInterleaver
+from repro.mimo.metrics import ErrorCounter
+
+
+class TestBlockInterleaver:
+    def test_roundtrip(self, rng):
+        il = BlockInterleaver(4, 6)
+        data = rng.integers(0, 2, 24)
+        assert np.array_equal(il.deinterleave(il.interleave(data)), data)
+
+    def test_roundtrip_other_order(self, rng):
+        il = BlockInterleaver(4, 6)
+        data = rng.integers(0, 2, 24)
+        assert np.array_equal(il.interleave(il.deinterleave(data)), data)
+
+    def test_is_permutation(self):
+        il = BlockInterleaver(3, 5)
+        out = il.interleave(np.arange(15))
+        assert sorted(out.tolist()) == list(range(15))
+
+    def test_known_small_case(self):
+        # rows=2, cols=3: [0 1 2; 3 4 5] read column-wise -> 0 3 1 4 2 5
+        il = BlockInterleaver(2, 3)
+        assert np.array_equal(il.interleave(np.arange(6)), [0, 3, 1, 4, 2, 5])
+
+    def test_burst_spreading(self):
+        """A burst of `rows` adjacent output symbols maps to inputs that
+        are at least `rows` apart."""
+        il = BlockInterleaver(4, 8)
+        out_positions = il.interleave(np.arange(32))
+        for start in range(0, 32 - 4):
+            burst_inputs = sorted(out_positions[start : start + 4].tolist())
+            gaps = np.diff(burst_inputs)
+            assert np.all(gaps >= il.spread() - 1)
+
+    def test_burst_correction_with_viterbi(self, rng):
+        """Interleaving turns an uncorrectable burst into a correctable
+        scatter for the K=3 code."""
+        from repro.coding import ConvolutionalCode, ViterbiDecoder
+
+        code = ConvolutionalCode(generators=(0o7, 0o5), constraint_length=3)
+        dec = ViterbiDecoder(code)
+        il = BlockInterleaver(8, 8)
+        msg = rng.integers(0, 2, 30).astype(bool)  # -> 64 coded bits
+        coded = code.encode(msg).astype(int)
+        assert coded.size == il.block_size
+        tx = il.interleave(coded)
+        # Burst of 5 consecutive channel errors.
+        tx_corrupted = tx.copy()
+        tx_corrupted[10:15] ^= 1
+        rx = il.deinterleave(tx_corrupted)
+        assert np.array_equal(dec.decode_hard(rx), msg)
+
+    def test_length_enforced(self):
+        il = BlockInterleaver(2, 3)
+        with pytest.raises(ValueError):
+            il.interleave(np.arange(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(0, 4)
+
+
+class TestExactConfidence:
+    def test_brackets_estimate(self):
+        counter = ErrorCounter(bit_errors=30, bits=1000)
+        lo, hi = counter.ber_confidence_exact()
+        assert lo <= counter.ber <= hi
+
+    def test_zero_errors_nonzero_upper(self):
+        """The rule-of-three regime: zero observed errors still leaves a
+        positive upper bound (~3/n), unlike the normal approximation."""
+        counter = ErrorCounter(bit_errors=0, bits=1000)
+        lo, hi = counter.ber_confidence_exact()
+        assert lo == 0.0
+        assert 0.002 < hi < 0.005  # ~3/1000
+        # Normal approximation collapses to a point here.
+        n_lo, n_hi = counter.ber_confidence()
+        assert n_lo == n_hi == 0.0
+
+    def test_all_errors_lower_bound(self):
+        counter = ErrorCounter(bit_errors=50, bits=50)
+        lo, hi = counter.ber_confidence_exact()
+        assert hi == 1.0
+        assert lo > 0.9
+
+    def test_narrower_with_more_data(self):
+        small = ErrorCounter(bit_errors=5, bits=100)
+        large = ErrorCounter(bit_errors=500, bits=10_000)
+        w_small = np.diff(small.ber_confidence_exact())[0]
+        w_large = np.diff(large.ber_confidence_exact())[0]
+        assert w_large < w_small
+
+    def test_agrees_with_normal_at_scale(self):
+        counter = ErrorCounter(bit_errors=5000, bits=100_000)
+        e_lo, e_hi = counter.ber_confidence_exact()
+        n_lo, n_hi = counter.ber_confidence()
+        assert e_lo == pytest.approx(n_lo, abs=5e-4)
+        assert e_hi == pytest.approx(n_hi, abs=5e-4)
+
+    def test_empty(self):
+        lo, hi = ErrorCounter().ber_confidence_exact()
+        assert np.isnan(lo) and np.isnan(hi)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorCounter(bit_errors=1, bits=10).ber_confidence_exact(confidence=1.5)

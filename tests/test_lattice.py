@@ -1,0 +1,112 @@
+"""Tests for the LLL lattice-reduction algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import (
+    LLLResult,
+    is_size_reduced,
+    lll_reduce,
+    orthogonality_defect,
+)
+
+
+def random_basis(m, n, seed):
+    rng = np.random.default_rng(seed)
+    while True:
+        b = rng.standard_normal((m, n))
+        if np.linalg.matrix_rank(b) == n:
+            return b
+
+
+class TestLLLInvariants:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reduction_identity(self, seed):
+        """reduced == basis @ transform, exactly."""
+        b = random_basis(6, 6, seed)
+        res = lll_reduce(b)
+        assert np.allclose(res.reduced, b @ res.transform, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_transform_unimodular(self, seed):
+        b = random_basis(6, 6, seed)
+        res = lll_reduce(b)
+        det = np.linalg.det(res.transform.astype(float))
+        assert abs(abs(det) - 1.0) < 1e-6
+        assert res.transform.dtype == np.int64
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_size_reduced(self, seed):
+        b = random_basis(7, 5, seed)
+        res = lll_reduce(b)
+        assert is_size_reduced(res.reduced)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_defect_never_increases(self, seed):
+        b = random_basis(6, 6, seed)
+        res = lll_reduce(b)
+        assert orthogonality_defect(res.reduced) <= orthogonality_defect(b) + 1e-9
+
+    def test_inverse_transform_integral(self):
+        b = random_basis(5, 5, 0)
+        res = lll_reduce(b)
+        inv = res.inverse_transform
+        assert np.array_equal(
+            res.transform @ inv, np.eye(5, dtype=np.int64)
+        )
+
+    def test_orthogonal_basis_fixed_point(self):
+        res = lll_reduce(np.eye(4))
+        assert np.allclose(np.abs(res.reduced), np.eye(4))
+
+    def test_helps_bad_basis(self):
+        """A classic nearly-parallel basis gets dramatically better."""
+        b = np.array([[1.0, 1.0], [0.0, 1e-3]])
+        res = lll_reduce(b)
+        assert orthogonality_defect(res.reduced) < 0.01 * orthogonality_defect(b)
+
+    def test_tall_basis(self):
+        b = random_basis(10, 4, 1)
+        res = lll_reduce(b)
+        assert res.reduced.shape == (10, 4)
+        assert is_size_reduced(res.reduced)
+
+
+class TestValidation:
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            lll_reduce(np.zeros((2, 3)))
+
+    def test_rejects_rank_deficient(self):
+        b = np.ones((4, 2))
+        with pytest.raises(ValueError):
+            lll_reduce(b)
+
+    def test_rejects_bad_delta(self):
+        b = random_basis(3, 3, 0)
+        with pytest.raises(ValueError):
+            lll_reduce(b, delta=0.2)
+        with pytest.raises(ValueError):
+            lll_reduce(b, delta=1.1)
+
+    def test_defect_rejects_singular(self):
+        with pytest.raises(ValueError):
+            orthogonality_defect(np.ones((3, 2)))
+
+
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    extra=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    delta=st.sampled_from([0.6, 0.75, 0.99]),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_lll_contract(n, extra, seed, delta):
+    """For random bases: identity holds, T unimodular, size-reduced."""
+    b = random_basis(n + extra, n, seed)
+    res = lll_reduce(b, delta=delta)
+    assert np.allclose(res.reduced, b @ res.transform, atol=1e-8)
+    assert abs(abs(np.linalg.det(res.transform.astype(float))) - 1.0) < 1e-6
+    assert is_size_reduced(res.reduced, tol=1e-7)

@@ -1,0 +1,117 @@
+"""Tests for the on-chip memory plan, HBM model and prefetch unit."""
+
+import pytest
+
+from repro.fpga.device import AlveoU280
+from repro.fpga.memory import (
+    HBM_LATENCY_CYCLES,
+    MemoryRequirement,
+    OnChipMemoryPlan,
+    hbm_stream_cycles,
+)
+from repro.fpga.prefetch import PrefetchUnit
+
+
+class TestHbmStream:
+    def test_zero_words_free(self):
+        assert hbm_stream_cycles(0) == 0
+
+    def test_latency_dominates_small(self):
+        assert hbm_stream_cycles(1) == HBM_LATENCY_CYCLES + 1
+
+    def test_bandwidth_term(self):
+        # 8 words/cycle/channel
+        assert hbm_stream_cycles(800, channels=1) == HBM_LATENCY_CYCLES + 100
+
+    def test_channels_parallelise(self):
+        assert hbm_stream_cycles(800, channels=4) < hbm_stream_cycles(800, channels=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hbm_stream_cycles(-1)
+        with pytest.raises(ValueError):
+            hbm_stream_cycles(10, channels=0)
+
+
+class TestMemoryRequirement:
+    def test_valid(self):
+        req = MemoryRequirement("buf", 1024, "bram")
+        assert req.bits == 1024
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            MemoryRequirement("buf", 1024, "dram")
+
+    def test_negative_bits(self):
+        with pytest.raises(ValueError):
+            MemoryRequirement("buf", -1, "bram")
+
+
+class TestOnChipMemoryPlan:
+    def test_block_rounding_per_buffer(self):
+        plan = OnChipMemoryPlan(AlveoU280)
+        plan.add("a", AlveoU280.BRAM_BITS + 1, "bram")  # 2 blocks
+        plan.add("b", 10, "bram")  # 1 block
+        assert plan.bram_blocks() == 3
+
+    def test_uram_accounting(self):
+        plan = OnChipMemoryPlan(AlveoU280)
+        plan.add("mst", AlveoU280.URAM_BITS * 5, "uram")
+        assert plan.uram_blocks() == 5
+        assert plan.bram_blocks() == 0
+
+    def test_zero_bit_buffer_free(self):
+        plan = OnChipMemoryPlan(AlveoU280)
+        plan.add("empty", 0, "bram")
+        assert plan.bram_blocks() == 0
+
+    def test_fits(self):
+        plan = OnChipMemoryPlan(AlveoU280)
+        plan.add("ok", AlveoU280.BRAM_BITS * 100, "bram")
+        assert plan.fits()
+        plan.add("huge", AlveoU280.URAM_BITS * 2000, "uram")
+        assert not plan.fits()
+
+    def test_report_fractions(self):
+        plan = OnChipMemoryPlan(AlveoU280)
+        plan.add("half", AlveoU280.URAM_BITS * 480, "uram")
+        assert plan.report()["urams"] == pytest.approx(0.5)
+
+
+class TestPrefetchUnit:
+    def test_fetch_includes_setup_and_latency(self):
+        unit = PrefetchUnit(double_buffered=True, address_setup_cycles=4, hbm_channels=1)
+        assert unit.fetch_cycles(8) == 4 + HBM_LATENCY_CYCLES + 1
+
+    def test_zero_words_free(self):
+        assert PrefetchUnit().fetch_cycles(0) == 0
+
+    def test_double_buffered_overlaps(self):
+        unit = PrefetchUnit(double_buffered=True)
+        fetch = unit.fetch_cycles(64)
+        assert unit.effective_cycles(10, 64) == max(10, fetch)
+        assert unit.effective_cycles(10_000, 64) == 10_000
+
+    def test_sequential_sums(self):
+        unit = PrefetchUnit(double_buffered=False)
+        fetch = unit.fetch_cycles(64)
+        assert unit.effective_cycles(100, 64) == 100 + fetch
+
+    def test_double_buffering_never_slower(self):
+        dbuf = PrefetchUnit(double_buffered=True)
+        seq = PrefetchUnit(double_buffered=False)
+        for compute in (0, 10, 1000):
+            for words in (0, 8, 512):
+                assert dbuf.effective_cycles(compute, words) <= seq.effective_cycles(
+                    compute, words
+                )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchUnit(address_setup_cycles=-1)
+        with pytest.raises(ValueError):
+            PrefetchUnit(hbm_channels=0)
+        with pytest.raises(ValueError):
+            PrefetchUnit().fetch_cycles(-5)
+        with pytest.raises(ValueError):
+            PrefetchUnit().effective_cycles(-1, 0)

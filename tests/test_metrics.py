@@ -1,0 +1,100 @@
+"""Tests for repro.mimo.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mimo.metrics import ErrorCounter, bit_errors, symbol_errors
+
+
+class TestBitErrors:
+    def test_no_errors(self):
+        bits = np.array([1, 0, 1], dtype=bool)
+        assert bit_errors(bits, bits) == 0
+
+    def test_counts_flips(self):
+        a = np.array([1, 0, 1, 0], dtype=bool)
+        b = np.array([0, 0, 1, 1], dtype=bool)
+        assert bit_errors(a, b) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_errors(np.zeros(3, bool), np.zeros(4, bool))
+
+    def test_accepts_int_arrays(self):
+        assert bit_errors(np.array([1, 1]), np.array([0, 1])) == 1
+
+
+class TestSymbolErrors:
+    def test_counts_differences(self):
+        assert symbol_errors(np.array([1, 2, 3]), np.array([1, 9, 3])) == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            symbol_errors(np.zeros(2), np.zeros(3))
+
+
+class TestErrorCounter:
+    def make(self):
+        counter = ErrorCounter()
+        sent_bits = np.array([1, 0, 1, 0], dtype=bool)
+        dec_bits = np.array([1, 1, 1, 0], dtype=bool)  # 1 bit error
+        sent_idx = np.array([2, 1])
+        dec_idx = np.array([2, 3])  # 1 symbol error
+        counter.update(sent_bits, dec_bits, sent_idx, dec_idx)
+        return counter
+
+    def test_update_counts(self):
+        c = self.make()
+        assert c.bit_errors == 1
+        assert c.bits == 4
+        assert c.symbol_errors == 1
+        assert c.symbols == 2
+        assert c.frame_errors == 1
+        assert c.frames == 1
+
+    def test_rates(self):
+        c = self.make()
+        assert c.ber == pytest.approx(0.25)
+        assert c.ser == pytest.approx(0.5)
+        assert c.fer == pytest.approx(1.0)
+
+    def test_clean_frame_not_frame_error(self):
+        c = ErrorCounter()
+        bits = np.ones(4, dtype=bool)
+        idx = np.arange(2)
+        c.update(bits, bits, idx, idx)
+        assert c.frame_errors == 0
+        assert c.fer == 0.0
+
+    def test_empty_rates_nan(self):
+        c = ErrorCounter()
+        assert np.isnan(c.ber)
+        assert np.isnan(c.ser)
+        assert np.isnan(c.fer)
+
+    def test_merge(self):
+        a = self.make()
+        b = self.make()
+        merged = a.merge(b)
+        assert merged.bits == 8
+        assert merged.bit_errors == 2
+        assert merged.frames == 2
+        # merge does not mutate the operands
+        assert a.bits == 4 and b.bits == 4
+
+    def test_confidence_interval_brackets_estimate(self):
+        c = ErrorCounter(bit_errors=50, bits=10_000)
+        lo, hi = c.ber_confidence()
+        assert lo <= c.ber <= hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_confidence_shrinks_with_samples(self):
+        small = ErrorCounter(bit_errors=5, bits=100)
+        large = ErrorCounter(bit_errors=500, bits=10_000)
+        w_small = np.diff(small.ber_confidence())[0]
+        w_large = np.diff(large.ber_confidence())[0]
+        assert w_large < w_small
+
+    def test_confidence_empty(self):
+        lo, hi = ErrorCounter().ber_confidence()
+        assert np.isnan(lo) and np.isnan(hi)

@@ -1,0 +1,95 @@
+"""Tests for the brute-force ML detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ml import MLDetector
+from repro.mimo.constellation import Constellation
+from repro.mimo.system import MIMOSystem
+
+
+class TestEnumeration:
+    def test_candidate_indices_cover_lattice(self):
+        const = Constellation.qam(4)
+        det = MLDetector(const)
+        idx = det._candidate_indices(3, 0, 4**3)
+        assert idx.shape == (64, 3)
+        assert len({tuple(row) for row in idx}) == 64
+
+    def test_candidate_indices_chunked_consistent(self):
+        const = Constellation.qam(4)
+        det = MLDetector(const)
+        full = det._candidate_indices(2, 0, 16)
+        parts = np.concatenate(
+            [det._candidate_indices(2, s, 4) for s in range(0, 16, 4)]
+        )
+        assert np.array_equal(full, parts)
+
+
+class TestDetection:
+    def test_noiseless_recovers_transmit(self):
+        system = MIMOSystem(3, 3, "4qam")
+        det = MLDetector(system.constellation)
+        for seed in range(5):
+            frame = system.random_frame(300.0, np.random.default_rng(seed))
+            det.prepare(frame.channel)
+            result = det.detect(frame.received)
+            assert np.array_equal(result.indices, frame.symbol_indices)
+
+    def test_metric_is_global_minimum(self, rng):
+        """No candidate vector beats the returned metric (exhaustive check)."""
+        system = MIMOSystem(2, 2, "4qam")
+        frame = system.random_frame(5.0, rng)
+        det = MLDetector(system.constellation)
+        det.prepare(frame.channel)
+        result = det.detect(frame.received)
+        points = system.constellation.points
+        best = np.inf
+        for a in range(4):
+            for b in range(4):
+                s = np.array([points[a], points[b]])
+                best = min(best, np.linalg.norm(frame.received - frame.channel @ s) ** 2)
+        assert result.metric == pytest.approx(best)
+
+    def test_chunking_gives_same_answer(self, rng):
+        system = MIMOSystem(4, 4, "4qam")
+        frame = system.random_frame(8.0, rng)
+        big = MLDetector(system.constellation, chunk_size=100_000)
+        small = MLDetector(system.constellation, chunk_size=7)
+        big.prepare(frame.channel)
+        small.prepare(frame.channel)
+        a = big.detect(frame.received)
+        b = small.detect(frame.received)
+        assert np.array_equal(a.indices, b.indices)
+        assert a.metric == pytest.approx(b.metric)
+
+    def test_16qam_small_system(self, rng):
+        system = MIMOSystem(2, 2, "16qam")
+        frame = system.random_frame(300.0, rng)
+        det = MLDetector(system.constellation)
+        det.prepare(frame.channel)
+        assert np.array_equal(det.detect(frame.received).indices, frame.symbol_indices)
+
+    def test_overdetermined(self, rng):
+        system = MIMOSystem(2, 5, "4qam")
+        frame = system.random_frame(300.0, rng)
+        det = MLDetector(system.constellation)
+        det.prepare(frame.channel)
+        assert np.array_equal(det.detect(frame.received).indices, frame.symbol_indices)
+
+
+class TestGuards:
+    def test_max_candidates_guard(self):
+        const = Constellation.qam(16)
+        det = MLDetector(const, max_candidates=1000)
+        with pytest.raises(ValueError, match="candidates"):
+            det.prepare(np.eye(10, dtype=complex))
+
+    def test_requires_prepare(self):
+        det = MLDetector(Constellation.qam(4))
+        with pytest.raises(RuntimeError):
+            det.detect(np.zeros(2, complex))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            MLDetector(Constellation.qam(4), chunk_size=0)

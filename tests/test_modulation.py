@@ -1,0 +1,92 @@
+"""Tests for repro.mimo.modulation."""
+
+import numpy as np
+import pytest
+
+from repro.mimo.constellation import Constellation
+from repro.mimo.modulation import Demodulator, Modulator
+
+
+@pytest.fixture
+def mod16():
+    return Modulator(Constellation.qam(16))
+
+
+@pytest.fixture
+def demod16():
+    return Demodulator(Constellation.qam(16))
+
+
+class TestModulator:
+    def test_bits_to_symbols_shape(self, mod16, rng):
+        bits = rng.integers(0, 2, 4 * 6).astype(bool)
+        symbols = mod16.bits_to_symbols(bits)
+        assert symbols.shape == (6,)
+
+    def test_bits_to_symbols_are_constellation_points(self, mod16, rng):
+        bits = rng.integers(0, 2, 4 * 8).astype(bool)
+        symbols = mod16.bits_to_symbols(bits)
+        dists = np.abs(symbols[:, None] - mod16.constellation.points[None, :])
+        assert np.allclose(dists.min(axis=1), 0.0)
+
+    def test_random_indices_range(self, mod16, rng):
+        idx = mod16.random_indices(1000, rng)
+        assert idx.min() >= 0 and idx.max() < 16
+
+    def test_random_indices_cover_alphabet(self, mod16, rng):
+        idx = mod16.random_indices(4000, rng)
+        assert len(np.unique(idx)) == 16
+
+    def test_random_indices_reproducible(self, mod16):
+        a = mod16.random_indices(32, 5)
+        b = mod16.random_indices(32, 5)
+        assert np.array_equal(a, b)
+
+    def test_random_bits_shape(self, mod16, rng):
+        bits = mod16.random_bits(7, rng)
+        assert bits.shape == (28,)
+        assert bits.dtype == bool
+
+    def test_rejects_nonpositive_streams(self, mod16):
+        with pytest.raises(ValueError):
+            mod16.random_indices(0)
+
+
+class TestDemodulator:
+    def test_roundtrip_noiseless(self, mod16, demod16, rng):
+        bits = rng.integers(0, 2, 4 * 10).astype(bool)
+        symbols = mod16.bits_to_symbols(bits)
+        assert np.array_equal(demod16.symbols_to_bits(symbols), bits)
+
+    def test_roundtrip_small_noise(self, mod16, demod16, rng):
+        bits = rng.integers(0, 2, 4 * 10).astype(bool)
+        symbols = mod16.bits_to_symbols(bits)
+        noisy = symbols + 0.02 * (
+            rng.standard_normal(10) + 1j * rng.standard_normal(10)
+        )
+        assert np.array_equal(demod16.symbols_to_bits(noisy), bits)
+
+    def test_indices_to_bits_no_slicing(self, demod16):
+        idx = np.array([0, 15, 7])
+        bits = demod16.indices_to_bits(idx)
+        assert bits.shape == (12,)
+        assert np.array_equal(
+            bits, demod16.constellation.indices_to_bits(idx)
+        )
+
+    def test_gray_property_noise_flip(self, rng):
+        """A decision error to an adjacent point flips exactly one bit.
+
+        This is *why* the BER stays low relative to SER with Gray maps.
+        """
+        c = Constellation.qam(16)
+        demod = Demodulator(c)
+        # Push a point slightly toward its horizontal neighbour.
+        side = 4
+        idx = 5  # interior point
+        neighbour = idx + side
+        midpoint = (c.points[idx] + c.points[neighbour]) / 2
+        off = midpoint + 1e-6 * (c.points[neighbour] - c.points[idx])
+        decided = demod.symbols_to_bits(np.array([off]))
+        sent = c.indices_to_bits(np.array([idx]))
+        assert int(np.count_nonzero(decided ^ sent)) == 1

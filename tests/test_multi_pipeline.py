@@ -1,0 +1,120 @@
+"""Tests for the multi-pipeline deployment model (section III-C4)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.multi_pipeline import (
+    MultiPipelineDeployment,
+    _erlang_c,
+    max_pipelines,
+)
+from repro.fpga.pipeline import PipelineConfig
+
+
+class TestMaxPipelines:
+    def test_paper_claim_optimized_duplicates(self):
+        """The point of section III-C4: the optimised designs replicate,
+        the 16-QAM baseline does not."""
+        assert max_pipelines(PipelineConfig.optimized(4), order=4) >= 2
+        assert max_pipelines(PipelineConfig.optimized(16), order=16) >= 2
+        assert max_pipelines(PipelineConfig.baseline(16), order=16) == 1
+
+    def test_optimized_fits_more_than_baseline(self):
+        for order in (4, 16):
+            assert max_pipelines(
+                PipelineConfig.optimized(order), order=order
+            ) > max_pipelines(PipelineConfig.baseline(order), order=order)
+
+    def test_bigger_systems_fit_fewer_or_equal(self):
+        small = max_pipelines(PipelineConfig.optimized(4), order=4, n_rx=10)
+        big = max_pipelines(PipelineConfig.optimized(4), order=4, n_rx=20, n_tx=20)
+        assert big <= small
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # M/M/1: P(wait) = rho.
+        assert _erlang_c(1, 0.5) == pytest.approx(0.5)
+
+    def test_saturated_is_one(self):
+        assert _erlang_c(2, 2.5) == 1.0
+
+    def test_more_servers_less_waiting(self):
+        assert _erlang_c(4, 1.0) < _erlang_c(2, 1.0) < _erlang_c(1, 0.99)
+
+
+class TestDeployment:
+    def make(self, c=2):
+        service = np.full(500, 1e-3)
+        return MultiPipelineDeployment(c, service)
+
+    def test_max_throughput(self):
+        dep = self.make(c=3)
+        assert dep.max_throughput_hz == pytest.approx(3000.0)
+
+    def test_replication_scales_throughput_linearly(self):
+        service = np.full(100, 2e-3)
+        one = MultiPipelineDeployment(1, service)
+        four = MultiPipelineDeployment(4, service)
+        assert four.max_throughput_hz == pytest.approx(4 * one.max_throughput_hz)
+
+    def test_mm1_reduction(self):
+        """c=1 with deterministic service reduces to M/D/1."""
+        dep = self.make(c=1)
+        report = dep.report(500.0)  # rho = 0.5
+        # M/D/1 wait = rho S / (2 (1 - rho)) = 0.5e-3
+        assert report.mean_wait_s == pytest.approx(0.5e-3, rel=1e-9)
+
+    def test_two_pipelines_cut_waiting(self):
+        service = np.full(200, 1e-3)
+        one = MultiPipelineDeployment(1, service).report(800.0)
+        two = MultiPipelineDeployment(2, service).report(800.0)
+        assert two.mean_wait_s < one.mean_wait_s
+        assert two.utilization == pytest.approx(one.utilization / 2)
+
+    def test_saturation(self):
+        dep = self.make(c=2)
+        report = dep.report(5000.0)  # offered 5 > 2 servers
+        assert not report.stable
+        assert report.mean_sojourn_s == np.inf
+
+    def test_variance_increases_wait(self):
+        constant = np.full(1000, 1e-3)
+        bursty = np.concatenate([np.full(900, 0.5e-3), np.full(100, 5.5e-3)])
+        rate = 1500.0
+        w_const = MultiPipelineDeployment(2, constant).report(rate).mean_wait_s
+        w_burst = MultiPipelineDeployment(2, bursty).report(rate).mean_wait_s
+        assert w_burst > w_const
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPipelineDeployment(0, np.full(2, 1e-3))
+        with pytest.raises(ValueError):
+            MultiPipelineDeployment(1, np.array([]))
+        with pytest.raises(ValueError):
+            MultiPipelineDeployment(1, np.array([0.0]))
+        with pytest.raises(ValueError):
+            self.make().report(0.0)
+
+    def test_end_to_end_with_real_traces(self):
+        """Duplicating the optimised 4-QAM pipeline (which fits, per the
+        resource model) doubles the sustainable vector rate."""
+        from repro.bench.harness import run_workload_sweep
+
+        workload = run_workload_sweep(
+            10, "4qam", snrs=[8.0], channels=2, frames_per_channel=4, seed=5
+        )
+        times = np.array(
+            [
+                workload.fpga_optimized.decode_report(st).seconds
+                for st in workload.sweep.points[0].frame_stats
+            ]
+        )
+        assert max_pipelines(PipelineConfig.optimized(4), order=4) >= 2
+        one = MultiPipelineDeployment(1, times)
+        two = MultiPipelineDeployment(2, times)
+        assert two.max_throughput_hz == pytest.approx(
+            2 * one.max_throughput_hz
+        )
+        rate = one.max_throughput_hz * 0.9
+        assert two.report(rate).mean_sojourn_s < one.report(rate).mean_sojourn_s

@@ -1,0 +1,184 @@
+"""Tests for the FPGA dataflow pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.radius import NoiseScaledRadius
+from repro.core.sphere_decoder import SphereDecoder
+from repro.detectors.base import BatchEvent, DecodeStats
+from repro.fpga.device import AlveoU280
+from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
+from repro.mimo.system import MIMOSystem
+
+
+def realistic_stats(snr_db=8.0, seed=0, n=10):
+    system = MIMOSystem(n, n, "4qam")
+    frame = system.random_frame(snr_db, np.random.default_rng(seed))
+    decoder = SphereDecoder(
+        system.constellation,
+        strategy="dfs",
+        radius_policy=NoiseScaledRadius(alpha=2.0),
+    )
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    return decoder.detect(frame.received).stats
+
+
+class TestConfigs:
+    def test_presets_valid(self):
+        base = PipelineConfig.baseline(4)
+        opt = PipelineConfig.optimized(4)
+        assert base.freq_mhz == 253.0
+        assert opt.freq_mhz == 300.0
+        assert not base.prefetch.double_buffered
+        assert opt.prefetch.double_buffered
+        assert opt.gemm.initiation_interval == 1
+
+    def test_mesh_scales_with_order(self):
+        assert PipelineConfig.optimized(16).gemm.cols > PipelineConfig.optimized(
+            4
+        ).gemm.cols
+
+    def test_negative_field_rejected(self):
+        opt = PipelineConfig.optimized(4)
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(opt, control_overhead_cycles=-1)
+        with pytest.raises(ValueError):
+            replace(opt, freq_mhz=0.0)
+
+    def test_clock_above_device_limit_rejected(self):
+        from dataclasses import replace
+
+        fast = replace(PipelineConfig.optimized(4), freq_mhz=500.0)
+        with pytest.raises(ValueError, match="exceeds device limit"):
+            FPGAPipeline(fast, n_tx=10, n_rx=10, order=4)
+
+
+class TestBatchCycles:
+    def make(self, config=None):
+        return FPGAPipeline(
+            config or PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4
+        )
+
+    def test_breakdown_keys(self):
+        pipe = self.make()
+        cycles = pipe.batch_cycles(BatchEvent(level=5, pool_size=2))
+        assert set(cycles) == {"branch", "evaluate", "norm", "prune", "control", "total"}
+        assert cycles["total"] > 0
+
+    def test_bigger_pool_costs_more(self):
+        pipe = self.make()
+        small = pipe.batch_cycles(BatchEvent(5, 1))["total"]
+        big = pipe.batch_cycles(BatchEvent(5, 32))["total"]
+        assert big > small
+
+    def test_deeper_levels_cost_more_eval(self):
+        """Lower level => longer interference row => bigger GEMM."""
+        pipe = self.make()
+        shallow = pipe.batch_cycles(BatchEvent(9, 1))["evaluate"]
+        deep = pipe.batch_cycles(BatchEvent(0, 1))["evaluate"]
+        assert deep >= shallow
+
+    def test_level_validated(self):
+        pipe = self.make()
+        with pytest.raises(ValueError):
+            pipe.batch_cycles(BatchEvent(10, 1))
+
+    def test_baseline_batch_slower(self):
+        opt = self.make()
+        base = self.make(PipelineConfig.baseline(4))
+        ev = BatchEvent(5, 1)
+        assert base.batch_cycles(ev)["total"] > opt.batch_cycles(ev)["total"]
+
+
+class TestDecodeReport:
+    def test_requires_trace(self):
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        with pytest.raises(ValueError, match="batch trace"):
+            pipe.decode_report(DecodeStats())
+
+    def test_report_fields(self):
+        stats = realistic_stats()
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        report = pipe.decode_report(stats)
+        assert report.total_cycles > 0
+        assert report.batches == len(stats.batches)
+        assert report.seconds == pytest.approx(
+            report.total_cycles / 300e6, rel=1e-12
+        )
+        assert report.milliseconds == pytest.approx(report.seconds * 1e3)
+
+    def test_breakdown_sums_reasonably(self):
+        stats = realistic_stats()
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        report = pipe.decode_report(stats)
+        assert set(report.breakdown) >= {
+            "branch",
+            "evaluate",
+            "norm",
+            "prune",
+            "control",
+            "radius",
+            "setup",
+            "transfer",
+        }
+
+    def test_transfer_under_three_percent(self):
+        """The paper's <3% host->HBM staging claim on a realistic trace."""
+        stats = realistic_stats(snr_db=8.0)
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        report = pipe.decode_report(stats)
+        assert report.transfer_fraction < 0.03
+
+    def test_optimized_faster_than_baseline_same_trace(self):
+        stats = realistic_stats()
+        opt = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        base = FPGAPipeline(PipelineConfig.baseline(4), n_tx=10, n_rx=10, order=4)
+        assert (
+            base.decode_report(stats).total_cycles
+            > opt.decode_report(stats).total_cycles
+        )
+
+    def test_more_work_more_cycles(self):
+        low_snr = realistic_stats(snr_db=4.0, seed=1)
+        high_snr = realistic_stats(snr_db=20.0, seed=1)
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        assert (
+            pipe.decode_report(low_snr).total_cycles
+            >= pipe.decode_report(high_snr).total_cycles
+        )
+
+    def test_mean_decode_seconds(self):
+        stats = [realistic_stats(seed=s) for s in range(3)]
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        mean = pipe.mean_decode_seconds(stats)
+        individuals = [pipe.decode_report(st).seconds for st in stats]
+        assert mean == pytest.approx(np.mean(individuals))
+        with pytest.raises(ValueError):
+            pipe.mean_decode_seconds([])
+
+
+class TestAnchorCalibration:
+    """The calibrated model must land near the paper's 10x10 anchors."""
+
+    def test_speedup_near_five_x(self):
+        """CPU/FPGA-opt ~= 5x on the canonical trace (paper Fig. 6)."""
+        from repro.perfmodel import CPUCostModel
+
+        stats = [realistic_stats(snr_db=8.0, seed=s) for s in range(5)]
+        cpu = CPUCostModel(n_rx=10)
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        cpu_t = cpu.mean_decode_seconds(stats)
+        fpga_t = pipe.mean_decode_seconds(stats)
+        assert 3.0 < cpu_t / fpga_t < 8.0
+
+    def test_baseline_speedup_modest(self):
+        """CPU/FPGA-baseline ~= 1.4x (paper Fig. 6)."""
+        from repro.perfmodel import CPUCostModel
+
+        stats = [realistic_stats(snr_db=4.0, seed=s) for s in range(5)]
+        cpu = CPUCostModel(n_rx=10)
+        base = FPGAPipeline(PipelineConfig.baseline(4), n_tx=10, n_rx=10, order=4)
+        ratio = cpu.mean_decode_seconds(stats) / base.mean_decode_seconds(stats)
+        assert 1.0 < ratio < 2.5

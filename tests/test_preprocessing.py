@@ -1,0 +1,205 @@
+"""Tests for repro.mimo.preprocessing: QR, SQRD, real decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mimo.channel import ChannelModel
+from repro.mimo.preprocessing import (
+    effective_receive,
+    qr_decompose,
+    real_decomposition,
+    sorted_qr,
+)
+
+
+def random_channel(n_rx, n_tx, seed):
+    model = ChannelModel(n_tx=n_tx, n_rx=n_rx)
+    return model.draw_channel(np.random.default_rng(seed))
+
+
+class TestQrDecompose:
+    def test_reconstruction(self):
+        h = random_channel(6, 4, 0)
+        qr = qr_decompose(h)
+        assert np.allclose(qr.q @ qr.r, h)
+
+    def test_q_orthonormal(self):
+        h = random_channel(6, 4, 1)
+        qr = qr_decompose(h)
+        assert np.allclose(np.conj(qr.q.T) @ qr.q, np.eye(4), atol=1e-12)
+
+    def test_r_upper_triangular(self):
+        h = random_channel(5, 5, 2)
+        qr = qr_decompose(h)
+        assert np.allclose(np.tril(qr.r, -1), 0.0)
+
+    def test_r_diagonal_real_positive(self):
+        h = random_channel(5, 5, 3)
+        qr = qr_decompose(h)
+        diag = np.diagonal(qr.r)
+        assert np.allclose(diag.imag, 0.0, atol=1e-12)
+        assert np.all(diag.real > 0)
+
+    def test_identity_permutation(self):
+        h = random_channel(4, 4, 4)
+        qr = qr_decompose(h)
+        assert np.array_equal(qr.permutation, np.arange(4))
+
+    def test_rejects_underdetermined(self):
+        h = random_channel(3, 5, 5)
+        with pytest.raises(ValueError, match="n_rx >= n_tx"):
+            qr_decompose(h)
+
+    def test_deterministic(self):
+        h = random_channel(4, 4, 6)
+        a = qr_decompose(h)
+        b = qr_decompose(h)
+        assert np.array_equal(a.r, b.r)
+
+
+class TestSortedQr:
+    def test_reconstruction_with_permutation(self):
+        h = random_channel(6, 5, 7)
+        qr = sorted_qr(h)
+        assert np.allclose(qr.q @ qr.r, h[:, qr.permutation], atol=1e-10)
+
+    def test_q_orthonormal(self):
+        h = random_channel(6, 5, 8)
+        qr = sorted_qr(h)
+        assert np.allclose(np.conj(qr.q.T) @ qr.q, np.eye(5), atol=1e-10)
+
+    def test_r_upper_triangular(self):
+        h = random_channel(6, 5, 9)
+        qr = sorted_qr(h)
+        assert np.allclose(np.tril(qr.r, -1), 0.0, atol=1e-12)
+
+    def test_permutation_is_permutation(self):
+        h = random_channel(8, 8, 10)
+        qr = sorted_qr(h)
+        assert sorted(qr.permutation.tolist()) == list(range(8))
+
+    def test_diag_real_positive(self):
+        h = random_channel(6, 6, 11)
+        qr = sorted_qr(h)
+        diag = np.diagonal(qr.r)
+        assert np.allclose(diag.imag, 0.0, atol=1e-12)
+        assert np.all(diag.real > 0)
+
+    def test_rejects_underdetermined(self):
+        with pytest.raises(ValueError):
+            sorted_qr(random_channel(3, 4, 12))
+
+    def test_rank_deficient_raises(self):
+        h = np.ones((4, 3), dtype=complex)  # rank 1
+        with pytest.raises(np.linalg.LinAlgError):
+            sorted_qr(h)
+
+    def test_unpermute_roundtrip(self):
+        h = random_channel(5, 5, 13)
+        qr = sorted_qr(h)
+        original = np.arange(5)
+        assert np.array_equal(qr.unpermute(qr.permute(original)), original)
+
+    def test_preserves_lattice_distances(self):
+        """||y - H s|| is invariant under the (permuted) QR rotation."""
+        rng = np.random.default_rng(14)
+        h = random_channel(5, 5, 14)
+        qr = sorted_qr(h)
+        s = rng.standard_normal(5) + 1j * rng.standard_normal(5)
+        y = rng.standard_normal(5) + 1j * rng.standard_normal(5)
+        lhs = np.linalg.norm(y - h[:, qr.permutation] @ s) ** 2
+        ybar = effective_receive(qr, y)
+        rhs = np.linalg.norm(ybar - qr.r @ s) ** 2
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestEffectiveReceive:
+    def test_matches_manual(self):
+        h = random_channel(5, 4, 15)
+        qr = qr_decompose(h)
+        y = np.arange(5) + 1j * np.arange(5)
+        assert np.allclose(effective_receive(qr, y), np.conj(qr.q.T) @ y)
+
+    def test_length_validated(self):
+        h = random_channel(5, 4, 16)
+        qr = qr_decompose(h)
+        with pytest.raises(ValueError):
+            effective_receive(qr, np.zeros(4, dtype=complex))
+
+    def test_metric_equivalence_square(self):
+        """For square systems the reduced metric equals the full metric."""
+        rng = np.random.default_rng(17)
+        h = random_channel(4, 4, 17)
+        qr = qr_decompose(h)
+        s = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        y = h @ s + 0.1 * rng.standard_normal(4)
+        full = np.linalg.norm(y - h @ s) ** 2
+        reduced = np.linalg.norm(effective_receive(qr, y) - qr.r @ s) ** 2
+        assert full == pytest.approx(reduced, rel=1e-9)
+
+    def test_metric_offset_constant_thin(self):
+        """For N > M the two metrics differ by a constant independent of s."""
+        rng = np.random.default_rng(18)
+        h = random_channel(6, 4, 18)
+        qr = qr_decompose(h)
+        y = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+        ybar = effective_receive(qr, y)
+        offsets = []
+        for _ in range(5):
+            s = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+            full = np.linalg.norm(y - h @ s) ** 2
+            reduced = np.linalg.norm(ybar - qr.r @ s) ** 2
+            offsets.append(full - reduced)
+        assert np.allclose(offsets, offsets[0], atol=1e-9)
+
+
+class TestRealDecomposition:
+    def test_shapes(self):
+        h = random_channel(5, 3, 19)
+        y = np.zeros(5, dtype=complex)
+        hr, yr = real_decomposition(h, y)
+        assert hr.shape == (10, 6)
+        assert yr.shape == (10,)
+
+    def test_equivalence(self):
+        rng = np.random.default_rng(20)
+        h = random_channel(4, 4, 20)
+        s = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        y = h @ s
+        hr, yr = real_decomposition(h, y)
+        sr = np.concatenate([s.real, s.imag])
+        assert np.allclose(hr @ sr, yr)
+
+    def test_norm_preserved(self):
+        rng = np.random.default_rng(21)
+        h = random_channel(4, 4, 21)
+        s = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        y = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        hr, yr = real_decomposition(h, y)
+        sr = np.concatenate([s.real, s.imag])
+        assert np.linalg.norm(y - h @ s) ** 2 == pytest.approx(
+            np.linalg.norm(yr - hr @ sr) ** 2
+        )
+
+
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    extra=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_sqrd_equals_plain_qr_objective(n, extra, seed):
+    """SQRD and plain QR yield identical lattice metrics for any s."""
+    rng = np.random.default_rng(seed)
+    h = random_channel(n + extra, n, seed)
+    plain = qr_decompose(h)
+    srt = sorted_qr(h)
+    s = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    y = rng.standard_normal(n + extra) + 1j * rng.standard_normal(n + extra)
+    # Apply the SQRD ordering to s so both describe the same candidate.
+    m_plain = np.linalg.norm(effective_receive(plain, y) - plain.r @ s) ** 2
+    s_perm = s[srt.permutation]
+    m_sqrd = np.linalg.norm(effective_receive(srt, y) - srt.r @ s_perm) ** 2
+    assert m_plain == pytest.approx(m_sqrd, rel=1e-7, abs=1e-9)

@@ -1,0 +1,113 @@
+"""Tests for the M/G/1 real-time analysis."""
+
+import numpy as np
+import pytest
+
+from repro.bench.realtime import QueueReport, max_sustainable_rate, mg1_report
+
+
+class TestMg1Report:
+    def test_deterministic_service_matches_md1(self):
+        """Constant service: W = rho * S / (2 (1-rho)) (M/D/1)."""
+        service = np.full(1000, 2e-3)
+        rate = 100.0  # rho = 0.2
+        report = mg1_report(service, rate)
+        assert report.utilization == pytest.approx(0.2)
+        expected_wait = 0.2 * 2e-3 / (2 * 0.8)
+        assert report.mean_wait_s == pytest.approx(expected_wait, rel=1e-9)
+        assert report.service_scv == pytest.approx(0.0, abs=1e-12)
+
+    def test_sojourn_is_wait_plus_service(self):
+        service = np.full(10, 1e-3)
+        report = mg1_report(service, 100.0)
+        assert report.mean_sojourn_s == pytest.approx(
+            report.mean_wait_s + 1e-3
+        )
+
+    def test_variance_increases_waiting(self):
+        """Same mean, higher variance => longer queues (P-K formula)."""
+        constant = np.full(1000, 1e-3)
+        bursty = np.concatenate([np.full(900, 0.5e-3), np.full(100, 5.5e-3)])
+        assert np.mean(bursty) == pytest.approx(1e-3)
+        rate = 500.0
+        assert (
+            mg1_report(bursty, rate).mean_wait_s
+            > mg1_report(constant, rate).mean_wait_s
+        )
+
+    def test_saturation(self):
+        service = np.full(10, 1e-3)
+        report = mg1_report(service, 2000.0)  # rho = 2
+        assert not report.stable
+        assert report.mean_wait_s == np.inf
+        assert report.deadline_miss_bound(10e-3) == 1.0
+
+    def test_miss_bound_monotone_in_deadline(self):
+        service = np.full(100, 1e-3)
+        report = mg1_report(service, 400.0)
+        assert report.deadline_miss_bound(5e-3) >= report.deadline_miss_bound(
+            20e-3
+        )
+
+    def test_miss_bound_capped_at_one(self):
+        report = mg1_report(np.full(10, 1e-3), 100.0)
+        assert report.deadline_miss_bound(1e-9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mg1_report(np.array([]), 1.0)
+        with pytest.raises(ValueError):
+            mg1_report(np.array([1e-3, -1e-3]), 1.0)
+        with pytest.raises(ValueError):
+            mg1_report(np.array([1e-3]), 0.0)
+        with pytest.raises(ValueError):
+            mg1_report(np.array([1e-3]), 10.0).deadline_miss_bound(0.0)
+
+
+class TestMaxSustainableRate:
+    def test_faster_service_sustains_more(self):
+        fast = np.full(200, 0.2e-3)
+        slow = np.full(200, 2e-3)
+        assert max_sustainable_rate(fast) > max_sustainable_rate(slow)
+
+    def test_rate_below_stability_limit(self):
+        service = np.full(100, 1e-3)
+        rate = max_sustainable_rate(service, miss_bound=0.5)
+        assert 0 < rate < 1000.0  # never exceeds the rho < 1 limit
+
+    def test_bound_respected_at_returned_rate(self):
+        service = np.full(100, 0.5e-3)
+        rate = max_sustainable_rate(service, deadline_s=10e-3, miss_bound=0.1)
+        report = mg1_report(service, rate * 0.999)
+        assert report.deadline_miss_bound(10e-3) <= 0.1 + 1e-6
+
+    def test_impossible_deadline_gives_zero(self):
+        service = np.full(10, 50e-3)  # mean service alone busts 10 ms
+        assert max_sustainable_rate(service, deadline_s=10e-3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_sustainable_rate(np.full(5, 1e-3), deadline_s=0.0)
+        with pytest.raises(ValueError):
+            max_sustainable_rate(np.full(5, 1e-3), miss_bound=0.0)
+
+
+class TestEndToEndCapacity:
+    def test_fpga_sustains_more_load_than_cpu(self):
+        """The deployment punchline: same traces, FPGA supports a far
+        higher vector arrival rate within the 10 ms budget."""
+        from repro.bench.harness import run_workload_sweep
+
+        workload = run_workload_sweep(
+            10, "4qam", snrs=[8.0], channels=3, frames_per_channel=4, seed=0
+        )
+        stats = workload.sweep.points[0].frame_stats
+        cpu_times = np.array(
+            [workload.cpu.decode_seconds(st) for st in stats]
+        )
+        fpga_times = np.array(
+            [workload.fpga_optimized.decode_report(st).seconds for st in stats]
+        )
+        cpu_rate = max_sustainable_rate(cpu_times)
+        fpga_rate = max_sustainable_rate(fpga_times)
+        assert fpga_rate > 3 * cpu_rate

@@ -1,0 +1,142 @@
+"""Tests for the Table I resource estimator and Table II power models."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.pipeline import PipelineConfig
+from repro.fpga.power import (
+    CPU_POWER_ANCHORS_W,
+    FPGA_POWER_ANCHORS_W,
+    cpu_power_w,
+    energy_joules,
+    energy_reduction_geomean,
+    fpga_power_w,
+)
+from repro.fpga.resources import estimate_resources, mst_capacity, table1
+
+#: Paper Table I, utilisation percentages.
+PAPER_TABLE1 = {
+    "baseline-4qam": {"luts": 29, "ffs": 20, "dsps": 8, "brams": 11, "urams": 14},
+    "baseline-16qam": {"luts": 50, "ffs": 27, "dsps": 15, "brams": 14, "urams": 60},
+    "optimized-4qam": {"luts": 11, "ffs": 7, "dsps": 3, "brams": 8, "urams": 7},
+    "optimized-16qam": {"luts": 23, "ffs": 11, "dsps": 7, "brams": 10, "urams": 30},
+}
+
+
+class TestTable1:
+    def test_all_designs_present(self):
+        reports = table1()
+        assert set(reports) == set(PAPER_TABLE1)
+
+    @pytest.mark.parametrize("design", sorted(PAPER_TABLE1))
+    def test_matches_paper_within_tolerance(self, design):
+        """Every cell within 3 percentage points of the paper's Table I."""
+        report = table1()[design]
+        util = report.utilization()
+        for resource, paper_pct in PAPER_TABLE1[design].items():
+            got_pct = util[resource] * 100
+            assert got_pct == pytest.approx(paper_pct, abs=3.0), (
+                f"{design}.{resource}: model {got_pct:.1f}% vs paper {paper_pct}%"
+            )
+
+    def test_frequencies(self):
+        reports = table1()
+        assert reports["baseline-4qam"].freq_mhz == 253.0
+        assert reports["optimized-4qam"].freq_mhz == 300.0
+
+    def test_optimized_fits_duplication(self):
+        """Section III-C4: the optimised designs leave room for a second
+        pipeline (<50% everywhere); the 16-QAM baseline does not."""
+        reports = table1()
+        assert reports["optimized-4qam"].can_duplicate()
+        assert reports["optimized-16qam"].can_duplicate()
+        assert not reports["baseline-16qam"].can_duplicate()
+
+    def test_everything_fits_device(self):
+        for report in table1().values():
+            assert report.fits()
+
+    def test_optimization_reduces_every_resource(self):
+        reports = table1()
+        for order in (4, 16):
+            base = reports[f"baseline-{order}qam"]
+            opt = reports[f"optimized-{order}qam"]
+            assert opt.luts < base.luts
+            assert opt.ffs < base.ffs
+            assert opt.dsps < base.dsps
+            assert opt.brams < base.brams
+            assert opt.urams < base.urams
+
+    def test_modulation_increases_resources(self):
+        reports = table1()
+        for label in ("baseline", "optimized"):
+            small = reports[f"{label}-4qam"]
+            big = reports[f"{label}-16qam"]
+            assert big.luts > small.luts
+            assert big.urams > small.urams
+
+
+class TestEstimator:
+    def test_uram_grows_with_rx(self):
+        cfg = PipelineConfig.optimized(4)
+        small = estimate_resources(cfg, order=4, n_tx=10, n_rx=10)
+        big = estimate_resources(cfg, order=4, n_tx=10, n_rx=20)
+        assert big.urams > small.urams
+
+    def test_mst_capacity_scales(self):
+        assert mst_capacity(16, optimized=True) == 4 * mst_capacity(4, optimized=True)
+        assert mst_capacity(4, optimized=False) > mst_capacity(4, optimized=True)
+
+    def test_validation(self):
+        cfg = PipelineConfig.optimized(4)
+        with pytest.raises(ValueError):
+            estimate_resources(cfg, order=0)
+
+
+class TestPowerModels:
+    def test_cpu_anchors_exact(self):
+        for (n, order), watts in CPU_POWER_ANCHORS_W.items():
+            assert cpu_power_w(n, order) == watts
+
+    def test_fpga_anchors_exact(self):
+        for (n, order), watts in FPGA_POWER_ANCHORS_W.items():
+            assert fpga_power_w(n, order) == watts
+
+    def test_power_law_interpolation_monotone(self):
+        assert cpu_power_w(12, 4) > cpu_power_w(10, 4)
+        assert fpga_power_w(12, 4) > fpga_power_w(10, 4)
+        assert cpu_power_w(12, 16) > cpu_power_w(12, 4)
+
+    def test_fpga_order_of_magnitude_below_cpu(self):
+        for n in (8, 10, 12, 16, 20):
+            assert fpga_power_w(n, 4) < cpu_power_w(n, 4) / 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpu_power_w(0, 4)
+
+
+class TestEnergy:
+    def test_energy_product(self):
+        assert energy_joules(82.0, 7e-3) == pytest.approx(0.574)
+
+    def test_paper_energy_rows(self):
+        """Power x time reproduces Table II's energy column."""
+        cpu_ms = {(10, 4): 7.0, (15, 4): 44.3, (20, 4): 350.6, (10, 16): 176.6}
+        paper_energy = {(10, 4): 0.574, (15, 4): 4.11, (20, 4): 47.3, (10, 16): 25.1}
+        for key, ms in cpu_ms.items():
+            e = energy_joules(CPU_POWER_ANCHORS_W[key], ms * 1e-3)
+            assert e == pytest.approx(paper_energy[key], rel=0.02)
+
+    def test_paper_geomean(self):
+        """The paper's reduction factors geomean to 38.1x."""
+        got = energy_reduction_geomean([35.8, 36.8, 38.4, 41.8])
+        assert got == pytest.approx(38.1, abs=0.15)
+
+    def test_energy_validation(self):
+        with pytest.raises(ValueError):
+            energy_joules(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            energy_reduction_geomean([])
+        with pytest.raises(ValueError):
+            energy_reduction_geomean([1.0, -2.0])

@@ -1,0 +1,79 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 2**31, 16)
+        b = as_generator(2).integers(0, 2**31, 16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_numpy_integer_seed(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            as_generator(1.5)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(5, 0)
+        assert len(gens) == 5
+
+    def test_streams_independent(self):
+        gens = spawn_generators(3, 0)
+        draws = [g.integers(0, 2**31, 8) for g in gens]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_seed(self):
+        a = [g.integers(0, 2**31, 4) for g in spawn_generators(3, 9)]
+        b = [g.integers(0, 2**31, 4) for g in spawn_generators(3, 9)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_seed_sequence_source(self):
+        seq = np.random.SeedSequence(11)
+        gens = spawn_generators(2, seq)
+        assert len(gens) == 2
+
+    def test_generator_source_varies_between_calls(self):
+        gen = np.random.default_rng(0)
+        a = spawn_generators(1, gen)[0].integers(0, 2**31, 4)
+        b = spawn_generators(1, gen)[0].integers(0, 2**31, 4)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, 0)
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(TypeError):
+            spawn_generators(2, "nope")

@@ -1,0 +1,149 @@
+"""Tests for the soft-output (list) sphere detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.radius import FixedRadius, NoiseScaledRadius
+from repro.detectors.ml import MLDetector
+from repro.detectors.soft import SoftOutputSphereDetector
+from repro.mimo.system import MIMOSystem
+
+
+def detect_soft(system, snr_db, seed, **kwargs):
+    rng = np.random.default_rng(seed)
+    frame = system.random_frame(snr_db, rng)
+    det = SoftOutputSphereDetector(system.constellation, **kwargs)
+    det.prepare(frame.channel, noise_var=frame.noise_var)
+    return frame, det.detect_soft(frame.received)
+
+
+class TestHardDecision:
+    def test_matches_ml_with_big_sphere(self):
+        system = MIMOSystem(4, 4, "4qam")
+        for seed in range(4):
+            frame, soft = detect_soft(
+                system, 8.0, seed, radius_policy=FixedRadius(radius_sq=1e9)
+            )
+            ml = MLDetector(system.constellation)
+            ml.prepare(frame.channel)
+            ml_result = ml.detect(frame.received)
+            assert np.array_equal(soft.hard.indices, ml_result.indices)
+
+    def test_escalation_on_empty_sphere(self):
+        system = MIMOSystem(4, 4, "4qam")
+        _, soft = detect_soft(
+            system, 10.0, 0, radius_policy=FixedRadius(radius_sq=1e-9)
+        )
+        assert soft.list_size >= 1
+        assert len(soft.hard.stats.radius_trace) >= 2
+
+    def test_detect_compat_entry(self):
+        system = MIMOSystem(4, 4, "4qam")
+        rng = np.random.default_rng(0)
+        frame = system.random_frame(10.0, rng)
+        det = SoftOutputSphereDetector(system.constellation)
+        det.prepare(frame.channel, noise_var=frame.noise_var)
+        result = det.detect(frame.received)
+        assert result.indices.shape == (4,)
+
+
+class TestLlrs:
+    def test_shape_and_clipping(self):
+        system = MIMOSystem(4, 4, "16qam")
+        _, soft = detect_soft(system, 10.0, 1)
+        assert soft.llrs.shape == (16,)
+        assert np.all(np.abs(soft.llrs) <= 50.0 + 1e-12)
+
+    def test_sign_matches_hard_decision(self):
+        """Positive LLR <=> the hard decision's bit is 1 (max-log APP)."""
+        system = MIMOSystem(4, 4, "4qam")
+        for seed in range(5):
+            _, soft = detect_soft(
+                system, 10.0, seed, radius_policy=NoiseScaledRadius(alpha=6.0)
+            )
+            hard_bits = soft.hard.bits
+            agree = (soft.llrs > 0) == hard_bits
+            # Zero-LLR ties are possible but measure-zero; tolerate none.
+            assert np.all(agree | (soft.llrs == 0))
+
+    def test_llr_magnitude_grows_with_snr(self):
+        """Cleaner channels give more confident (larger) LLRs on average."""
+        system = MIMOSystem(4, 4, "4qam")
+        mags = {}
+        for snr in (0.0, 20.0):
+            vals = []
+            for seed in range(6):
+                _, soft = detect_soft(
+                    system, snr, seed, radius_policy=NoiseScaledRadius(alpha=6.0)
+                )
+                vals.append(np.mean(np.abs(soft.llrs)))
+            mags[snr] = np.mean(vals)
+        assert mags[20.0] > mags[0.0]
+
+    def test_counter_hypothesis_clamps(self):
+        """A single-candidate list clamps every bit to +-llr_clip."""
+        system = MIMOSystem(4, 4, "4qam")
+        _, soft = detect_soft(
+            system,
+            30.0,
+            0,
+            radius_policy=FixedRadius(radius_sq=1e-6),
+            llr_clip=25.0,
+        )
+        if soft.list_size == 1:
+            assert np.all(np.abs(soft.llrs) == 25.0)
+
+    def test_max_list_truncation(self):
+        system = MIMOSystem(6, 6, "4qam")
+        _, soft = detect_soft(
+            system,
+            4.0,
+            0,
+            radius_policy=FixedRadius(radius_sq=1e6),
+            max_list=8,
+        )
+        assert soft.list_size <= 8
+        assert soft.hard.stats.truncated > 0
+
+    def test_llr_reference_small_system(self):
+        """Against an exhaustive max-log computation on a 2x2 system."""
+        system = MIMOSystem(2, 2, "4qam")
+        rng = np.random.default_rng(3)
+        frame = system.random_frame(8.0, rng)
+        det = SoftOutputSphereDetector(
+            system.constellation, radius_policy=FixedRadius(radius_sq=1e9)
+        )
+        det.prepare(frame.channel, noise_var=frame.noise_var)
+        soft = det.detect_soft(frame.received)
+        # Exhaustive reference over all 16 candidates.
+        const = system.constellation
+        cands = np.array(
+            [[a, b] for a in range(4) for b in range(4)], dtype=np.int64
+        )
+        metrics = np.array(
+            [
+                np.linalg.norm(frame.received - frame.channel @ const.points[c]) ** 2
+                for c in cands
+            ]
+        )
+        bits = const.labels[cands].reshape(16, -1)
+        for b in range(4):
+            ref = (
+                metrics[~bits[:, b]].min() - metrics[bits[:, b]].min()
+            ) / frame.noise_var
+            ref = np.clip(ref, -50.0, 50.0)
+            assert soft.llrs[b] == pytest.approx(ref, rel=1e-6, abs=1e-9)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        const = MIMOSystem(3, 3).constellation
+        with pytest.raises(ValueError):
+            SoftOutputSphereDetector(const, max_list=0)
+        with pytest.raises(ValueError):
+            SoftOutputSphereDetector(const, llr_clip=0.0)
+
+    def test_requires_prepare(self):
+        det = SoftOutputSphereDetector(MIMOSystem(3, 3).constellation)
+        with pytest.raises(RuntimeError):
+            det.detect_soft(np.zeros(3, complex))

@@ -1,0 +1,92 @@
+"""Tests for repro.mimo.system."""
+
+import numpy as np
+import pytest
+
+from repro.mimo.constellation import Constellation
+from repro.mimo.system import MIMOSystem
+
+
+class TestConstruction:
+    def test_by_name(self):
+        system = MIMOSystem(4, 6, "16qam")
+        assert system.constellation.order == 16
+        assert system.n_tx == 4 and system.n_rx == 6
+
+    def test_by_object(self):
+        const = Constellation.qam(4)
+        system = MIMOSystem(2, 2, const)
+        assert system.constellation is const
+
+    def test_bits_per_frame(self):
+        assert MIMOSystem(10, 10, "4qam").bits_per_frame == 20
+        assert MIMOSystem(10, 10, "16qam").bits_per_frame == 40
+
+    def test_invalid_antennas(self):
+        with pytest.raises(ValueError):
+            MIMOSystem(0, 4)
+
+    def test_repr(self):
+        assert "10x10" in repr(MIMOSystem(10, 10)).replace(", ", "x").replace(
+            "MIMOSystem(", ""
+        ) or "10" in repr(MIMOSystem(10, 10))
+
+
+class TestRandomFrame:
+    def test_shapes(self, rng):
+        system = MIMOSystem(3, 5, "4qam")
+        frame = system.random_frame(10.0, rng)
+        assert frame.bits.shape == (6,)
+        assert frame.symbol_indices.shape == (3,)
+        assert frame.symbols.shape == (3,)
+        assert frame.channel.shape == (5, 3)
+        assert frame.received.shape == (5,)
+        assert frame.n_tx == 3 and frame.n_rx == 5
+
+    def test_bits_match_indices(self, rng):
+        system = MIMOSystem(6, 6, "16qam")
+        frame = system.random_frame(10.0, rng)
+        assert np.array_equal(
+            frame.bits, system.constellation.indices_to_bits(frame.symbol_indices)
+        )
+
+    def test_symbols_match_indices(self, rng):
+        system = MIMOSystem(6, 6, "16qam")
+        frame = system.random_frame(10.0, rng)
+        assert np.array_equal(
+            frame.symbols, system.constellation.map_indices(frame.symbol_indices)
+        )
+
+    def test_received_consistent_noiseless_limit(self, rng):
+        system = MIMOSystem(4, 4, "4qam")
+        frame = system.random_frame(200.0, rng)  # essentially noiseless
+        assert np.allclose(frame.received, frame.channel @ frame.symbols, atol=1e-6)
+
+    def test_noise_var_recorded(self, rng):
+        system = MIMOSystem(4, 4, "4qam")
+        frame = system.random_frame(10.0, rng)
+        assert frame.noise_var == pytest.approx(system.noise_var(10.0))
+        assert frame.snr_db == 10.0
+
+    def test_fixed_channel_reused(self, rng):
+        system = MIMOSystem(4, 4, "4qam")
+        h = system.channel_model.draw_channel(rng)
+        f1 = system.random_frame(10.0, rng, channel=h)
+        f2 = system.random_frame(10.0, rng, channel=h)
+        assert f1.channel is f2.channel or np.array_equal(f1.channel, f2.channel)
+        # but the payloads differ
+        assert not np.array_equal(f1.symbol_indices, f2.symbol_indices) or not np.array_equal(
+            f1.received, f2.received
+        )
+
+    def test_channel_shape_validated(self, rng):
+        system = MIMOSystem(4, 4, "4qam")
+        with pytest.raises(ValueError):
+            system.random_frame(10.0, rng, channel=np.zeros((3, 4), complex))
+
+    def test_reproducible_from_seed(self):
+        system = MIMOSystem(4, 4, "4qam")
+        f1 = system.random_frame(8.0, 123)
+        f2 = system.random_frame(8.0, 123)
+        assert np.array_equal(f1.received, f2.received)
+        assert np.array_equal(f1.bits, f2.bits)

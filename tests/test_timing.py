@@ -1,0 +1,67 @@
+"""Tests for repro.util.timing."""
+
+import pytest
+
+from repro.util.timing import Timer, WallClock
+
+
+class FakeClock(WallClock):
+    """Deterministic clock advancing only when told."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+class TestTimer:
+    def test_accumulates_elapsed(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.t += 2.0
+        assert timer.elapsed == pytest.approx(2.0)
+
+    def test_accumulates_across_calls(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        for _ in range(3):
+            with timer:
+                clock.t += 1.0
+        assert timer.elapsed == pytest.approx(3.0)
+        assert timer.calls == 3
+
+    def test_mean(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.t += 4.0
+        with timer:
+            clock.t += 2.0
+        assert timer.mean == pytest.approx(3.0)
+
+    def test_mean_zero_before_use(self):
+        assert Timer().mean == 0.0
+
+    def test_not_reentrant(self):
+        timer = Timer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with timer:
+                with timer:
+                    pass
+
+    def test_reset(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.t += 1.0
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.calls == 0
+
+    def test_real_clock_monotonic(self):
+        timer = Timer()
+        with timer:
+            pass
+        assert timer.elapsed >= 0.0

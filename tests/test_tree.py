@@ -1,0 +1,69 @@
+"""Tests for repro.core.tree."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.core.tree import (
+    SearchNode,
+    path_symbols,
+    path_to_level_indices,
+    root_node,
+)
+from repro.mimo.constellation import Constellation
+
+
+class TestSearchNode:
+    def test_root(self):
+        root = root_node(5)
+        assert root.pd == 0.0
+        assert root.level == 4
+        assert root.path == ()
+        assert root.depth == 0
+
+    def test_root_invalid(self):
+        with pytest.raises(ValueError):
+            root_node(0)
+
+    def test_leaf_parent(self):
+        assert SearchNode(0.0, 0, 0, (1, 2)).is_leaf_parent()
+        assert not SearchNode(0.0, 0, 1, (1,)).is_leaf_parent()
+
+    def test_heap_orders_by_pd(self):
+        nodes = [
+            SearchNode(3.0, 1, 2, ()),
+            SearchNode(1.0, 2, 2, ()),
+            SearchNode(2.0, 3, 2, ()),
+        ]
+        heapq.heapify(nodes)
+        popped = [heapq.heappop(nodes).pd for _ in range(3)]
+        assert popped == [1.0, 2.0, 3.0]
+
+    def test_ties_broken_by_seq(self):
+        a = SearchNode(1.0, 1, 2, (0,))
+        b = SearchNode(1.0, 2, 2, (3,))
+        heap = [b, a]
+        heapq.heapify(heap)
+        assert heapq.heappop(heap).seq == 1
+
+
+class TestPathHelpers:
+    def test_path_symbols_order(self):
+        const = Constellation.qam(4)
+        symbols = path_symbols((0, 3), const)
+        assert symbols[0] == const.points[0]
+        assert symbols[1] == const.points[3]
+
+    def test_path_symbols_empty(self):
+        const = Constellation.qam(4)
+        assert path_symbols((), const).shape == (0,)
+
+    def test_path_to_level_indices_reverses(self):
+        # path[0] is level M-1; out[k] is level k.
+        out = path_to_level_indices((7, 5, 3), 3)
+        assert np.array_equal(out, [3, 5, 7])
+
+    def test_path_to_level_indices_requires_complete(self):
+        with pytest.raises(ValueError):
+            path_to_level_indices((1, 2), 3)

@@ -1,0 +1,142 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in,
+    check_matrix,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+    check_square_matrix,
+    check_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_returns_python_int(self):
+        assert isinstance(check_positive_int(np.int32(2), "x"), int)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="n_antennas"):
+            check_positive_int(0, "n_antennas")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert check_nonnegative(1.5, "x") == 1.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(float("inf"), "x")
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+
+class TestCheckVector:
+    def test_passes_through_1d(self):
+        v = check_vector([1, 2, 3], "v")
+        assert v.shape == (3,)
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError, match="length 4"):
+            check_vector([1, 2, 3], "v", length=4)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.zeros((2, 2)), "v")
+
+    def test_length_match_ok(self):
+        v = check_vector(np.arange(5), "v", length=5)
+        assert v.shape == (5,)
+
+
+class TestCheckMatrix:
+    def test_passes_through_2d(self):
+        m = check_matrix(np.zeros((2, 3)), "m")
+        assert m.shape == (2, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix(np.zeros(3), "m")
+
+    def test_shape_rows_enforced(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_matrix(np.zeros((2, 3)), "m", shape=(4, None))
+
+    def test_shape_cols_enforced(self):
+        with pytest.raises(ValueError, match="columns"):
+            check_matrix(np.zeros((2, 3)), "m", shape=(None, 5))
+
+    def test_shape_none_unconstrained(self):
+        m = check_matrix(np.zeros((2, 3)), "m", shape=(None, None))
+        assert m.shape == (2, 3)
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        m = check_square_matrix(np.eye(3), "m")
+        assert m.shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix(np.zeros((2, 3)), "m")
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("a", "x", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="one of"):
+            check_in("c", "x", ("a", "b"))
+
+    def test_error_shows_value(self):
+        with pytest.raises(ValueError, match="'zzz'"):
+            check_in("zzz", "mode", ("fast", "slow"))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate the full experiment report (the EXPERIMENTS.md raw data).
+
+Runs every registered experiment at a chosen scale and writes one
+markdown/plain-text report with all tables (and optional ASCII charts).
+This is how the measured numbers in EXPERIMENTS.md were produced.
+
+Usage:
+    python tools/generate_report.py                    # default scale
+    python tools/generate_report.py --scale quick      # CI-sized
+    python tools/generate_report.py --scale full       # deeper MC
+    python tools/generate_report.py --only fig6 fig7   # subset
+    python tools/generate_report.py --out report.md --plots
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+#: Per-scale keyword overrides applied to every experiment that accepts
+#: the Monte Carlo depth arguments.
+SCALES = {
+    "quick": {"channels": 2, "frames_per_channel": 2},
+    "default": {},
+    "full": {"channels": 6, "frames_per_channel": 8},
+}
+
+
+def main(argv=None) -> int:
+    from repro.bench.experiments import EXPERIMENTS
+    from repro.cli import _plot_experiment
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument("--only", nargs="*", default=None, help="experiment ids")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--out", default=None, help="write the report here")
+    parser.add_argument("--plots", action="store_true", help="include ASCII charts")
+    args = parser.parse_args(argv)
+
+    names = args.only or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    sections: list[str] = [
+        "# Experiment report",
+        f"scale={args.scale} seed={args.seed}",
+        "",
+    ]
+    for name in names:
+        fn, description = EXPERIMENTS[name]
+        kwargs = dict(SCALES[args.scale])
+        if name == "table1":
+            kwargs = {}
+        else:
+            kwargs["seed"] = args.seed
+        started = time.perf_counter()
+        print(f"[{name}] {description} ...", flush=True)
+        try:
+            result = fn(**kwargs)
+        except TypeError:
+            # Experiments without MC depth knobs (e.g. fixed sweeps).
+            result = fn(seed=args.seed) if name != "table1" else fn()
+        elapsed = time.perf_counter() - started
+        print(f"[{name}] done in {elapsed:.1f}s")
+        sections.append("```")
+        sections.append(result.format())
+        sections.append("```")
+        if args.plots:
+            chart = _plot_experiment(result)
+            if chart:
+                sections.append("```")
+                sections.append(chart)
+                sections.append("```")
+        sections.append("")
+    report = "\n".join(sections)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
