@@ -1,0 +1,60 @@
+"""Bench-suite observability wiring.
+
+Every ``bench_*.py`` gains two pytest options without touching the
+individual bench modules:
+
+``--obs-trace PATH``
+    Run each bench under an enabled tracer and write one Chrome
+    ``trace_event`` JSON per bench (``PATH/<bench>.trace.json``, or
+    ``PATH`` itself when it ends in ``.json``). Load the files in
+    ``chrome://tracing`` or https://ui.perfetto.dev. (Named
+    ``--obs-trace`` because pytest reserves ``--trace`` for pdb.)
+``--metrics``
+    Print the aligned-text span/counter summary (p50/p95/p99) after
+    each bench's table.
+
+Both are implemented by :func:`repro.bench.harness.observe_bench`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("observability")
+    group.addoption(
+        "--obs-trace",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace per bench under PATH "
+        "(a directory, or a single .json file)",
+    )
+    group.addoption(
+        "--metrics",
+        action="store_true",
+        default=False,
+        help="print the span/counter percentile summary after each bench",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_observability(request, capsys):
+    """Scope every bench under the ambient tracer when requested."""
+    from repro.bench.harness import export_observations
+    from repro.obs import Tracer, use_tracer
+
+    trace = request.config.getoption("--obs-trace")
+    metrics = request.config.getoption("--metrics")
+    if trace is None and not metrics:
+        yield
+        return
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield
+    # Print even without `-s`, matching the bench tables themselves.
+    with capsys.disabled():
+        export_observations(
+            tracer, request.node.name, trace=trace, metrics=metrics
+        )

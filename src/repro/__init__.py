@@ -24,6 +24,9 @@ The package is organised in layers:
     the paper's comparison figures.
 ``repro.bench``
     Experiment harness that regenerates every table and figure.
+``repro.obs``
+    Observability layer: span/counter tracing, Chrome ``trace_event``
+    and JSONL exporters, percentile metrics, structured logging.
 
 Quickstart::
 
@@ -71,6 +74,7 @@ from repro.mimo.estimation import EstimatedChannelLink
 from repro.coding import ConvolutionalCode, ViterbiDecoder
 from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
 from repro.fpga.device import AlveoU280
+from repro.obs import Tracer, current_tracer, use_tracer
 
 __version__ = "1.0.0"
 
@@ -111,5 +115,8 @@ __all__ = [
     "FPGAPipeline",
     "PipelineConfig",
     "AlveoU280",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
     "__version__",
 ]

@@ -952,6 +952,18 @@ def profile_execution(
     )
     stats = workload.sweep.points[0].frame_stats
     rows = []
+    modules = (
+        "gemm",
+        "prefetch",
+        "branch",
+        "norm",
+        "prune",
+        "fill",
+        "control",
+        "radius",
+        "setup",
+        "transfer",
+    )
     for pipe, label in (
         (workload.fpga_baseline, "baseline"),
         (workload.fpga_optimized, "optimized"),
@@ -961,29 +973,20 @@ def profile_execution(
         for st in stats:
             report = pipe.decode_report(st)
             cycles_total += report.total_cycles
-            for module, cycles in report.breakdown.items():
+            for module, cycles in report.stage_breakdown().items():
                 totals[module] = totals.get(module, 0) + cycles
         row = {"design": label, "total_mcycles": cycles_total / 1e6}
-        # Express each module as a share of the accounted cycles. The
-        # optimised design's dataflow overlap means module cycles can sum
-        # to more than the critical path; shares are still comparable.
-        accounted = sum(totals.values())
-        for module in ("evaluate", "branch", "norm", "prune", "control", "setup"):
-            row[f"{module}_pct"] = 100.0 * totals.get(module, 0) / accounted
+        # stage_breakdown() is an exact attribution (each batch's wall
+        # cycles charged to its critical stage), so the module shares
+        # sum to 100% of the cycle total by construction.
+        for module in modules:
+            row[f"{module}_pct"] = 100.0 * totals.get(module, 0) / cycles_total
         rows.append(row)
     return SeriesResult(
         experiment="profile",
         title=f"pipeline execution profile at {snr_db:g} dB (10x10 4-QAM)",
-        columns=[
-            "design",
-            "total_mcycles",
-            "evaluate_pct",
-            "branch_pct",
-            "norm_pct",
-            "prune_pct",
-            "control_pct",
-            "setup_pct",
-        ],
+        columns=["design", "total_mcycles"]
+        + [f"{module}_pct" for module in modules],
         rows=rows,
         notes="compute pipelines away; the serial list/control round trip remains",
     )

@@ -14,8 +14,10 @@ assembled from them).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
 
 from repro.core.radius import NoiseScaledRadius
 from repro.core.sphere_decoder import SphereDecoder
@@ -25,7 +27,12 @@ from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
 from repro.mimo.constellation import Constellation
 from repro.mimo.montecarlo import MonteCarloEngine, SweepResult
 from repro.mimo.system import MIMOSystem
+from repro.obs import Tracer, format_metrics, use_tracer, write_chrome_trace
+from repro.obs.log import get_logger
 from repro.perfmodel import CPUCostModel
+from repro.util.timing import summarize
+
+_log = get_logger(__name__)
 
 #: SNR grid used by every execution-time figure in the paper.
 CANONICAL_SNRS: tuple[float, ...] = (4.0, 8.0, 12.0, 16.0, 20.0)
@@ -178,6 +185,108 @@ def run_workload_sweep(
             order=order,
         ),
     )
+
+
+def sweep_metrics(sweep: SweepResult) -> SeriesResult:
+    """Per-SNR distribution summary of the sweep's per-frame work.
+
+    Reports host wall-time percentiles (p50/p95/p99, in ms) and node
+    counts per frame — the observability layer's aligned-text metrics
+    view (``repro-sd stats`` and the benches' ``--metrics`` flag print
+    these).
+    """
+    rows = []
+    for point in sweep.points:
+        wall_ms = [st.wall_time_s * 1e3 for st in point.frame_stats]
+        nodes = [float(st.nodes_expanded) for st in point.frame_stats]
+        w = summarize(wall_ms)
+        n = summarize(nodes)
+        rows.append(
+            {
+                "snr_db": point.snr_db,
+                "frames": point.frames,
+                "wall_p50_ms": w.p50,
+                "wall_p95_ms": w.p95,
+                "wall_p99_ms": w.p99,
+                "wall_mean_ms": w.mean,
+                "nodes_p50": n.p50,
+                "nodes_p95": n.p95,
+                "nodes_p99": n.p99,
+                "ber": point.ber,
+            }
+        )
+    return SeriesResult(
+        experiment="metrics",
+        title=f"per-frame metrics for {sweep.detector_name} ({sweep.system_label})",
+        columns=[
+            "snr_db",
+            "frames",
+            "wall_p50_ms",
+            "wall_p95_ms",
+            "wall_p99_ms",
+            "wall_mean_ms",
+            "nodes_p50",
+            "nodes_p95",
+            "nodes_p99",
+            "ber",
+        ],
+        rows=rows,
+        notes="host wall time per frame; platform-model times are in the figure tables",
+    )
+
+
+def resolve_trace_path(base: str | Path, name: str) -> Path:
+    """Where one named run's Chrome trace lands under ``--obs-trace BASE``.
+
+    A ``BASE`` ending in ``.json`` is used verbatim (single-run case);
+    anything else is treated as a directory receiving
+    ``<name>.trace.json``.
+    """
+    base = Path(base)
+    if base.suffix == ".json":
+        return base
+    return base / f"{name}.trace.json"
+
+
+@contextmanager
+def observe_bench(
+    name: str,
+    *,
+    trace: str | Path | None = None,
+    metrics: bool = False,
+) -> Iterator[Tracer | None]:
+    """Scope one bench/experiment run under the observability layer.
+
+    Installs an enabled :class:`~repro.obs.Tracer` as the ambient tracer
+    when either output was requested (otherwise a no-op that yields
+    ``None``). On exit writes the Chrome trace to
+    :func:`resolve_trace_path` and/or prints the aligned metrics
+    summary. ``benchmarks/conftest.py`` wires this behind every
+    ``bench_*.py`` via the ``--obs-trace``/``--metrics`` pytest options.
+    """
+    if trace is None and not metrics:
+        yield None
+        return
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield tracer
+    export_observations(tracer, name, trace=trace, metrics=metrics)
+
+
+def export_observations(
+    tracer: Tracer,
+    name: str,
+    *,
+    trace: str | Path | None = None,
+    metrics: bool = False,
+) -> None:
+    """Write/print one observed run's artifacts (trace file, metrics)."""
+    if trace is not None:
+        path = write_chrome_trace(tracer, resolve_trace_path(trace, name))
+        _log.info("wrote Chrome trace for %s to %s", name, path)
+        print(f"[obs] trace written: {path}")
+    if metrics:
+        print(format_metrics(tracer, title=f"metrics: {name}"))
 
 
 def time_rows(workload: WorkloadSweep) -> list[dict]:

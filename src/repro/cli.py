@@ -13,6 +13,16 @@ Subcommands
     demonstration.
 ``ber``
     Run a quick BER sweep for a chosen detector.
+``trace``
+    Decode one frame under the tracer; emit a Chrome ``trace_event``
+    JSON (loadable in ``chrome://tracing`` / Perfetto) plus the FPGA
+    pipeline's per-stage cycle breakdown.
+``stats``
+    Replay an experiment under the tracer and print the metrics
+    summary (span percentiles + counters).
+
+Global ``-v``/``-q`` flags raise/lower the ``repro`` logging channel's
+verbosity (see :mod:`repro.obs.log`).
 """
 
 from __future__ import annotations
@@ -25,7 +35,12 @@ import numpy as np
 
 
 def _parse_snrs(text: str) -> list[float]:
-    """Parse ``"4:20:4"`` (start:stop:step, inclusive) or ``"4,8,12"``."""
+    """Parse ``"4:20:4"`` (start:stop:step, inclusive) or ``"4,8,12"``.
+
+    Rejects inputs that parse to *no* SNR points (empty string, bare
+    commas, an empty range) — otherwise an experiment would silently
+    run over zero SNRs and report nothing.
+    """
     if ":" in text:
         parts = text.split(":")
         if len(parts) != 3:
@@ -35,8 +50,22 @@ def _parse_snrs(text: str) -> list[float]:
         start, stop, step = (float(p) for p in parts)
         if step <= 0:
             raise argparse.ArgumentTypeError("SNR step must be positive")
-        return [float(s) for s in np.arange(start, stop + step / 2, step)]
-    return [float(p) for p in text.split(",") if p.strip()]
+        snrs = [float(s) for s in np.arange(start, stop + step / 2, step)]
+    else:
+        snrs = [float(p) for p in text.split(",") if p.strip()]
+    if not snrs:
+        raise argparse.ArgumentTypeError(
+            f"no SNR values in {text!r}; expected e.g. 4:20:4 or 4,8,12"
+        )
+    return snrs
+
+
+def _parse_modulation(text: str) -> str:
+    """Normalise a modulation name; bare QAM orders like ``4`` work too."""
+    name = text.strip().lower()
+    if name.isdigit():
+        name = f"{name}qam"
+    return name
 
 
 def _parse_mimo(text: str) -> tuple[int, int]:
@@ -59,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Hassan et al., IPPS 2023)"
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise diagnostics verbosity (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="lower diagnostics verbosity (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -76,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     dec = sub.add_parser("decode", help="decode one random frame end to end")
     dec.add_argument("--mimo", type=_parse_mimo, default=(10, 10))
-    dec.add_argument("--mod", default="4qam")
+    dec.add_argument("--mod", type=_parse_modulation, default="4qam")
     dec.add_argument("--snr", type=float, default=8.0)
     dec.add_argument("--seed", type=int, default=0)
     dec.add_argument(
@@ -85,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ber = sub.add_parser("ber", help="quick BER sweep")
     ber.add_argument("--mimo", type=_parse_mimo, default=(10, 10))
-    ber.add_argument("--mod", default="4qam")
+    ber.add_argument("--mod", type=_parse_modulation, default="4qam")
     ber.add_argument("--snr", type=_parse_snrs, default=[4, 8, 12, 16, 20])
     ber.add_argument(
         "--detector",
@@ -95,6 +138,56 @@ def build_parser() -> argparse.ArgumentParser:
     ber.add_argument("--channels", type=int, default=5)
     ber.add_argument("--frames", type=int, default=10)
     ber.add_argument("--seed", type=int, default=0)
+
+    trc = sub.add_parser(
+        "trace",
+        help="decode one frame under the tracer; emit a Chrome trace "
+        "and the FPGA per-stage cycle breakdown",
+    )
+    trc.add_argument(
+        "--size", type=int, default=10, help="N for an NxN MIMO system"
+    )
+    trc.add_argument(
+        "--mimo",
+        type=_parse_mimo,
+        default=None,
+        help="explicit TXxRX geometry (overrides --size)",
+    )
+    trc.add_argument(
+        "--mod",
+        type=_parse_modulation,
+        default="4qam",
+        help="modulation (e.g. 4qam, 16qam; a bare QAM order like 4 works)",
+    )
+    trc.add_argument("--snr", type=float, default=8.0)
+    trc.add_argument("--seed", type=int, default=0)
+    trc.add_argument(
+        "--strategy", choices=("best-first", "dfs"), default="best-first"
+    )
+    trc.add_argument(
+        "--design", choices=("optimized", "baseline"), default="optimized"
+    )
+    trc.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    trc.add_argument(
+        "--jsonl", default=None, help="also write a JSONL event log here"
+    )
+
+    st = sub.add_parser(
+        "stats",
+        help="replay an experiment under the tracer and print the "
+        "metrics summary",
+    )
+    st.add_argument(
+        "name", nargs="?", default="fig6", help="experiment id (see `list`)"
+    )
+    st.add_argument("--channels", type=int, default=2)
+    st.add_argument("--frames", type=int, default=3)
+    st.add_argument("--seed", type=int, default=2023)
+    st.add_argument(
+        "--trace", default=None, metavar="PATH", help="also write a Chrome trace"
+    )
     return parser
 
 
@@ -235,9 +328,95 @@ def _cmd_ber(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.sphere_decoder import SphereDecoder
+    from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
+    from repro.mimo.system import MIMOSystem
+    from repro.obs import (
+        Tracer,
+        format_metrics,
+        use_tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    n_tx, n_rx = args.mimo if args.mimo is not None else (args.size, args.size)
+    system = MIMOSystem(n_tx, n_rx, args.mod)
+    rng = np.random.default_rng(args.seed)
+    frame = system.random_frame(args.snr, rng)
+    decoder = SphereDecoder(system.constellation, strategy=args.strategy)
+    order = system.constellation.order
+    config = (
+        PipelineConfig.optimized(order)
+        if args.design == "optimized"
+        else PipelineConfig.baseline(order)
+    )
+    pipe = FPGAPipeline(config, n_tx=n_tx, n_rx=n_rx, order=order)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        decoder.prepare(frame.channel, noise_var=frame.noise_var)
+        result = decoder.detect(frame.received)
+        report = pipe.decode_report(result.stats)
+    correct = bool(np.array_equal(result.indices, frame.symbol_indices))
+    print(f"system   : {system!r} @ {args.snr:g} dB, {args.strategy}")
+    print(
+        f"decoded  : {'OK' if correct else 'symbol errors'} "
+        f"(metric {result.metric:.4f}, "
+        f"{result.stats.nodes_expanded} nodes expanded)"
+    )
+    print()
+    print(report.format_stage_breakdown())
+    print()
+    print(format_metrics(tracer, title="decode metrics"))
+    path = write_chrome_trace(tracer, args.out)
+    print()
+    print(f"Chrome trace written to {path} (open in chrome://tracing or Perfetto)")
+    if args.jsonl:
+        print(f"JSONL event log written to {write_jsonl(tracer, args.jsonl)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import EXPERIMENTS
+    from repro.obs import Tracer, format_metrics, use_tracer, write_chrome_trace
+
+    if args.name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.name!r}; run `repro-sd list`",
+            file=sys.stderr,
+        )
+        return 2
+    fn, _description = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.name != "table1":
+        kwargs = {
+            "channels": args.channels,
+            "frames_per_channel": args.frames,
+            "seed": args.seed,
+        }
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = fn(**kwargs)
+    print(result.format())
+    print()
+    print(format_metrics(tracer, title=f"metrics: {args.name}"))
+    if args.trace:
+        from repro.bench.harness import resolve_trace_path
+
+        path = write_chrome_trace(
+            tracer, resolve_trace_path(args.trace, args.name)
+        )
+        print()
+        print(f"Chrome trace written to {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.obs.log import configure
+
     args = build_parser().parse_args(argv)
+    configure(args.verbose - args.quiet)
     if args.command == "list":
         return _cmd_list()
     if args.command == "experiment":
@@ -246,6 +425,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_decode(args)
     if args.command == "ber":
         return _cmd_ber(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

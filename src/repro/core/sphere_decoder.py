@@ -28,6 +28,13 @@ Every expansion appends a :class:`~repro.detectors.base.BatchEvent` to
 the decode's :class:`~repro.detectors.base.DecodeStats`. The FPGA
 pipeline simulator replays those events through its module cycle models;
 the CPU/GPU models consume the aggregate counters.
+
+When an ambient :class:`repro.obs.Tracer` is installed
+(:func:`repro.obs.use_tracer`), each decode additionally emits nested
+spans (``sd.detect`` > ``sd.solve`` > ``sd.search``), one ``sd.batch``
+instant per GEMM-batched expansion and node/GEMM counters. With no
+tracer installed the hot path pays one attribute read and a boolean
+check per batch — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -48,11 +55,15 @@ from repro.mimo.preprocessing import (
     qr_decompose,
     sorted_qr,
 )
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER, current_tracer
 from repro.util.timing import Timer
 from repro.util.validation import check_in, check_matrix, check_positive_int, check_vector
 
 STRATEGIES = ("best-first", "dfs")
 ORDERINGS = ("natural", "sqrd")
+
+_log = get_logger(__name__)
 
 
 class SphereDecoder(Detector):
@@ -118,6 +129,9 @@ class SphereDecoder(Detector):
         self._channel: np.ndarray | None = None
         self._noise_var = 0.0
         self._prepared = False
+        # Ambient tracer snapshot for the decode in flight; refreshed by
+        # solve() so the per-batch hot path pays only an attribute read.
+        self._tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Detector protocol
@@ -137,12 +151,14 @@ class SphereDecoder(Detector):
         received = check_vector(
             received, "received", length=self._channel.shape[0]
         )
+        tracer = current_tracer()
         timer = Timer()
-        with timer:
-            ybar = effective_receive(self._qr, received)
-            incumbent, _bound, stats = self.solve(
-                self._qr.r, ybar, self._noise_var
-            )
+        with tracer.span("sd.detect", detector=self.name, strategy=self.strategy):
+            with timer:
+                ybar = effective_receive(self._qr, received)
+                incumbent, _bound, stats = self.solve(
+                    self._qr.r, ybar, self._noise_var
+                )
         stats.wall_time_s = timer.elapsed
         # ``incumbent`` is indexed by tree level == factorised column;
         # map back to the original antenna order.
@@ -176,29 +192,48 @@ class SphereDecoder(Detector):
         ``indices_by_level[k]`` is the constellation index of level ``k``.
         """
         stats = DecodeStats()
-        evaluator = GemmEvaluator(r, ybar, self.constellation)
-        init = self.radius_policy.initial(
-            r, ybar, self.constellation, float(noise_var)
-        )
-        bound = float(init.radius_sq)
-        incumbent = init.incumbent_indices
-        stats.radius_trace.append(bound)
-        while True:
-            incumbent, bound = self._search(evaluator, bound, incumbent, stats)
-            if incumbent is not None or not self.radius_policy.can_escalate():
-                break
-            if stats.truncated:
-                # The search hit the node cap before finding any leaf —
-                # a larger radius can only make that worse; give up and
-                # fall back to the Babai point below.
-                break
-            bound *= self.radius_policy.escalation_factor
+        tracer = self._tracer = current_tracer()
+        with tracer.span(
+            "sd.solve", strategy=self.strategy, n_tx=int(r.shape[1])
+        ):
+            evaluator = GemmEvaluator(r, ybar, self.constellation)
+            init = self.radius_policy.initial(
+                r, ybar, self.constellation, float(noise_var)
+            )
+            bound = float(init.radius_sq)
+            incumbent = init.incumbent_indices
             stats.radius_trace.append(bound)
-        if incumbent is None:
-            incumbent, bound = babai_point(r, ybar, self.constellation)
-            stats.truncated = max(stats.truncated, 1)
-        stats.gemm_calls = evaluator.gemm_calls
-        stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
+            while True:
+                with tracer.span("sd.search", bound=bound):
+                    incumbent, bound = self._search(
+                        evaluator, bound, incumbent, stats
+                    )
+                if incumbent is not None or not self.radius_policy.can_escalate():
+                    break
+                if stats.truncated:
+                    # The search hit the node cap before finding any leaf —
+                    # a larger radius can only make that worse; give up and
+                    # fall back to the Babai point below.
+                    break
+                bound *= self.radius_policy.escalation_factor
+                stats.radius_trace.append(bound)
+            if incumbent is None:
+                incumbent, bound = babai_point(r, ybar, self.constellation)
+                stats.truncated = max(stats.truncated, 1)
+                _log.debug(
+                    "sphere empty after escalation; falling back to Babai "
+                    "point (metric %.4g)",
+                    bound,
+                )
+            stats.gemm_calls = evaluator.gemm_calls
+            stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
+        if tracer.enabled:
+            tracer.count("sd.nodes_expanded", stats.nodes_expanded)
+            tracer.count("sd.nodes_generated", stats.nodes_generated)
+            tracer.count("sd.nodes_pruned", stats.nodes_pruned)
+            tracer.count("sd.leaves_reached", stats.leaves_reached)
+            tracer.count("sd.gemm_calls", stats.gemm_calls)
+            tracer.count("sd.gemm_flops", stats.gemm_flops)
         if not self.record_trace:
             stats.batches = []
         return np.asarray(incumbent), float(bound), stats
@@ -246,6 +281,8 @@ class SphereDecoder(Detector):
         stats.nodes_generated += len(pool) * evaluator.order
         if self.record_trace:
             stats.batches.append(BatchEvent(level=level, pool_size=len(pool)))
+        if self._tracer.enabled:
+            self._tracer.instant("sd.batch", level=level, pool=len(pool))
         return child_pds
 
     def _accept_leaves(

@@ -19,7 +19,7 @@ models* turn it into time.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import NamedTuple
 
 import numpy as np
@@ -45,7 +45,15 @@ class BatchEvent(NamedTuple):
 
 @dataclass
 class DecodeStats:
-    """Work performed by one ``detect`` call of a tree-search detector."""
+    """Work performed by one ``detect`` call of a tree-search detector.
+
+    Aggregation across frames goes through :meth:`merge`, which derives
+    the per-field rule from the dataclass definition itself: numeric
+    fields sum and list fields concatenate unless the field declares a
+    ``merge`` metadata override (``max_list_size`` keeps the maximum).
+    Adding a field therefore never silently drops it from aggregates —
+    ``tests/test_detector_base.py`` asserts every field round-trips.
+    """
 
     nodes_expanded: int = 0
     nodes_generated: int = 0
@@ -54,7 +62,7 @@ class DecodeStats:
     radius_updates: int = 0
     gemm_calls: int = 0
     gemm_flops: int = 0
-    max_list_size: int = 0
+    max_list_size: int = field(default=0, metadata={"merge": "max"})
     wall_time_s: float = 0.0
     truncated: int = 0
     batches: list[BatchEvent] = field(default_factory=list)
@@ -62,20 +70,28 @@ class DecodeStats:
 
     def merge(self, other: "DecodeStats") -> "DecodeStats":
         """Aggregate two stats records (e.g. across Monte Carlo frames)."""
-        return DecodeStats(
-            nodes_expanded=self.nodes_expanded + other.nodes_expanded,
-            nodes_generated=self.nodes_generated + other.nodes_generated,
-            nodes_pruned=self.nodes_pruned + other.nodes_pruned,
-            leaves_reached=self.leaves_reached + other.leaves_reached,
-            radius_updates=self.radius_updates + other.radius_updates,
-            gemm_calls=self.gemm_calls + other.gemm_calls,
-            gemm_flops=self.gemm_flops + other.gemm_flops,
-            max_list_size=max(self.max_list_size, other.max_list_size),
-            wall_time_s=self.wall_time_s + other.wall_time_s,
-            truncated=self.truncated + other.truncated,
-            batches=self.batches + other.batches,
-            radius_trace=self.radius_trace + other.radius_trace,
-        )
+        merged: dict[str, object] = {}
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            rule = f.metadata.get("merge")
+            if rule is None:
+                if isinstance(mine, (int, float)) or isinstance(mine, list):
+                    rule = "sum"  # numeric add / list concatenation
+                else:
+                    raise TypeError(
+                        f"DecodeStats.{f.name}: no default merge rule for "
+                        f"{type(mine).__name__}; declare one via "
+                        "field(metadata={'merge': ...})"
+                    )
+            if rule == "sum":
+                merged[f.name] = mine + theirs
+            elif rule == "max":
+                merged[f.name] = max(mine, theirs)
+            else:
+                raise TypeError(
+                    f"DecodeStats.{f.name}: unknown merge rule {rule!r}"
+                )
+        return type(self)(**merged)
 
 
 @dataclass

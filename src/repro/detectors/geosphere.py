@@ -18,15 +18,26 @@ the GEMM refactor eliminates.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.radius import InfiniteRadius, RadiusPolicy
 from repro.core.sphere_decoder import SphereDecoder
+from repro.detectors.base import DetectionResult
 from repro.mimo.constellation import Constellation
+from repro.obs.tracer import current_tracer
 
 
 class GeosphereDecoder(SphereDecoder):
     """Exact DFS sphere decoder with sorted (Schnorr–Euchner) enumeration."""
 
     name = "geosphere"
+
+    def detect(self, received: np.ndarray) -> DetectionResult:
+        # Wrap the inherited decode in a detector-specific span so
+        # Geosphere time is attributable in mixed-detector traces (the
+        # inner ``sd.detect``/``sd.solve`` spans nest beneath it).
+        with current_tracer().span("geosphere.detect"):
+            return super().detect(received)
 
     def __init__(
         self,

@@ -25,6 +25,7 @@ from repro.core.radius import NoiseScaledRadius, RadiusPolicy, babai_point
 from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
 from repro.mimo.constellation import Constellation
 from repro.mimo.preprocessing import QRResult, effective_receive, qr_decompose
+from repro.obs.tracer import NULL_TRACER, current_tracer
 from repro.util.timing import Timer
 from repro.util.validation import check_matrix, check_positive_int, check_vector
 
@@ -71,6 +72,8 @@ class GemmBfsDecoder(Detector):
         self._channel: np.ndarray | None = None
         self._noise_var = 0.0
         self._prepared = False
+        # Ambient tracer snapshot, refreshed per detect() call.
+        self._tracer = NULL_TRACER
 
     def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
         channel = check_matrix(channel, "channel")
@@ -94,11 +97,13 @@ class GemmBfsDecoder(Detector):
         """
         n_tx = evaluator.n_tx
         p = evaluator.order
+        tracer = self._tracer
         # Frontier state: (F, depth) root-first index paths + (F,) PDs.
         paths = np.empty((1, 0), dtype=np.int64)
         pds = np.zeros(1, dtype=float)
         for level in range(n_tx - 1, -1, -1):
-            child_pds = evaluator.expand(level, paths, pds)  # (F, P)
+            with tracer.span("bfs.level", level=level, frontier=paths.shape[0]):
+                child_pds = evaluator.expand(level, paths, pds)  # (F, P)
             frontier = paths.shape[0]
             stats.nodes_expanded += frontier
             stats.nodes_generated += frontier * p
@@ -135,26 +140,35 @@ class GemmBfsDecoder(Detector):
         received = check_vector(
             received, "received", length=self._channel.shape[0]
         )
+        tracer = self._tracer = current_tracer()
         timer = Timer()
         stats = DecodeStats()
-        with timer:
-            ybar = effective_receive(self._qr, received)
-            evaluator = GemmEvaluator(self._qr.r, ybar, self.constellation)
-            init = self.radius_policy.initial(
-                self._qr.r, ybar, self.constellation, self._noise_var
-            )
-            radius_sq = float(init.radius_sq)
-            stats.radius_trace.append(radius_sq)
-            best, metric = self._sweep(evaluator, radius_sq, stats)
-            while best is None and self.radius_policy.can_escalate():
-                radius_sq *= self.radius_policy.escalation_factor
+        with tracer.span("bfs.detect", detector=self.name):
+            with timer:
+                ybar = effective_receive(self._qr, received)
+                evaluator = GemmEvaluator(self._qr.r, ybar, self.constellation)
+                init = self.radius_policy.initial(
+                    self._qr.r, ybar, self.constellation, self._noise_var
+                )
+                radius_sq = float(init.radius_sq)
                 stats.radius_trace.append(radius_sq)
                 best, metric = self._sweep(evaluator, radius_sq, stats)
-            if best is None:
-                best, metric = babai_point(self._qr.r, ybar, self.constellation)
-                stats.truncated += 1
-            stats.gemm_calls = evaluator.gemm_calls
-            stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
+                while best is None and self.radius_policy.can_escalate():
+                    radius_sq *= self.radius_policy.escalation_factor
+                    stats.radius_trace.append(radius_sq)
+                    best, metric = self._sweep(evaluator, radius_sq, stats)
+                if best is None:
+                    best, metric = babai_point(
+                        self._qr.r, ybar, self.constellation
+                    )
+                    stats.truncated += 1
+                stats.gemm_calls = evaluator.gemm_calls
+                stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
+        if tracer.enabled:
+            tracer.count("bfs.nodes_expanded", stats.nodes_expanded)
+            tracer.count("bfs.nodes_pruned", stats.nodes_pruned)
+            tracer.count("bfs.leaves_reached", stats.leaves_reached)
+            tracer.count("bfs.gemm_calls", stats.gemm_calls)
         stats.wall_time_s = timer.elapsed
         indices = self._qr.unpermute(best)
         symbols = self.constellation.map_indices(indices)

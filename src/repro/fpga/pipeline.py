@@ -30,7 +30,17 @@ from repro.fpga.device import AlveoU280, DeviceSpec
 from repro.fpga.gemm_engine import SystolicGemmEngine
 from repro.fpga.memory import hbm_stream_cycles
 from repro.fpga.prefetch import PrefetchUnit
+from repro.obs.tracer import current_tracer
 from repro.util.validation import check_positive_int
+
+#: The five dataflow modules of the accelerator (paper Fig. 4), in
+#: pipeline order. ``stage_breakdown()`` attributes every cycle of a
+#: decode to one of these, plus the bookkeeping buckets below.
+PIPELINE_STAGES = ("branch", "prefetch", "gemm", "norm", "prune")
+
+#: Non-module buckets of the exact attribution: dataflow fill bubbles,
+#: control/round-trip, radius updates, per-decode setup, host transfer.
+OVERHEAD_BUCKETS = ("fill", "control", "radius", "setup", "transfer")
 
 
 def _mesh_cols(order: int) -> int:
@@ -169,7 +179,21 @@ class PipelineConfig:
 
 @dataclass
 class PipelineReport:
-    """Cycle accounting for one decode."""
+    """Cycle accounting for one decode.
+
+    Two complementary views of where cycles go:
+
+    ``breakdown``
+        Raw *busy* cycles per module. Under dataflow overlap modules run
+        concurrently, so these sum to **more** than ``total_cycles`` —
+        useful for utilisation, wrong for attribution.
+    ``attributed`` / :meth:`stage_breakdown`
+        Exact attribution: each batch's wall cycles are charged to the
+        critical (slowest) stage of that batch plus explicit ``fill``/
+        ``control``/``radius``/``setup``/``transfer`` buckets, so the
+        values **sum exactly to** ``total_cycles`` (asserted in
+        ``tests/test_pipeline.py``).
+    """
 
     config_name: str
     freq_mhz: float
@@ -177,6 +201,7 @@ class PipelineReport:
     transfer_cycles: int
     batches: int
     breakdown: dict[str, int] = field(default_factory=dict)
+    attributed: dict[str, int] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -196,6 +221,34 @@ class PipelineReport:
         checks the model agrees on realistic traces.
         """
         return self.transfer_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def stage_breakdown(self) -> dict[str, int]:
+        """Per-stage cycle attribution summing exactly to the total.
+
+        Keys are the five pipeline modules (:data:`PIPELINE_STAGES`)
+        plus the overhead buckets (:data:`OVERHEAD_BUCKETS`). See
+        ``docs/observability.md`` for how to read it.
+        """
+        return dict(self.attributed)
+
+    def format_stage_breakdown(self) -> str:
+        """Aligned-text rendering of :meth:`stage_breakdown`."""
+        rows = [
+            (name, cycles, 100.0 * cycles / self.total_cycles)
+            for name, cycles in sorted(
+                self.attributed.items(), key=lambda kv: -kv[1]
+            )
+            if self.total_cycles
+        ]
+        width = max((len(name) for name, *_ in rows), default=5)
+        lines = [
+            f"== {self.config_name}: {self.total_cycles} cycles over "
+            f"{self.batches} batches ({self.milliseconds:.3f} ms @ "
+            f"{self.freq_mhz:g} MHz) =="
+        ]
+        for name, cycles, pct in rows:
+            lines.append(f"{name.ljust(width)}  {cycles:>12d}  {pct:6.2f}%")
+        return "\n".join(lines)
 
 
 class FPGAPipeline:
@@ -239,7 +292,15 @@ class FPGAPipeline:
         return children + stages
 
     def batch_cycles(self, event: BatchEvent) -> dict[str, int]:
-        """Cycle breakdown for one expansion batch."""
+        """Raw cycle breakdown for one expansion batch.
+
+        ``prefetch`` and ``gemm`` are the two halves of the evaluation
+        stage; ``evaluate`` is their combination (``max`` when the fetch
+        is double-buffered behind the compute, the sum otherwise).
+        Module values are *busy* cycles — under dataflow overlap they
+        exceed ``total``; use :meth:`batch_attribution` for an exact
+        accounting.
+        """
         level, pool = event.level, event.pool_size
         if not 0 <= level < self.n_tx:
             raise ValueError(f"event level {level} out of range")
@@ -254,26 +315,77 @@ class FPGAPipeline:
         gemm = cfg.gemm.cycles(pool, p, depth + 1)
         # Prefetch: R row + pool tree-state blocks + constellation column.
         words = 2 * (depth + 1) * (pool + 1) + 2 * p
+        fetch = cfg.prefetch.fetch_cycles(words)
         evaluation = cfg.prefetch.effective_cycles(gemm, words)
         # NORM: one PD per child.
         norm = children * cfg.norm_ii + cfg.norm_latency
         # Sort + list insertion (the pruning module).
         prune = self._sort_cycles(children) + children * cfg.list_cycles_per_child
-        stages = {
+        dataflow = {
             "branch": branch,
             "evaluate": evaluation,
             "norm": norm,
             "prune": prune,
         }
         if cfg.dataflow_overlap:
-            total = max(stages.values()) + cfg.pipeline_fill_cycles
+            total = max(dataflow.values()) + cfg.pipeline_fill_cycles
         else:
-            total = sum(stages.values())
+            total = sum(dataflow.values())
+        stages = dict(dataflow)
+        stages["prefetch"] = fetch
+        stages["gemm"] = gemm
         stages["control"] = cfg.control_overhead_cycles + cfg.node_roundtrip_cycles
         stages["total"] = (
             total + cfg.control_overhead_cycles + cfg.node_roundtrip_cycles
         )
         return stages
+
+    def batch_attribution(self, event: BatchEvent) -> dict[str, int]:
+        """Exact per-stage attribution of one batch's wall cycles.
+
+        Keys: the five modules of :data:`PIPELINE_STAGES` plus ``fill``
+        and ``control``; the values sum exactly to
+        ``batch_cycles(event)["total"]``. Under dataflow overlap the
+        whole stage time is charged to the *critical* (slowest) module —
+        the others run hidden beneath it — and the pipeline fill bubble
+        is reported separately. The evaluation charge lands on ``gemm``
+        or ``prefetch`` depending on which dominates (both, sequentially,
+        without double buffering).
+        """
+        return self._attribute(self.batch_cycles(event))
+
+    def _attribute(self, stages: dict[str, int]) -> dict[str, int]:
+        cfg = self.config
+        out = {name: 0 for name in PIPELINE_STAGES}
+        out["fill"] = 0
+
+        def charge_evaluate() -> None:
+            if cfg.prefetch.double_buffered:
+                # Fetch hides behind compute (or vice versa): charge the
+                # dominant half the full combined stage time.
+                key = "gemm" if stages["gemm"] >= stages["prefetch"] else "prefetch"
+                out[key] += stages["evaluate"]
+            else:
+                out["gemm"] += stages["gemm"]
+                out["prefetch"] += stages["prefetch"]
+
+        dataflow = {
+            name: stages[name] for name in ("branch", "evaluate", "norm", "prune")
+        }
+        if cfg.dataflow_overlap:
+            critical = max(dataflow, key=dataflow.get)
+            if critical == "evaluate":
+                charge_evaluate()
+            else:
+                out[critical] += dataflow[critical]
+            out["fill"] += cfg.pipeline_fill_cycles
+        else:
+            out["branch"] += stages["branch"]
+            out["norm"] += stages["norm"]
+            out["prune"] += stages["prune"]
+            charge_evaluate()
+        out["control"] = stages["control"]
+        return out
 
     def transfer_cycles(self) -> int:
         """One-time host -> HBM staging of H, y and constellation tables."""
@@ -294,27 +406,45 @@ class FPGAPipeline:
             raise ValueError(
                 "stats has no batch trace; run the decoder with record_trace=True"
             )
-        breakdown: dict[str, int] = {
-            "branch": 0,
-            "evaluate": 0,
-            "norm": 0,
-            "prune": 0,
-            "control": 0,
-        }
-        total = 0
-        for event in stats.batches:
-            cycles = self.batch_cycles(event)
-            total += cycles.pop("total")
-            for key, value in cycles.items():
-                breakdown[key] += value
-        radius = stats.radius_updates * self.config.radius_update_cycles
-        breakdown["radius"] = radius
-        total += radius
-        breakdown["setup"] = self.config.setup_cycles
-        total += self.config.setup_cycles
-        transfer = self.transfer_cycles()
-        total += transfer
-        breakdown["transfer"] = transfer
+        tracer = current_tracer()
+        with tracer.span(
+            "fpga.decode_report", config=self.config.name, batches=len(stats.batches)
+        ):
+            breakdown: dict[str, int] = {
+                "branch": 0,
+                "prefetch": 0,
+                "gemm": 0,
+                "evaluate": 0,
+                "norm": 0,
+                "prune": 0,
+                "control": 0,
+            }
+            attributed: dict[str, int] = dict.fromkeys(
+                PIPELINE_STAGES + OVERHEAD_BUCKETS, 0
+            )
+            total = 0
+            for event in stats.batches:
+                cycles = self.batch_cycles(event)
+                for key, value in self._attribute(cycles).items():
+                    attributed[key] += value
+                total += cycles.pop("total")
+                for key, value in cycles.items():
+                    breakdown[key] += value
+            radius = stats.radius_updates * self.config.radius_update_cycles
+            breakdown["radius"] = radius
+            attributed["radius"] = radius
+            total += radius
+            breakdown["setup"] = self.config.setup_cycles
+            attributed["setup"] = self.config.setup_cycles
+            total += self.config.setup_cycles
+            transfer = self.transfer_cycles()
+            total += transfer
+            breakdown["transfer"] = transfer
+            attributed["transfer"] = transfer
+        if tracer.enabled:
+            for stage, cycles in attributed.items():
+                tracer.count(f"fpga.cycles.{stage}", cycles)
+            tracer.count("fpga.cycles.total", total)
         return PipelineReport(
             config_name=self.config.name,
             freq_mhz=self.config.freq_mhz,
@@ -322,6 +452,7 @@ class FPGAPipeline:
             transfer_cycles=transfer,
             batches=len(stats.batches),
             breakdown=breakdown,
+            attributed=attributed,
         )
 
     def mean_decode_seconds(self, stats_list: list[DecodeStats]) -> float:

@@ -24,10 +24,14 @@ import numpy as np
 from repro.detectors.base import DecodeStats, Detector
 from repro.mimo.metrics import ErrorCounter
 from repro.mimo.system import MIMOSystem
+from repro.obs.log import get_logger
+from repro.obs.tracer import current_tracer
 from repro.util.timing import Timer
 from repro.util.validation import check_positive_int
 
 DetectorFactory = Callable[[], Detector]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -104,21 +108,27 @@ def _run_block(
     detector = factory()
     counter = ErrorCounter()
     stats: list[DecodeStats] = []
+    tracer = current_tracer()
     timer = Timer()
-    channel = system.channel_model.draw_channel(rng)
-    detector.prepare(channel, noise_var=system.noise_var(snr_db))
-    for _ in range(frames):
-        frame = system.random_frame(snr_db, rng, channel=channel)
-        with timer:
-            result = detector.detect(frame.received)
-        counter.update(
-            frame.bits, result.bits, frame.symbol_indices, result.indices
-        )
-        if result.stats is not None:
-            st = result.stats
-            if not keep_traces:
-                st.batches = []
-            stats.append(st)
+    with tracer.span("mc.block", snr_db=snr_db, frames=frames):
+        channel = system.channel_model.draw_channel(rng)
+        detector.prepare(channel, noise_var=system.noise_var(snr_db))
+        for _ in range(frames):
+            frame = system.random_frame(snr_db, rng, channel=channel)
+            with tracer.span("mc.frame", snr_db=snr_db):
+                with timer:
+                    result = detector.detect(frame.received)
+            counter.update(
+                frame.bits, result.bits, frame.symbol_indices, result.indices
+            )
+            if result.stats is not None:
+                st = result.stats
+                if not keep_traces:
+                    st.batches = []
+                stats.append(st)
+    if tracer.enabled:
+        tracer.count("mc.frames", frames)
+        tracer.count("mc.bit_errors", counter.bit_errors)
     return counter, stats, timer.elapsed
 
 
@@ -189,49 +199,60 @@ class MonteCarloEngine:
         if not snrs:
             raise ValueError("snrs_db must be non-empty")
         n_workers = check_positive_int(n_workers, "n_workers")
+        tracer = current_tracer()
+        # NOTE: contextvars don't cross process boundaries, so worker
+        # blocks (n_workers > 1) run untraced; serial mode traces fully.
         seqs = np.random.SeedSequence(self.seed).spawn(len(snrs))
         points: list[SnrPoint] = []
         for snr_db, seq in zip(snrs, seqs):
             block_seqs = seq.spawn(self.channels)
             point = SnrPoint(snr_db=snr_db, errors=ErrorCounter())
-            if n_workers == 1:
-                for bseq in block_seqs:
-                    rng = np.random.default_rng(bseq)
-                    counter, stats, elapsed = _run_block(
-                        self.system,
-                        detector_factory,
-                        snr_db,
-                        self.frames_per_channel,
-                        rng,
-                        self.keep_traces,
-                    )
-                    point.errors = point.errors.merge(counter)
-                    point.frame_stats.extend(stats)
-                    point.decode_time_s += elapsed
-                    point.frames += self.frames_per_channel
-                    if (
-                        self.target_bit_errors is not None
-                        and point.errors.bit_errors >= self.target_bit_errors
-                    ):
-                        break
-            else:
-                jobs = [
-                    (
-                        self.system,
-                        detector_factory,
-                        snr_db,
-                        self.frames_per_channel,
-                        bseq,
-                        self.keep_traces,
-                    )
-                    for bseq in block_seqs
-                ]
-                with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                    for counter, stats, elapsed in pool.map(_worker, jobs):
+            with tracer.span("mc.point", snr_db=snr_db):
+                if n_workers == 1:
+                    for bseq in block_seqs:
+                        rng = np.random.default_rng(bseq)
+                        counter, stats, elapsed = _run_block(
+                            self.system,
+                            detector_factory,
+                            snr_db,
+                            self.frames_per_channel,
+                            rng,
+                            self.keep_traces,
+                        )
                         point.errors = point.errors.merge(counter)
                         point.frame_stats.extend(stats)
                         point.decode_time_s += elapsed
                         point.frames += self.frames_per_channel
+                        if (
+                            self.target_bit_errors is not None
+                            and point.errors.bit_errors >= self.target_bit_errors
+                        ):
+                            break
+                else:
+                    jobs = [
+                        (
+                            self.system,
+                            detector_factory,
+                            snr_db,
+                            self.frames_per_channel,
+                            bseq,
+                            self.keep_traces,
+                        )
+                        for bseq in block_seqs
+                    ]
+                    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                        for counter, stats, elapsed in pool.map(_worker, jobs):
+                            point.errors = point.errors.merge(counter)
+                            point.frame_stats.extend(stats)
+                            point.decode_time_s += elapsed
+                            point.frames += self.frames_per_channel
+            _log.info(
+                "mc point %.1f dB: ber=%.3g over %d frames (%.3f s decode)",
+                snr_db,
+                point.ber,
+                point.frames,
+                point.decode_time_s,
+            )
             points.append(point)
         probe = detector_factory()
         return SweepResult(

@@ -1,0 +1,78 @@
+"""repro.obs — structured tracing, metrics and diagnostics.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+``repro.obs.tracer``
+    :class:`Tracer` / :class:`Span` / :class:`Counter` — a lightweight
+    span & counter collector, nested via ``contextvars``, with
+    near-zero overhead when disabled. The decoder, the detectors, the
+    Monte Carlo engine and the FPGA pipeline simulator are all
+    instrumented against the *ambient* tracer (``current_tracer()``).
+``repro.obs.export`` / ``repro.obs.metrics``
+    Exporters: Chrome ``trace_event`` JSON (``chrome://tracing`` /
+    Perfetto), a JSONL event log, and an aligned-text percentile
+    summary (p50/p95/p99) reused by the benchmark harness.
+``repro.obs.log``
+    ``logging``-based diagnostics channel with a single
+    :func:`~repro.obs.log.configure` entry point; the CLI's ``-v``/
+    ``-q`` flags map onto it.
+
+Quickstart::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        decoder.detect(received)
+    write_chrome_trace(tracer, "decode.trace.json")
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.metrics import counter_totals, format_metrics, span_metrics
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    Counter,
+    Span,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    reset_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "Counter",
+    "TraceEvent",
+    "NULL_TRACER",
+    "PHASE_SPAN",
+    "PHASE_INSTANT",
+    "PHASE_COUNTER",
+    "current_tracer",
+    "set_tracer",
+    "reset_tracer",
+    "use_tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+    "span_metrics",
+    "counter_totals",
+    "format_metrics",
+    "configure_logging",
+    "get_logger",
+]

@@ -1,0 +1,107 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a JSONL event log.
+
+The Chrome format (one ``{"traceEvents": [...]}`` object) loads directly
+in ``chrome://tracing`` or https://ui.perfetto.dev; spans become
+complete events (``ph: "X"``), instants ``ph: "i"`` and counters
+``ph: "C"``. Timestamps are microseconds from the tracer epoch and are
+emitted in monotonically non-decreasing order.
+
+The JSONL log is one JSON object per recorded event, in emission order —
+convenient for ad-hoc ``jq``/pandas post-processing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, Tracer
+
+#: Synthetic process id used for all events (single-process tool).
+TRACE_PID = 1
+
+
+def _tid_map(tracer: Tracer) -> dict[int, int]:
+    """Map OS thread idents to small stable ids (first seen = 1)."""
+    mapping: dict[int, int] = {}
+    for event in tracer.events:
+        if event.tid not in mapping:
+            mapping[event.tid] = len(mapping) + 1
+    return mapping
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's events as Chrome ``trace_event`` dicts, ts-sorted."""
+    tids = _tid_map(tracer)
+    rows: list[dict] = []
+    for event in tracer.events:
+        base = {
+            "name": event.name,
+            "ts": round(event.ts * 1e6, 3),
+            "pid": TRACE_PID,
+            "tid": tids.get(event.tid, 0),
+        }
+        if event.phase == PHASE_SPAN:
+            base["ph"] = "X"
+            base["dur"] = round(event.dur * 1e6, 3)
+            if event.args:
+                base["args"] = dict(event.args)
+        elif event.phase == PHASE_INSTANT:
+            base["ph"] = "i"
+            base["s"] = "t"
+            if event.args:
+                base["args"] = dict(event.args)
+        elif event.phase == PHASE_COUNTER:
+            base["ph"] = "C"
+            base["args"] = {event.name: event.value}
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown event phase {event.phase!r}")
+        rows.append(base)
+    rows.sort(key=lambda r: r["ts"])
+    return rows
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The full Chrome trace document for one tracer."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer)))
+    return path
+
+
+def jsonl_lines(tracer: Tracer) -> list[str]:
+    """One compact JSON object per event, in emission order."""
+    lines = []
+    for event in tracer.events:
+        row = {
+            "phase": event.phase,
+            "name": event.name,
+            "ts": event.ts,
+        }
+        if event.phase == PHASE_SPAN:
+            row["dur"] = event.dur
+            row["depth"] = event.depth
+        if event.phase == PHASE_COUNTER:
+            row["value"] = event.value
+        if event.args:
+            row["args"] = dict(event.args)
+        lines.append(json.dumps(row))
+    return lines
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write the JSONL event log to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(jsonl_lines(tracer))
+    path.write_text(text + "\n" if text else "")
+    return path

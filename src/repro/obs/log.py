@@ -1,0 +1,80 @@
+"""``logging``-based diagnostics channel for the whole package.
+
+Everything logs under the ``"repro"`` root logger; :func:`configure` is
+the single entry point that attaches a handler (the CLI maps ``-v``/
+``-q`` onto its ``verbosity`` argument). Library code never configures
+handlers itself — importing :func:`get_logger` is always side-effect
+free, so embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+#: Root logger name for the package.
+LOGGER_NAME = "repro"
+
+#: Marker attribute identifying handlers installed by :func:`configure`,
+#: so repeated calls replace (not stack) them.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy.
+
+    ``get_logger("repro.mimo.montecarlo")`` and
+    ``get_logger(__name__)`` are the intended spellings; a bare
+    ``get_logger()`` returns the package root logger.
+    """
+    if name is None or name == LOGGER_NAME:
+        return logging.getLogger(LOGGER_NAME)
+    if not name.startswith(LOGGER_NAME + "."):
+        name = f"{LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count to a ``logging`` level.
+
+    ``-1`` and below → ERROR, ``0`` → WARNING (default), ``1`` → INFO,
+    ``2`` and above → DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(
+    verbosity: int = 0,
+    *,
+    stream: TextIO | None = None,
+    fmt: str = _FORMAT,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Re-invoking replaces the previously installed handler, so the CLI
+    can be called repeatedly in one process (tests do this). Returns
+    the configured root package logger.
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt, datefmt=_DATE_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_level(verbosity))
+    # Don't double-print through the root logger when an application has
+    # its own configuration.
+    logger.propagate = False
+    return logger

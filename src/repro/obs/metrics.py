@@ -1,0 +1,60 @@
+"""Aligned-text metrics summary over a tracer's spans and counters.
+
+Reuses :func:`repro.util.timing.summarize` so the percentile
+definitions match the benchmark harness exactly.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Tracer
+from repro.util.timing import TimingSummary, summarize
+
+
+def span_metrics(tracer: Tracer) -> dict[str, TimingSummary]:
+    """Per-span-name duration summary (seconds), insertion-ordered."""
+    return {
+        name: summarize(durs) for name, durs in tracer.span_durations().items()
+    }
+
+
+def counter_totals(tracer: Tracer) -> dict[str, float]:
+    """Final accumulated value of every counter."""
+    return dict(tracer.counters)
+
+
+def format_metrics(tracer: Tracer, *, title: str = "metrics") -> str:
+    """Render spans (ms percentiles) and counters as an aligned table."""
+    lines = [f"== {title} =="]
+    spans = span_metrics(tracer)
+    if spans:
+        header = ("span", "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms")
+        rows = [
+            (
+                name,
+                str(s.count),
+                f"{s.total * 1e3:.3f}",
+                f"{s.mean * 1e3:.3f}",
+                f"{s.p50 * 1e3:.3f}",
+                f"{s.p95 * 1e3:.3f}",
+                f"{s.p99 * 1e3:.3f}",
+            )
+            for name, s in spans.items()
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+        ]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in rows:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+    else:
+        lines.append("(no spans recorded)")
+    counters = counter_totals(tracer)
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("")
+        lines.append("counters:")
+        for name, value in counters.items():
+            shown = f"{int(value)}" if float(value).is_integer() else f"{value:.3f}"
+            lines.append(f"  {name.ljust(width)}  {shown}")
+    return "\n".join(lines)

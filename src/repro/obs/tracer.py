@@ -1,0 +1,265 @@
+"""Span/counter tracer for the decoder and FPGA-pipeline hot paths.
+
+Design constraints (see ``docs/observability.md``):
+
+* **Near-zero overhead when disabled.** Instrumented code fetches the
+  ambient tracer once per decode (``current_tracer()``) and either
+  guards per-batch emission with ``tracer.enabled`` or uses the no-op
+  span the disabled tracer hands out. No string formatting, no dict
+  building, no clock reads happen on the disabled path.
+* **Nesting via contextvars.** Span depth lives in a
+  :class:`contextvars.ContextVar`, so nesting is correct across
+  threads and ``asyncio`` tasks without locks on the hot path.
+* **Exporter-agnostic records.** The tracer stores plain
+  :class:`TraceEvent` rows; :mod:`repro.obs.export` turns them into
+  Chrome ``trace_event`` JSON or a JSONL log, and
+  :mod:`repro.obs.metrics` into a percentile summary.
+
+Usage::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        decoder.detect(received)        # instrumented internally
+    write_chrome_trace(tracer, "decode.trace.json")
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.util.timing import WallClock
+
+#: Event phases, mirroring the Chrome trace_event vocabulary.
+PHASE_SPAN = "span"
+PHASE_INSTANT = "instant"
+PHASE_COUNTER = "counter"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event (a completed span, an instant, or a count).
+
+    ``ts`` and ``dur`` are seconds relative to the tracer's epoch (its
+    construction, or the last :meth:`Tracer.clear`). ``depth`` is the
+    span-nesting depth at emission; ``tid`` the OS thread ident.
+    """
+
+    phase: str
+    name: str
+    ts: float
+    dur: float = 0.0
+    depth: int = 0
+    tid: int = 0
+    value: float = 0.0
+    args: Mapping[str, Any] | None = None
+
+
+class Span:
+    """Context manager recording one timed region on a tracer.
+
+    Created via :meth:`Tracer.span`; the event is appended on exit so a
+    crash inside the region leaves no half-open record.
+    """
+
+    __slots__ = ("_tracer", "name", "args", "_start", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Mapping | None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start: float | None = None
+        self._token = None
+
+    def __enter__(self) -> "Span":
+        self._token = _DEPTH.set(_DEPTH.get() + 1)
+        self._start = self._tracer._now()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = self._tracer._now()
+        depth = _DEPTH.get()
+        _DEPTH.reset(self._token)
+        start = self._start if self._start is not None else end
+        self._tracer._record(
+            TraceEvent(
+                phase=PHASE_SPAN,
+                name=self.name,
+                ts=start,
+                dur=end - start,
+                depth=depth,
+                tid=threading.get_ident(),
+                args=self.args,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Current span-nesting depth for the running execution context.
+_DEPTH: ContextVar[int] = ContextVar("repro_obs_depth", default=0)
+
+
+@dataclass
+class Counter:
+    """A named counter bound to one tracer (convenience handle)."""
+
+    tracer: "Tracer"
+    name: str
+
+    def add(self, value: float = 1.0) -> None:
+        """Increment the counter (no-op on a disabled tracer)."""
+        self.tracer.count(self.name, value)
+
+    @property
+    def value(self) -> float:
+        """Current accumulated total."""
+        return self.tracer.counters.get(self.name, 0.0)
+
+
+class Tracer:
+    """Collects spans, instants and counters for one observed run.
+
+    Parameters
+    ----------
+    enabled:
+        When False every API is a no-op; :data:`NULL_TRACER` is the
+        canonical disabled instance that ``current_tracer()`` returns
+        when nothing was installed.
+    clock:
+        Injectable monotonic clock (deterministic tests).
+    """
+
+    def __init__(self, *, enabled: bool = True, clock: WallClock | None = None) -> None:
+        self.enabled = enabled
+        self._clock = clock or WallClock()
+        self._epoch = self._clock.now()
+        self.events: list[TraceEvent] = []
+        self.counters: dict[str, float] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock.now() - self._epoch
+
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def span(self, name: str, **args: Any):
+        """A context manager timing one named region.
+
+        Keyword arguments become the span's ``args`` payload (visible in
+        the Chrome trace viewer). Disabled tracers return a shared no-op
+        span: no allocation beyond the call itself.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, args or None)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a point-in-time event (Chrome ``i`` phase)."""
+        if not self.enabled:
+            return
+        self._record(
+            TraceEvent(
+                phase=PHASE_INSTANT,
+                name=name,
+                ts=self._now(),
+                depth=_DEPTH.get(),
+                tid=threading.get_ident(),
+                args=args or None,
+            )
+        )
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a named counter and record the running total."""
+        if not self.enabled:
+            return
+        total = self.counters.get(name, 0.0) + value
+        self.counters[name] = total
+        self._record(
+            TraceEvent(
+                phase=PHASE_COUNTER,
+                name=name,
+                ts=self._now(),
+                tid=threading.get_ident(),
+                value=total,
+            )
+        )
+
+    def counter(self, name: str) -> Counter:
+        """A bound :class:`Counter` handle for repeated increments."""
+        return Counter(self, name)
+
+    # -- inspection ------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[TraceEvent]:
+        """All completed span events, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.phase == PHASE_SPAN and (name is None or e.name == name)
+        ]
+
+    def span_durations(self) -> dict[str, list[float]]:
+        """Span durations (seconds) grouped by span name."""
+        grouped: dict[str, list[float]] = {}
+        for e in self.events:
+            if e.phase == PHASE_SPAN:
+                grouped.setdefault(e.name, []).append(e.dur)
+        return grouped
+
+    def clear(self) -> None:
+        """Drop all recorded events/counters and restart the epoch."""
+        self.events = []
+        self.counters = {}
+        self._epoch = self._clock.now()
+
+
+#: Canonical disabled tracer; what ``current_tracer()`` yields when no
+#: tracer has been installed. Never record on it.
+NULL_TRACER = Tracer(enabled=False)
+
+_CURRENT: ContextVar[Tracer] = ContextVar("repro_obs_tracer", default=NULL_TRACER)
+
+
+def current_tracer() -> Tracer:
+    """The tracer installed for this execution context (never None)."""
+    return _CURRENT.get()
+
+
+def set_tracer(tracer: Tracer):
+    """Install ``tracer`` for this context; returns a reset token."""
+    return _CURRENT.set(tracer)
+
+
+def reset_tracer(token) -> None:
+    """Undo a :func:`set_tracer` with its token."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope ``tracer`` as the ambient tracer for a ``with`` block."""
+    token = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        reset_tracer(token)

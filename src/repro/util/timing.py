@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 class WallClock:
@@ -12,6 +13,71 @@ class WallClock:
     def now(self) -> float:
         """Current time in seconds (monotonic)."""
         return time.perf_counter()
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Distribution summary of a sample of durations (or any scalars).
+
+    Produced by :func:`summarize`; the observability metrics exporter
+    (:mod:`repro.obs.metrics`) renders one of these per span name.
+    """
+
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def empty(self) -> bool:
+        """True when the summary was built from no samples."""
+        return self.count == 0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default behaviour but stays pure
+    Python so callers need no array round trip for small samples.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        raise ValueError("cannot take a percentile of no samples")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def summarize(values: Sequence[float]) -> TimingSummary:
+    """Count/total/mean/min/max/p50/p95/p99 of a sample.
+
+    An empty sample yields an all-zero summary (``empty`` is True)
+    rather than raising, so exporters can render sparse traces.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return TimingSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    total = sum(vals)
+    return TimingSummary(
+        count=len(vals),
+        total=total,
+        mean=total / len(vals),
+        minimum=min(vals),
+        maximum=max(vals),
+        p50=percentile(vals, 50.0),
+        p95=percentile(vals, 95.0),
+        p99=percentile(vals, 99.0),
+    )
 
 
 @dataclass
@@ -24,11 +90,15 @@ class Timer:
         with timer:
             work()
         print(timer.elapsed, timer.calls)
+
+    Every timed call's duration is also kept in :attr:`samples`, so
+    :meth:`summarize` can report percentiles across calls.
     """
 
     clock: WallClock = field(default_factory=WallClock)
     elapsed: float = 0.0
     calls: int = 0
+    samples: list[float] = field(default_factory=list)
     _start: float | None = None
 
     def __enter__(self) -> "Timer":
@@ -40,8 +110,10 @@ class Timer:
     def __exit__(self, *exc: object) -> None:
         if self._start is None:  # pragma: no cover - defensive
             raise RuntimeError("Timer.__exit__ without __enter__")
-        self.elapsed += self.clock.now() - self._start
+        duration = self.clock.now() - self._start
+        self.elapsed += duration
         self.calls += 1
+        self.samples.append(duration)
         self._start = None
 
     @property
@@ -50,7 +122,12 @@ class Timer:
         return self.elapsed / self.calls if self.calls else 0.0
 
     def reset(self) -> None:
-        """Zero the accumulated time and call count."""
+        """Zero the accumulated time, call count and samples."""
         self.elapsed = 0.0
         self.calls = 0
+        self.samples = []
         self._start = None
+
+    def summarize(self) -> TimingSummary:
+        """Distribution summary over the per-call durations."""
+        return summarize(self.samples)

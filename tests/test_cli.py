@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import _parse_mimo, _parse_snrs, build_parser, main
+from repro.cli import (
+    _parse_mimo,
+    _parse_modulation,
+    _parse_snrs,
+    build_parser,
+    main,
+)
 
 
 class TestParsers:
@@ -19,6 +27,22 @@ class TestParsers:
             _parse_snrs("4:20")
         with pytest.raises(argparse.ArgumentTypeError):
             _parse_snrs("4:20:0")
+
+    @pytest.mark.parametrize("text", ["", ",", ", ,", "20:4:4"])
+    def test_snr_empty_rejected(self, text):
+        """Regression: inputs parsing to zero SNR points must error."""
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="no SNR values"):
+            _parse_snrs(text)
+
+    def test_modulation_names(self):
+        assert _parse_modulation("16QAM") == "16qam"
+        assert _parse_modulation(" 4qam ") == "4qam"
+
+    def test_modulation_bare_order(self):
+        assert _parse_modulation("4") == "4qam"
+        assert _parse_modulation("16") == "16qam"
 
     def test_mimo(self):
         assert _parse_mimo("10x10") == (10, 10)
@@ -102,3 +126,95 @@ class TestCommands:
             ]
         )
         assert code == 0
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "decode.trace.json"
+        code = main(
+            ["trace", "--size", "6", "--mod", "4", "--out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "Chrome trace written to" in printed
+        assert "cycles over" in printed  # stage breakdown header
+        assert "p95_ms" in printed  # metrics table
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert any(e["name"] == "sd.detect" for e in events)
+        assert any(e["name"] == "fpga.decode_report" for e in events)
+
+    def test_trace_stage_breakdown_sums_printed_total(self, tmp_path, capsys):
+        """The printed per-stage cycles add up to the printed total."""
+        import re
+
+        out = tmp_path / "t.json"
+        assert main(["trace", "--size", "5", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        total = int(re.search(r"== fpga-\w+: (\d+) cycles", printed).group(1))
+        stage_cycles = [
+            int(m.group(1))
+            for m in re.finditer(r"^\S+\s+(\d+)\s+[\d.]+%$", printed, re.M)
+        ]
+        assert sum(stage_cycles) == total
+
+    def test_trace_jsonl_and_baseline_design(self, tmp_path):
+        out = tmp_path / "t.json"
+        events = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "trace",
+                "--mimo",
+                "4x4",
+                "--design",
+                "baseline",
+                "--strategy",
+                "dfs",
+                "--out",
+                str(out),
+                "--jsonl",
+                str(events),
+            ]
+        )
+        assert code == 0
+        lines = events.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+
+
+class TestStatsCommand:
+    def test_stats_prints_metrics(self, capsys):
+        code = main(["stats", "fig6", "--channels", "1", "--frames", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "p95_ms" in out
+        assert "counters:" in out
+
+    def test_stats_unknown_experiment(self, capsys):
+        assert main(["stats", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_stats_writes_trace(self, tmp_path, capsys):
+        code = main(
+            [
+                "stats",
+                "fig6",
+                "--channels",
+                "1",
+                "--frames",
+                "1",
+                "--trace",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        path = tmp_path / "fig6.trace.json"
+        assert path.exists()
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["-v", "list"]) == 0

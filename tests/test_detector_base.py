@@ -1,5 +1,7 @@
 """Tests for repro.detectors.base: stats records and the Detector ABC."""
 
+from dataclasses import dataclass, field, fields
+
 import numpy as np
 import pytest
 
@@ -52,6 +54,60 @@ class TestDecodeStats:
 
     def test_merge_truncated(self):
         assert DecodeStats(truncated=1).merge(DecodeStats(truncated=2)).truncated == 3
+
+    def test_merge_aggregates_every_field(self):
+        """Regression: no field may be silently dropped by merge().
+
+        Builds two records whose every field is non-default and checks
+        each merged field against the rule the dataclass declares (sum
+        for numerics/lists, metadata override otherwise) — so adding a
+        field without aggregation support fails here, not in a report.
+        """
+
+        def sample(offset: int) -> DecodeStats:
+            kwargs = {}
+            for i, f in enumerate(fields(DecodeStats)):
+                if f.name == "batches":
+                    kwargs[f.name] = [BatchEvent(offset, i + 1)]
+                elif f.name == "radius_trace":
+                    kwargs[f.name] = [float(offset + i)]
+                elif f.type == "float" or f.name == "wall_time_s":
+                    kwargs[f.name] = float(offset + i + 0.5)
+                else:
+                    kwargs[f.name] = offset + i + 1
+            return DecodeStats(**kwargs)
+
+        a, b = sample(10), sample(100)
+        m = a.merge(b)
+        for f in fields(DecodeStats):
+            mine, theirs = getattr(a, f.name), getattr(b, f.name)
+            rule = f.metadata.get("merge", "sum")
+            expected = max(mine, theirs) if rule == "max" else mine + theirs
+            assert getattr(m, f.name) == expected, f.name
+
+    def test_merge_picks_up_subclass_fields(self):
+        """fields() introspection covers fields added by subclasses."""
+
+        @dataclass
+        class ExtendedStats(DecodeStats):
+            cache_hits: int = 0
+            peak_frontier: int = field(default=0, metadata={"merge": "max"})
+
+        a = ExtendedStats(nodes_expanded=1, cache_hits=3, peak_frontier=9)
+        b = ExtendedStats(nodes_expanded=2, cache_hits=4, peak_frontier=5)
+        m = a.merge(b)
+        assert isinstance(m, ExtendedStats)
+        assert m.nodes_expanded == 3
+        assert m.cache_hits == 7
+        assert m.peak_frontier == 9
+
+    def test_merge_rejects_unmergeable_field(self):
+        @dataclass
+        class BadStats(DecodeStats):
+            label: str = ""
+
+        with pytest.raises(TypeError, match="no default merge rule"):
+            BadStats(label="a").merge(BadStats(label="b"))
 
 
 class _DummyDetector(Detector):

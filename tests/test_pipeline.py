@@ -64,8 +64,33 @@ class TestBatchCycles:
     def test_breakdown_keys(self):
         pipe = self.make()
         cycles = pipe.batch_cycles(BatchEvent(level=5, pool_size=2))
-        assert set(cycles) == {"branch", "evaluate", "norm", "prune", "control", "total"}
+        assert set(cycles) == {
+            "branch",
+            "prefetch",
+            "gemm",
+            "evaluate",
+            "norm",
+            "prune",
+            "control",
+            "total",
+        }
         assert cycles["total"] > 0
+
+    def test_attribution_sums_to_batch_total(self):
+        """Per-stage attribution of one batch sums exactly to its total."""
+        pipe = self.make()
+        for ev in (BatchEvent(5, 2), BatchEvent(0, 32), BatchEvent(9, 1)):
+            cycles = pipe.batch_cycles(ev)
+            attributed = pipe.batch_attribution(ev)
+            assert sum(attributed.values()) == cycles["total"]
+
+    def test_attribution_sums_without_overlap(self):
+        """Same invariant on the baseline (no dataflow overlap)."""
+        pipe = self.make(PipelineConfig.baseline(4))
+        ev = BatchEvent(5, 4)
+        assert sum(pipe.batch_attribution(ev).values()) == pipe.batch_cycles(ev)[
+            "total"
+        ]
 
     def test_bigger_pool_costs_more(self):
         pipe = self.make()
@@ -123,6 +148,41 @@ class TestDecodeReport:
             "setup",
             "transfer",
         }
+
+    def test_stage_breakdown_sums_to_total(self):
+        """Acceptance invariant: stage attribution covers every cycle."""
+        stats = realistic_stats()
+        for config in (PipelineConfig.optimized(4), PipelineConfig.baseline(4)):
+            pipe = FPGAPipeline(config, n_tx=10, n_rx=10, order=4)
+            report = pipe.decode_report(stats)
+            breakdown = report.stage_breakdown()
+            assert sum(breakdown.values()) == report.total_cycles
+            assert all(v >= 0 for v in breakdown.values())
+
+    def test_stage_breakdown_is_a_copy(self):
+        stats = realistic_stats()
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        report = pipe.decode_report(stats)
+        report.stage_breakdown()["gemm"] = -1
+        assert report.stage_breakdown().get("gemm", 0) >= 0
+
+    def test_format_stage_breakdown(self):
+        stats = realistic_stats()
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        text = pipe.decode_report(stats).format_stage_breakdown()
+        assert "cycles over" in text
+        assert "gemm" in text
+        assert "%" in text
+
+    def test_decode_report_emits_stage_counters(self):
+        from repro.obs import Tracer, use_tracer
+
+        stats = realistic_stats()
+        pipe = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
+        with use_tracer(Tracer()) as tracer:
+            report = pipe.decode_report(stats)
+        assert tracer.counters["fpga.cycles.total"] == report.total_cycles
+        assert tracer.spans("fpga.decode_report")
 
     def test_transfer_under_three_percent(self):
         """The paper's <3% host->HBM staging claim on a realistic trace."""

@@ -1,8 +1,9 @@
 """Tests for repro.util.timing."""
 
+import numpy as np
 import pytest
 
-from repro.util.timing import Timer, WallClock
+from repro.util.timing import Timer, WallClock, percentile, summarize
 
 
 class FakeClock(WallClock):
@@ -59,9 +60,76 @@ class TestTimer:
         timer.reset()
         assert timer.elapsed == 0.0
         assert timer.calls == 0
+        assert timer.samples == []
+        assert timer.summarize().empty
+
+    def test_reset_allows_reuse_after_guard(self):
+        """reset() clears a half-open state so the timer is usable again."""
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        timer.__enter__()
+        timer.reset()
+        with timer:
+            clock.t += 1.0
+        assert timer.calls == 1
+
+    def test_keeps_samples(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        for dt in (1.0, 3.0, 2.0):
+            with timer:
+                clock.t += dt
+        assert timer.samples == pytest.approx([1.0, 3.0, 2.0])
+        summary = timer.summarize()
+        assert summary.count == 3
+        assert summary.total == pytest.approx(6.0)
+        assert summary.p50 == pytest.approx(2.0)
 
     def test_real_clock_monotonic(self):
         timer = Timer()
         with timer:
             pass
         assert timer.elapsed >= 0.0
+
+
+class TestPercentile:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        values = list(rng.uniform(0, 10, size=37))
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_single_sample(self):
+        assert percentile([4.2], 95.0) == 4.2
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+
+class TestSummarize:
+    def test_empty_is_all_zero(self):
+        summary = summarize([])
+        assert summary.empty
+        assert summary.count == 0
+        assert summary.total == 0.0
+        assert summary.p99 == 0.0
+
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert not summary.empty
+        assert summary.count == 4
+        assert summary.total == pytest.approx(10.0)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_percentiles_ordered(self):
+        values = list(range(101))
+        summary = summarize(values)
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
