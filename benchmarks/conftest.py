@@ -1,6 +1,6 @@
 """Bench-suite observability wiring.
 
-Every ``bench_*.py`` gains two pytest options without touching the
+Every ``bench_*.py`` gains three pytest options without touching the
 individual bench modules:
 
 ``--obs-trace PATH``
@@ -12,8 +12,13 @@ individual bench modules:
 ``--metrics``
     Print the aligned-text span/counter summary (p50/p95/p99) after
     each bench's table.
+``--obs-runs DIR``
+    Record each bench into the persistent run registry under ``DIR``:
+    one ``runs``-style directory per bench with manifest, span/counter
+    metrics and the full Chrome trace. Compare recordings later with
+    ``repro-sd runs diff`` (see ``docs/observability.md``).
 
-Both are implemented by :func:`repro.bench.harness.observe_bench`.
+All three are implemented by :func:`repro.bench.harness.observe_bench`.
 """
 
 from __future__ import annotations
@@ -37,24 +42,30 @@ def pytest_addoption(parser):
         default=False,
         help="print the span/counter percentile summary after each bench",
     )
+    group.addoption(
+        "--obs-runs",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="record each bench (manifest + metrics + trace) into the "
+        "run registry under DIR",
+    )
 
 
 @pytest.fixture(autouse=True)
 def _bench_observability(request, capsys):
     """Scope every bench under the ambient tracer when requested."""
-    from repro.bench.harness import export_observations
-    from repro.obs import Tracer, use_tracer
+    from repro.bench.harness import observe_bench
 
     trace = request.config.getoption("--obs-trace")
     metrics = request.config.getoption("--metrics")
-    if trace is None and not metrics:
+    runs_dir = request.config.getoption("--obs-runs")
+    if trace is None and not metrics and runs_dir is None:
         yield
         return
-    tracer = Tracer()
-    with use_tracer(tracer):
-        yield
     # Print even without `-s`, matching the bench tables themselves.
     with capsys.disabled():
-        export_observations(
-            tracer, request.node.name, trace=trace, metrics=metrics
-        )
+        with observe_bench(
+            request.node.name, trace=trace, metrics=metrics, runs_dir=runs_dir
+        ):
+            yield

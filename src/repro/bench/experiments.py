@@ -1044,8 +1044,62 @@ def scaling_modulation(
     )
 
 
+def smoke_experiment(
+    *,
+    snrs: Sequence[float] = (8.0, 12.0),
+    channels: int = 2,
+    frames_per_channel: int = 3,
+    seed: int = 2023,
+) -> SeriesResult:
+    """Tiny deterministic sweep for CI and the benchmark-regression gate.
+
+    Small enough to finish in seconds, yet it exercises the whole stack:
+    Monte Carlo engine, canonical decoder, CPU model and FPGA pipeline.
+    ``tools/check_regression.py`` compares this experiment's metrics
+    against the committed ``BENCH_baseline.json``; everything except
+    ``host_ms`` is bit-deterministic for a fixed seed.
+    """
+    workload = run_workload_sweep(
+        6,
+        "4qam",
+        snrs=snrs,
+        channels=channels,
+        frames_per_channel=frames_per_channel,
+        seed=seed,
+    )
+    rows = []
+    for point, trow in zip(workload.sweep.points, time_rows(workload)):
+        rows.append(
+            {
+                "snr_db": point.snr_db,
+                "host_ms": point.mean_decode_time_s * 1e3,
+                "cpu_model_ms": trow["cpu_ms"],
+                "fpga_opt_ms": trow["fpga_optimized_ms"],
+                "ber": point.ber,
+                "mean_nodes": point.mean_nodes_expanded(),
+                "frames": point.frames,
+            }
+        )
+    return SeriesResult(
+        experiment="smoke",
+        title="smoke sweep, 6x6 4-QAM (regression-gate workload)",
+        columns=[
+            "snr_db",
+            "host_ms",
+            "cpu_model_ms",
+            "fpga_opt_ms",
+            "ber",
+            "mean_nodes",
+            "frames",
+        ],
+        rows=rows,
+        notes="host_ms is measured wall time; the rest is deterministic per seed",
+    )
+
+
 #: Registry used by the CLI: name -> (callable, description).
 EXPERIMENTS = {
+    "smoke": (smoke_experiment, "Smoke: tiny regression-gate sweep (6x6 4-QAM)"),
     "table1": (table1_resources, "Table I: FPGA resource utilisation"),
     "table2": (table2_power, "Table II: power / energy CPU vs FPGA"),
     "fig6": (fig6_time_10x10_4qam, "Fig. 6: time vs SNR, 10x10 4-QAM"),

@@ -27,7 +27,13 @@ from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
 from repro.mimo.constellation import Constellation
 from repro.mimo.montecarlo import MonteCarloEngine, SweepResult
 from repro.mimo.system import MIMOSystem
-from repro.obs import Tracer, format_metrics, use_tracer, write_chrome_trace
+from repro.obs import (
+    RunRegistry,
+    Tracer,
+    format_metrics,
+    use_tracer,
+    write_chrome_trace,
+)
 from repro.obs.log import get_logger
 from repro.perfmodel import CPUCostModel
 from repro.util.timing import summarize
@@ -254,23 +260,40 @@ def observe_bench(
     *,
     trace: str | Path | None = None,
     metrics: bool = False,
+    runs_dir: str | Path | None = None,
+    seed: int | None = None,
+    config: dict | None = None,
 ) -> Iterator[Tracer | None]:
     """Scope one bench/experiment run under the observability layer.
 
     Installs an enabled :class:`~repro.obs.Tracer` as the ambient tracer
-    when either output was requested (otherwise a no-op that yields
+    when any output was requested (otherwise a no-op that yields
     ``None``). On exit writes the Chrome trace to
-    :func:`resolve_trace_path` and/or prints the aligned metrics
-    summary. ``benchmarks/conftest.py`` wires this behind every
-    ``bench_*.py`` via the ``--obs-trace``/``--metrics`` pytest options.
+    :func:`resolve_trace_path`, prints the aligned metrics summary,
+    and/or records a registry run (manifest + metrics + trace) under
+    ``runs_dir``. ``benchmarks/conftest.py`` wires this behind every
+    ``bench_*.py`` via the ``--obs-trace``/``--metrics``/``--obs-runs``
+    pytest options.
     """
-    if trace is None and not metrics:
+    if trace is None and not metrics and runs_dir is None:
         yield None
         return
     tracer = Tracer()
-    with use_tracer(tracer):
-        yield tracer
-    export_observations(tracer, name, trace=trace, metrics=metrics)
+    recorder = RunRegistry(runs_dir).new_run(name, seed=seed, config=config)
+    status = "complete"
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    except BaseException:
+        status = "failed"
+        raise
+    finally:
+        export_observations(tracer, name, trace=trace, metrics=metrics)
+        if recorder.enabled:
+            recorder.record_metrics(tracer)
+            recorder.record_trace(tracer)
+            path = recorder.finalize(status)
+            print(f"[obs] run recorded: {path}")
 
 
 def export_observations(

@@ -20,9 +20,16 @@ Subcommands
 ``stats``
     Replay an experiment under the tracer and print the metrics
     summary (span percentiles + counters).
+``runs``
+    Inspect the persistent run registry: ``runs list``, ``runs show``,
+    ``runs diff A B`` (per-SNR comparison tables) and ``runs report``
+    (a self-contained markdown document). Record runs with
+    ``experiment NAME --record``.
 
 Global ``-v``/``-q`` flags raise/lower the ``repro`` logging channel's
-verbosity (see :mod:`repro.obs.log`).
+verbosity (see :mod:`repro.obs.log`). Argument and configuration errors
+(unknown experiment ids, malformed modulations, missing runs) exit with
+code 2 and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -116,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also render an ASCII chart of the main series",
     )
+    exp.add_argument(
+        "--record",
+        action="store_true",
+        help="persist this run (manifest, series, metrics) to the run registry",
+    )
+    exp.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="DIR",
+        help="run-registry root used with --record (default: runs/)",
+    )
 
     dec = sub.add_parser("decode", help="decode one random frame end to end")
     dec.add_argument("--mimo", type=_parse_mimo, default=(10, 10))
@@ -188,6 +206,36 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument(
         "--trace", default=None, metavar="PATH", help="also write a Chrome trace"
     )
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect the persistent run registry (list/show/diff/report)",
+    )
+    runs.add_argument(
+        "--dir",
+        dest="runs_dir",
+        default="runs",
+        metavar="DIR",
+        help="run-registry root (default: runs/)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="list recorded runs, oldest first")
+    show = runs_sub.add_parser("show", help="render one recorded run")
+    show.add_argument("run", help="run id, unique prefix, latest[~N], or path")
+    show.add_argument("--markdown", action="store_true", help="emit markdown")
+    diff = runs_sub.add_parser(
+        "diff", help="per-SNR / per-span comparison of two runs"
+    )
+    diff.add_argument("run_a", help="base run (id, prefix, latest[~N], path)")
+    diff.add_argument("run_b", help="compared run")
+    diff.add_argument("--markdown", action="store_true", help="emit markdown")
+    rep = runs_sub.add_parser(
+        "report", help="self-contained markdown report of one run"
+    )
+    rep.add_argument("run", help="run id, unique prefix, latest[~N], or path")
+    rep.add_argument(
+        "--out", default=None, metavar="PATH", help="write the report here"
+    )
     return parser
 
 
@@ -219,8 +267,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     if args.name == "table1":
         kwargs = {}
-    result = fn(**kwargs)
-    print(result.format())
+    if args.record:
+        from repro.obs import RunRegistry, Tracer, use_tracer
+
+        recorder = RunRegistry(args.runs_dir).new_run(
+            args.name, seed=kwargs.get("seed"), config=dict(kwargs)
+        )
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                result = fn(**kwargs)
+        except BaseException:
+            recorder.finalize("failed")
+            raise
+        recorder.record_series(result)
+        recorder.record_metrics(tracer)
+        path = recorder.finalize()
+        print(result.format())
+        print(f"[obs] run recorded: {path}")
+    else:
+        result = fn(**kwargs)
+        print(result.format())
     if args.plot:
         chart = _plot_experiment(result)
         if chart:
@@ -411,12 +478,48 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    from repro.obs.log import configure
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.registry import RunRegistry
+    from repro.obs.report import (
+        diff_runs,
+        format_diff,
+        format_report,
+        format_run,
+        format_run_list,
+        load_run,
+    )
 
-    args = build_parser().parse_args(argv)
-    configure(args.verbose - args.quiet)
+    registry = RunRegistry(args.runs_dir)
+    if args.runs_command == "list":
+        print(format_run_list(load_run(p) for p in registry.run_dirs()))
+        return 0
+    if args.runs_command == "show":
+        run = load_run(registry.resolve(args.run))
+        print(format_run(run, markdown=args.markdown))
+        return 0
+    if args.runs_command == "diff":
+        run_a = load_run(registry.resolve(args.run_a))
+        run_b = load_run(registry.resolve(args.run_b))
+        print(format_diff(diff_runs(run_a, run_b), markdown=args.markdown))
+        return 0
+    if args.runs_command == "report":
+        text = format_report(load_run(registry.resolve(args.run)))
+        if args.out:
+            from pathlib import Path
+
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text + "\n")
+            print(f"report written to {out}")
+        else:
+            print(text)
+        return 0
+    raise AssertionError(
+        f"unhandled runs command {args.runs_command}"
+    )  # pragma: no cover
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "experiment":
@@ -429,7 +532,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Configuration errors (unknown experiment/run ids, malformed
+    modulations or geometries) exit with code 2 and a single
+    ``error: ...`` line on stderr — no tracebacks for user mistakes.
+    """
+    from repro.obs.log import configure
+
+    args = build_parser().parse_args(argv)
+    configure(args.verbose - args.quiet)
+    try:
+        return _dispatch(args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,8 @@ block owns its own generator.
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -160,6 +162,11 @@ class MonteCarloEngine:
         Keep per-expansion :class:`BatchEvent` traces in the stats (needed
         by the FPGA pipeline simulator; disable to save memory on very
         long BER runs).
+    heartbeat_every:
+        Emit a live progress heartbeat every N channel blocks (serial
+        mode): an INFO log line and, under an enabled tracer, an
+        ``mc.heartbeat`` instant event carrying frames done, running
+        BER, nodes/s and the point's ETA. ``0`` disables heartbeats.
     """
 
     def __init__(
@@ -171,6 +178,7 @@ class MonteCarloEngine:
         seed: int | None = 0,
         target_bit_errors: int | None = None,
         keep_traces: bool = True,
+        heartbeat_every: int = 1,
     ) -> None:
         self.system = system
         self.channels = check_positive_int(channels, "channels")
@@ -180,6 +188,52 @@ class MonteCarloEngine:
         self.seed = seed
         self.target_bit_errors = target_bit_errors
         self.keep_traces = keep_traces
+        if heartbeat_every < 0:
+            raise ValueError("heartbeat_every must be >= 0")
+        self.heartbeat_every = heartbeat_every
+
+    def _heartbeat(
+        self,
+        tracer,
+        point: SnrPoint,
+        *,
+        blocks_done: int,
+        wall_started: float,
+    ) -> None:
+        """One live progress event for a long-running SNR point.
+
+        Cheap by construction: runs once per channel *block* (hundreds
+        of decodes), and skips all arithmetic when neither the logging
+        channel nor the tracer would observe it.
+        """
+        if not tracer.enabled and not _log.isEnabledFor(logging.INFO):
+            return
+        elapsed = time.perf_counter() - wall_started
+        remaining = self.channels - blocks_done
+        eta_s = elapsed / blocks_done * remaining if blocks_done else float("nan")
+        nodes = sum(st.nodes_expanded for st in point.frame_stats)
+        nodes_per_s = nodes / point.decode_time_s if point.decode_time_s else 0.0
+        _log.info(
+            "mc heartbeat %.1f dB: block %d/%d, %d frames, ber=%.3g, "
+            "%.0f nodes/s, eta %.1f s",
+            point.snr_db,
+            blocks_done,
+            self.channels,
+            point.frames,
+            point.ber,
+            nodes_per_s,
+            eta_s,
+        )
+        tracer.instant(
+            "mc.heartbeat",
+            snr_db=point.snr_db,
+            blocks_done=blocks_done,
+            blocks_total=self.channels,
+            frames=point.frames,
+            ber=point.ber,
+            nodes_per_s=nodes_per_s,
+            eta_s=eta_s,
+        )
 
     def run(
         self,
@@ -207,9 +261,10 @@ class MonteCarloEngine:
         for snr_db, seq in zip(snrs, seqs):
             block_seqs = seq.spawn(self.channels)
             point = SnrPoint(snr_db=snr_db, errors=ErrorCounter())
+            wall_started = time.perf_counter()
             with tracer.span("mc.point", snr_db=snr_db):
                 if n_workers == 1:
-                    for bseq in block_seqs:
+                    for block_index, bseq in enumerate(block_seqs, start=1):
                         rng = np.random.default_rng(bseq)
                         counter, stats, elapsed = _run_block(
                             self.system,
@@ -223,6 +278,16 @@ class MonteCarloEngine:
                         point.frame_stats.extend(stats)
                         point.decode_time_s += elapsed
                         point.frames += self.frames_per_channel
+                        if (
+                            self.heartbeat_every
+                            and block_index % self.heartbeat_every == 0
+                        ):
+                            self._heartbeat(
+                                tracer,
+                                point,
+                                blocks_done=block_index,
+                                wall_started=wall_started,
+                            )
                         if (
                             self.target_bit_errors is not None
                             and point.errors.bit_errors >= self.target_bit_errors

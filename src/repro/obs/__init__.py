@@ -16,6 +16,11 @@ Three cooperating pieces (see ``docs/observability.md``):
     ``logging``-based diagnostics channel with a single
     :func:`~repro.obs.log.configure` entry point; the CLI's ``-v``/
     ``-q`` flags map onto it.
+``repro.obs.registry`` / ``repro.obs.report``
+    Persistent run registry: every recorded harness / benchmark /
+    ``repro-sd experiment`` invocation becomes a ``runs/<id>/``
+    directory (manifest + series + metrics + optional trace), and
+    ``repro-sd runs list|show|diff|report`` renders and compares them.
 
 Quickstart::
 
@@ -37,6 +42,12 @@ from repro.obs.export import (
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 from repro.obs.metrics import counter_totals, format_metrics, span_metrics
+from repro.obs.registry import (
+    NULL_RECORDER,
+    RunManifest,
+    RunRecorder,
+    RunRegistry,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     PHASE_COUNTER,
@@ -73,6 +84,10 @@ __all__ = [
     "span_metrics",
     "counter_totals",
     "format_metrics",
+    "RunRegistry",
+    "RunRecorder",
+    "RunManifest",
+    "NULL_RECORDER",
     "configure_logging",
     "get_logger",
 ]

@@ -1,0 +1,316 @@
+"""Loading, rendering and diffing recorded runs (``repro.obs.registry``).
+
+The CLI's ``repro-sd runs list|show|diff|report`` subcommands are thin
+wrappers over this module. Diffs align two runs' per-SNR series (sweep
+points when recorded, otherwise the experiment table's rows keyed on
+their first column) and report absolute + relative deltas for every
+numeric column — decode-time, BER and node-count shifts — plus the
+p50/p95/p99 movement of every span both runs recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.registry import (
+    MANIFEST_FILE,
+    METRICS_FILE,
+    SERIES_FILE,
+    SWEEP_FILE,
+)
+
+
+@dataclass
+class RunData:
+    """One run directory's artifacts, loaded into memory."""
+
+    path: Path
+    manifest: dict[str, Any]
+    series: dict[str, Any] | None = None
+    sweep: dict[str, Any] | None = None
+    metrics: dict[str, Any] | None = None
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.get("run_id", self.path.name)
+
+    @property
+    def experiment(self) -> str:
+        return self.manifest.get("experiment", "?")
+
+
+def load_run(path: str | Path) -> RunData:
+    """Load one run directory; raises ``KeyError`` without a manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise KeyError(f"{path} is not a recorded run (no {MANIFEST_FILE})")
+    run = RunData(path=path, manifest=json.loads(manifest_path.read_text()))
+    for name, attr in (
+        (SERIES_FILE, "series"),
+        (SWEEP_FILE, "sweep"),
+        (METRICS_FILE, "metrics"),
+    ):
+        artifact = path / name
+        if artifact.is_file():
+            setattr(run, attr, json.loads(artifact.read_text()))
+    return run
+
+
+# ----------------------------------------------------------------------
+# Table rendering (aligned text and GitHub markdown)
+# ----------------------------------------------------------------------
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    columns: list[str], rows: Iterable[dict], *, markdown: bool = False
+) -> str:
+    """Render rows (dicts) under ``columns`` as one table."""
+    cells = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    if markdown:
+        lines = ["| " + " | ".join(columns) + " |"]
+        lines.append("|" + "|".join("---" for _ in columns) + "|")
+        for r in cells:
+            lines.append("| " + " | ".join(r) + " |")
+        return "\n".join(lines)
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = ["  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Single-run views
+# ----------------------------------------------------------------------
+
+#: Columns of the ``runs list`` table.
+LIST_COLUMNS = ["run_id", "experiment", "created_utc", "status", "elapsed_s", "seed"]
+
+
+def format_run_list(runs: Iterable[RunData], *, markdown: bool = False) -> str:
+    """The ``runs list`` table (oldest first)."""
+    rows = [
+        {
+            "run_id": r.run_id,
+            "experiment": r.experiment,
+            "created_utc": r.manifest.get("created_utc"),
+            "status": r.manifest.get("status"),
+            "elapsed_s": r.manifest.get("elapsed_s"),
+            "seed": r.manifest.get("seed"),
+        }
+        for r in runs
+    ]
+    if not rows:
+        return "(no runs recorded)"
+    return format_table(LIST_COLUMNS, rows, markdown=markdown)
+
+
+def _sweep_columns(sweep: dict) -> list[str]:
+    keys: list[str] = []
+    for point in sweep.get("points", []):
+        for key in point:
+            if key not in keys:
+                keys.append(key)
+    return keys
+
+
+def format_run(run: RunData, *, markdown: bool = False) -> str:
+    """The ``runs show`` view: manifest summary + recorded tables."""
+    env = run.manifest.get("environment", {})
+    heading = f"run {run.run_id}  [{run.manifest.get('status', '?')}]"
+    lines = [f"## {heading}" if markdown else f"== {heading} =="]
+    for label, value in (
+        ("experiment", run.experiment),
+        ("created", run.manifest.get("created_utc")),
+        ("seed", run.manifest.get("seed")),
+        ("elapsed_s", _fmt(run.manifest.get("elapsed_s"))),
+        ("git_sha", env.get("git_sha")),
+        ("python/numpy", f"{env.get('python')} / {env.get('numpy')}"),
+        ("host", f"{env.get('hostname')} ({env.get('platform')})"),
+    ):
+        lines.append(f"- **{label}**: {value}" if markdown else f"{label:>13}: {value}")
+    if run.manifest.get("config"):
+        config = ", ".join(f"{k}={v}" for k, v in run.manifest["config"].items())
+        lines.append(f"- **config**: {config}" if markdown else f"{'config':>13}: {config}")
+    if run.sweep is not None:
+        lines.append("")
+        title = f"sweep: {run.sweep.get('detector')} on {run.sweep.get('system')}"
+        lines.append(f"### {title}" if markdown else f"-- {title} --")
+        lines.append(
+            format_table(
+                _sweep_columns(run.sweep), run.sweep["points"], markdown=markdown
+            )
+        )
+    if run.series is not None:
+        lines.append("")
+        title = f"series: {run.series.get('title', run.series.get('experiment'))}"
+        lines.append(f"### {title}" if markdown else f"-- {title} --")
+        lines.append(
+            format_table(
+                list(run.series["columns"]), run.series["rows"], markdown=markdown
+            )
+        )
+        if run.series.get("notes"):
+            lines.append(run.series["notes"])
+    if run.metrics is not None and run.metrics.get("spans"):
+        lines.append("")
+        lines.append("### spans" if markdown else "-- spans --")
+        span_rows = [
+            {
+                "span": name,
+                "count": s.get("count"),
+                "p50_ms": 1e3 * s.get("p50_s", 0.0),
+                "p95_ms": 1e3 * s.get("p95_s", 0.0),
+                "p99_ms": 1e3 * s.get("p99_s", 0.0),
+                "total_ms": 1e3 * s.get("total_s", 0.0),
+            }
+            for name, s in run.metrics["spans"].items()
+        ]
+        lines.append(
+            format_table(
+                ["span", "count", "p50_ms", "p95_ms", "p99_ms", "total_ms"],
+                span_rows,
+                markdown=markdown,
+            )
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Diffs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two runs (see :func:`diff_runs`)."""
+
+    a: RunData
+    b: RunData
+    key_column: str = ""
+    series_columns: list[str] = field(default_factory=list)
+    series_rows: list[dict] = field(default_factory=list)
+    span_rows: list[dict] = field(default_factory=list)
+
+
+def _numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _paired_rows(run: RunData) -> tuple[str, list[str], list[dict]] | None:
+    """(key column, value columns, rows) of the run's best series."""
+    if run.sweep is not None:
+        columns = [c for c in _sweep_columns(run.sweep) if c != "snr_db"]
+        return "snr_db", columns, list(run.sweep["points"])
+    if run.series is not None:
+        columns = list(run.series["columns"])
+        if not columns:
+            return None
+        return columns[0], columns[1:], list(run.series["rows"])
+    return None
+
+
+def diff_runs(a: RunData, b: RunData) -> RunDiff:
+    """Align two runs' series and compute per-key numeric deltas.
+
+    Rows are matched on the key column (``snr_db`` for sweeps); for
+    every numeric column shared by a matched pair the diff carries
+    ``<col>_a``, ``<col>_b``, ``<col>_delta`` and ``<col>_pct`` (the
+    relative change in percent, None when the base value is 0).
+    """
+    diff = RunDiff(a=a, b=b)
+    pair_a, pair_b = _paired_rows(a), _paired_rows(b)
+    if pair_a and pair_b:
+        key_a, cols_a, rows_a = pair_a
+        key_b, cols_b, rows_b = pair_b
+        if key_a == key_b:
+            diff.key_column = key_a
+            shared = [c for c in cols_a if c in cols_b]
+            by_key = {row.get(key_b): row for row in rows_b}
+            out_cols = [key_a]
+            for row in rows_a:
+                key = row.get(key_a)
+                other = by_key.get(key)
+                if other is None:
+                    continue
+                out = {key_a: key}
+                for col in shared:
+                    va, vb = row.get(col), other.get(col)
+                    if not (_numeric(va) and _numeric(vb)):
+                        continue
+                    out[f"{col}_a"] = va
+                    out[f"{col}_b"] = vb
+                    out[f"{col}_delta"] = vb - va
+                    out[f"{col}_pct"] = 100.0 * (vb - va) / va if va else None
+                    for name in (f"{col}_a", f"{col}_b", f"{col}_delta", f"{col}_pct"):
+                        if name not in out_cols:
+                            out_cols.append(name)
+                diff.series_rows.append(out)
+            diff.series_columns = out_cols
+    spans_a = (a.metrics or {}).get("spans", {})
+    spans_b = (b.metrics or {}).get("spans", {})
+    for name in spans_a:
+        if name not in spans_b:
+            continue
+        sa, sb = spans_a[name], spans_b[name]
+        row: dict[str, Any] = {"span": name}
+        for pct in ("p50", "p95", "p99"):
+            va = 1e3 * sa.get(f"{pct}_s", 0.0)
+            vb = 1e3 * sb.get(f"{pct}_s", 0.0)
+            row[f"{pct}_a_ms"] = va
+            row[f"{pct}_b_ms"] = vb
+            row[f"{pct}_pct"] = 100.0 * (vb - va) / va if va else None
+        diff.span_rows.append(row)
+    return diff
+
+
+def format_diff(diff: RunDiff, *, markdown: bool = False) -> str:
+    """Render a :class:`RunDiff` as aligned text or markdown."""
+    title = f"diff {diff.a.run_id} -> {diff.b.run_id}"
+    lines = [f"## {title}" if markdown else f"== {title} =="]
+    if diff.series_rows:
+        sub = f"per-{diff.key_column} series (a -> b)"
+        lines.append(f"### {sub}" if markdown else f"-- {sub} --")
+        lines.append(
+            format_table(diff.series_columns, diff.series_rows, markdown=markdown)
+        )
+    else:
+        lines.append("(no alignable series: runs recorded no common table)")
+    if diff.span_rows:
+        lines.append("")
+        lines.append("### span shifts" if markdown else "-- span shifts --")
+        columns = ["span"]
+        for pct in ("p50", "p95", "p99"):
+            columns += [f"{pct}_a_ms", f"{pct}_b_ms", f"{pct}_pct"]
+        lines.append(format_table(columns, diff.span_rows, markdown=markdown))
+    return "\n".join(lines)
+
+
+def format_report(run: RunData) -> str:
+    """The ``runs report`` view: one self-contained markdown document."""
+    lines = [f"# Run report: {run.run_id}", "", format_run(run, markdown=True)]
+    return "\n".join(lines)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 
@@ -80,7 +80,12 @@ def summarize(values: Sequence[float]) -> TimingSummary:
     )
 
 
-@dataclass
+#: Default per-call sample retention for :class:`Timer` — bounds memory
+#: on multi-million-frame sweeps while keeping percentile estimates on a
+#: window large enough for stable p99s.
+DEFAULT_MAX_SAMPLES = 65_536
+
+
 class Timer:
     """Accumulating stopwatch.
 
@@ -91,15 +96,32 @@ class Timer:
             work()
         print(timer.elapsed, timer.calls)
 
-    Every timed call's duration is also kept in :attr:`samples`, so
-    :meth:`summarize` can report percentiles across calls.
+    Per-call durations are retained in :attr:`samples` for the
+    percentile view, capped at ``max_samples`` entries (a ring buffer —
+    the newest calls win). The *exact* aggregates survive any retention
+    limit: :attr:`calls`, :attr:`elapsed` and :meth:`summarize`'s
+    count / total / mean / min / max are maintained as running values
+    over every call ever timed; only the percentiles are computed over
+    the retained window. ``max_samples=None`` retains everything.
     """
 
-    clock: WallClock = field(default_factory=WallClock)
-    elapsed: float = 0.0
-    calls: int = 0
-    samples: list[float] = field(default_factory=list)
-    _start: float | None = None
+    def __init__(
+        self,
+        clock: WallClock | None = None,
+        *,
+        max_samples: int | None = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive (or None)")
+        self.clock = clock if clock is not None else WallClock()
+        self.max_samples = max_samples
+        self.elapsed = 0.0
+        self.calls = 0
+        self._samples: list[float] = []
+        self._next = 0  # ring-buffer write cursor once the cap is hit
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._start: float | None = None
 
     def __enter__(self) -> "Timer":
         if self._start is not None:
@@ -113,8 +135,19 @@ class Timer:
         duration = self.clock.now() - self._start
         self.elapsed += duration
         self.calls += 1
-        self.samples.append(duration)
+        self._min = min(self._min, duration)
+        self._max = max(self._max, duration)
+        if self.max_samples is None or len(self._samples) < self.max_samples:
+            self._samples.append(duration)
+        else:
+            self._samples[self._next] = duration
+            self._next = (self._next + 1) % self.max_samples
         self._start = None
+
+    @property
+    def samples(self) -> list[float]:
+        """Retained per-call durations, oldest first (bounded window)."""
+        return self._samples[self._next :] + self._samples[: self._next]
 
     @property
     def mean(self) -> float:
@@ -125,9 +158,29 @@ class Timer:
         """Zero the accumulated time, call count and samples."""
         self.elapsed = 0.0
         self.calls = 0
-        self.samples = []
+        self._samples = []
+        self._next = 0
+        self._min = float("inf")
+        self._max = float("-inf")
         self._start = None
 
     def summarize(self) -> TimingSummary:
-        """Distribution summary over the per-call durations."""
-        return summarize(self.samples)
+        """Distribution summary over the per-call durations.
+
+        ``count``/``total``/``mean``/``minimum``/``maximum`` are exact
+        across *all* calls regardless of the retention cap; the
+        percentiles describe the retained window.
+        """
+        if not self.calls:
+            return summarize([])
+        window = self.samples
+        return TimingSummary(
+            count=self.calls,
+            total=self.elapsed,
+            mean=self.elapsed / self.calls,
+            minimum=self._min,
+            maximum=self._max,
+            p50=percentile(window, 50.0),
+            p95=percentile(window, 95.0),
+            p99=percentile(window, 99.0),
+        )

@@ -1,0 +1,155 @@
+"""Tests for the benchmark-regression gate (tools/check_regression.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+import check_regression as cr
+
+
+class TestMetricClass:
+    def test_known_prefixes(self):
+        assert cr.metric_class("host_ms@8") == "time"
+        assert cr.metric_class("cpu_model_ms@12") == "model"
+        assert cr.metric_class("fpga_opt_ms@8") == "model"
+        assert cr.metric_class("mean_nodes@12") == "nodes"
+        assert cr.metric_class("ber@8") == "ber"
+
+    def test_unknown_prefix_is_uncompared(self):
+        assert cr.metric_class("frames@8") is None
+
+
+BASE = {
+    "host_ms@8": 10.0,
+    "cpu_model_ms@8": 5.0,
+    "mean_nodes@8": 30.0,
+    "ber@8": 0.05,
+}
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        assert cr.compare(BASE, dict(BASE)) == []
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        current = dict(BASE, **{"host_ms@8": 20.0})
+        violations = cr.compare(BASE, current)
+        assert [v["metric"] for v in violations] == ["host_ms@8"]
+        assert "2.00x baseline" in violations[0]["reason"]
+
+    def test_within_tolerance_passes(self):
+        current = dict(BASE, **{"host_ms@8": 15.0})  # +50% < +60%
+        assert cr.compare(BASE, current) == []
+
+    def test_improvements_never_regress(self):
+        current = {k: v * 0.5 for k, v in BASE.items()}
+        assert cr.compare(BASE, current) == []
+
+    def test_tight_model_class(self):
+        current = dict(BASE, **{"cpu_model_ms@8": 5.2})  # +4% > +2%
+        violations = cr.compare(BASE, current)
+        assert [v["metric"] for v in violations] == ["cpu_model_ms@8"]
+
+    def test_ber_zero_tolerance_with_abs_slack(self):
+        base = dict(BASE, **{"ber@8": 0.0})
+        assert cr.compare(base, dict(base)) == []  # 0 vs 0 is fine
+        worse = dict(base, **{"ber@8": 1e-3})
+        assert [v["metric"] for v in cr.compare(base, worse)] == ["ber@8"]
+
+    def test_missing_metric_either_side_is_violation(self):
+        current = dict(BASE)
+        del current["mean_nodes@8"]
+        current["host_ms@12"] = 1.0
+        reasons = {v["metric"]: v["reason"] for v in cr.compare(BASE, current)}
+        assert reasons == {
+            "mean_nodes@8": "metric missing from current run",
+            "host_ms@12": "metric missing from baseline",
+        }
+
+    def test_tolerance_override(self):
+        current = dict(BASE, **{"host_ms@8": 20.0})
+        assert cr.compare(BASE, current, {"time": 2.0}) == []
+
+
+class TestCollectMetrics:
+    def test_deterministic_for_fixed_seed(self):
+        kwargs = dict(channels=1, frames_per_channel=2, seed=11)
+        a, series = cr.collect_metrics(**kwargs)
+        b, _ = cr.collect_metrics(**kwargs)
+        assert set(a) and set(a) == set(b)
+        for name in a:
+            if cr.metric_class(name) != "time":
+                assert a[name] == b[name], name
+        assert {n.split("@", 1)[0] for n in a} == {
+            "host_ms", "cpu_model_ms", "fpga_opt_ms", "ber", "mean_nodes"
+        }
+        assert series.rows
+
+
+class TestMainEndToEnd:
+    ARGS = ["--channels", "1", "--frames", "2", "--seed", "11"]
+
+    def test_update_then_clean_pass(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert cr.main([*self.ARGS, "--baseline", str(baseline), "--update"]) == 0
+        assert baseline.is_file()
+        doc = json.loads(baseline.read_text())
+        assert doc["schema"] == cr.SCHEMA
+        assert doc["config"]["seed"] == 11
+        # unmodified re-run at the same config passes the gate (host wall
+        # time jitters hugely at this micro scale, so relax `time` the way
+        # CI does; the deterministic classes stay at their defaults)
+        assert cr.main([*self.ARGS, "--baseline", str(baseline), "--tol-time", "20"]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update"])
+        doc = json.loads(baseline.read_text())
+        for name in doc["metrics"]:  # simulate everything getting 2x faster
+            doc["metrics"][name] *= 0.5  # ... so the current run looks 2x slower
+        baseline.write_text(json.dumps(doc))
+        assert cr.main([*self.ARGS, "--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = cr.main([*self.ARGS, "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_config_mismatch_exits_2(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update"])
+        code = cr.main(
+            ["--channels", "1", "--frames", "3", "--seed", "11",
+             "--baseline", str(baseline)]
+        )
+        assert code == 2
+        assert "does not match" in capsys.readouterr().err
+
+    def test_trajectory_appends(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        trajectory = tmp_path / "trajectory.json"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update",
+                 "--trajectory", str(trajectory)])
+        cr.main([*self.ARGS, "--baseline", str(baseline),
+                 "--trajectory", str(trajectory)])
+        doc = json.loads(trajectory.read_text())
+        assert len(doc["points"]) == 2
+        assert set(doc["points"][0]) == {"recorded_utc", "git_sha", "metrics"}
+
+    def test_runs_dir_records_run(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        runs = tmp_path / "runs"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update",
+                 "--runs-dir", str(runs)])
+        dirs = [p for p in runs.iterdir() if (p / "manifest.json").is_file()]
+        assert len(dirs) == 1
+        assert (dirs[0] / "series.json").is_file()
+        assert (dirs[0] / "metrics.json").is_file()

@@ -185,6 +185,99 @@ class TestTraceCommand:
         assert all(json.loads(line)["name"] for line in lines)
 
 
+class TestErrorPaths:
+    """Config mistakes exit 2 with one `error:` line, never a traceback."""
+
+    def test_value_error_is_one_line(self, capsys):
+        code = main(
+            ["ber", "--mimo", "3x3", "--snr", "10", "--channels", "0", "--frames", "1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err == "error: channels must be positive, got 0\n"
+        assert "Traceback" not in err
+
+    def test_unknown_run_reference(self, tmp_path, capsys):
+        code = main(["runs", "--dir", str(tmp_path), "show", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no run matching 'nope'")
+        assert "Traceback" not in err
+
+    def test_malformed_modulation(self, capsys):
+        assert main(["decode", "--mod", "7qam"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown constellation '7qam'")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+
+class TestRunsCommands:
+    def record(self, runs_dir, seed):
+        code = main(
+            [
+                "experiment",
+                "smoke",
+                "--channels",
+                "1",
+                "--frames",
+                "2",
+                "--seed",
+                str(seed),
+                "--record",
+                "--runs-dir",
+                str(runs_dir),
+            ]
+        )
+        assert code == 0
+
+    def test_record_list_diff_report_round_trip(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        self.record(runs_dir, seed=1)
+        self.record(runs_dir, seed=2)
+        out = capsys.readouterr().out
+        assert out.count("[obs] run recorded:") == 2
+
+        assert main(["runs", "--dir", str(runs_dir), "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "smoke" in listing
+        assert listing.count("complete") == 2
+
+        assert main(["runs", "--dir", str(runs_dir), "diff", "latest~1", "latest"]) == 0
+        diff = capsys.readouterr().out
+        assert "per-snr_db series" in diff
+        assert "host_ms_a" in diff and "host_ms_pct" in diff
+        assert "span shifts" in diff
+
+        report_path = tmp_path / "deep" / "report.md"
+        code = main(
+            ["runs", "--dir", str(runs_dir), "report", "latest", "--out", str(report_path)]
+        )
+        assert code == 0
+        assert report_path.read_text().startswith("# Run report: ")
+
+    def test_show_latest(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        self.record(runs_dir, seed=1)
+        capsys.readouterr()
+        assert main(["runs", "--dir", str(runs_dir), "show", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out and "smoke" in out
+        assert "git_sha" in out
+
+    def test_list_empty_registry(self, tmp_path, capsys):
+        assert main(["runs", "--dir", str(tmp_path / "none"), "list"]) == 0
+        assert "(no runs recorded)" in capsys.readouterr().out
+
+    def test_experiment_without_record_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["experiment", "smoke", "--channels", "1", "--frames", "1", "--seed", "1"]
+        )
+        assert code == 0
+        assert not (tmp_path / "runs").exists()
+
+
 class TestStatsCommand:
     def test_stats_prints_metrics(self, capsys):
         code = main(["stats", "fig6", "--channels", "1", "--frames", "2"])

@@ -27,6 +27,7 @@ TINY = dict(channels=1, frames_per_channel=2, seed=7)
 class TestRegistry:
     def test_all_paper_artifacts_covered(self):
         expected = {
+            "smoke",
             "table1",
             "table2",
             "fig6",

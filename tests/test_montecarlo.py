@@ -193,3 +193,85 @@ class TestParallelWorkers:
             return sweep.points[0].errors.bit_errors
 
         assert run(1) == run(2)
+
+
+class TestHeartbeat:
+    def heartbeats(self, tracer):
+        return [e for e in tracer.events if e.name == "mc.heartbeat"]
+
+    def run_traced(self, *, channels=3, heartbeat_every=1):
+        from repro.obs import Tracer, use_tracer
+
+        system = _system()
+        engine = MonteCarloEngine(
+            system,
+            channels=channels,
+            frames_per_channel=2,
+            seed=0,
+            heartbeat_every=heartbeat_every,
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            engine.run(_zf_factory(system.constellation), [10.0])
+        return tracer
+
+    def test_instant_per_block(self):
+        tracer = self.run_traced(channels=3)
+        beats = self.heartbeats(tracer)
+        assert [e.args["blocks_done"] for e in beats] == [1, 2, 3]
+        assert all(e.args["blocks_total"] == 3 for e in beats)
+
+    def test_instant_payload(self):
+        tracer = self.run_traced(channels=2)
+        last = self.heartbeats(tracer)[-1]
+        assert set(last.args) == {
+            "snr_db", "blocks_done", "blocks_total", "frames",
+            "ber", "nodes_per_s", "eta_s",
+        }
+        assert last.args["snr_db"] == 10.0
+        assert last.args["frames"] == 4  # 2 blocks x 2 frames
+        assert 0.0 <= last.args["ber"] <= 1.0
+        assert last.args["eta_s"] == pytest.approx(0.0, abs=5.0)
+
+    def test_every_n_blocks(self):
+        tracer = self.run_traced(channels=4, heartbeat_every=2)
+        beats = self.heartbeats(tracer)
+        assert [e.args["blocks_done"] for e in beats] == [2, 4]
+
+    def test_zero_disables(self):
+        tracer = self.run_traced(channels=3, heartbeat_every=0)
+        assert self.heartbeats(tracer) == []
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_every"):
+            MonteCarloEngine(_system(), heartbeat_every=-1)
+
+    def test_log_line_when_verbose(self):
+        """The INFO heartbeat renders frames, BER and ETA."""
+        import io
+
+        from repro.obs.log import configure
+
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        try:
+            system = _system()
+            engine = MonteCarloEngine(
+                system, channels=2, frames_per_channel=2, seed=0
+            )
+            engine.run(_zf_factory(system.constellation), [10.0])
+        finally:
+            configure(0)
+        logged = stream.getvalue()
+        assert "mc heartbeat 10.0 dB" in logged
+        assert "block 2/2" in logged
+        assert "eta" in logged
+
+    def test_silent_without_tracer_or_verbose_logging(self):
+        """Default run: no heartbeat work observable anywhere."""
+        from repro.obs import current_tracer
+
+        system = _system()
+        engine = MonteCarloEngine(system, channels=2, frames_per_channel=2, seed=0)
+        engine.run(_zf_factory(system.constellation), [10.0])
+        assert self.heartbeats(current_tracer()) == []

@@ -106,6 +106,12 @@ class TestJsonl:
         path = write_jsonl(Tracer(clock=FakeClock()), tmp_path / "e.jsonl")
         assert path.read_text() == ""
 
+    def test_creates_parent_dirs(self, tmp_path):
+        """Regression: a nested --jsonl path must not require mkdir -p."""
+        path = write_jsonl(sample_tracer(), tmp_path / "a" / "b" / "events.jsonl")
+        assert path.exists()
+        assert path.read_text().splitlines()
+
 
 class TestMetrics:
     def test_span_metrics_percentiles(self):

@@ -1,0 +1,160 @@
+"""Tests for run rendering and diffing (repro.obs.report)."""
+
+import pytest
+
+from repro.obs import RunRegistry, Tracer
+from repro.util.timing import WallClock
+from repro.obs.report import (
+    RunData,
+    diff_runs,
+    format_diff,
+    format_report,
+    format_run,
+    format_run_list,
+    format_table,
+    load_run,
+)
+
+
+class StubSeries:
+    experiment = "fig6"
+    title = "decode time vs snr"
+    notes = ""
+
+    def __init__(self, rows):
+        self.columns = list(rows[0])
+        self.rows = rows
+
+
+class TickClock(WallClock):
+    """One second per observation — deterministic span durations."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+def record_run(root, rows, *, seed=1, spans=None):
+    """Record one run with the given series rows and span timings."""
+    recorder = RunRegistry(root).new_run("fig6", seed=seed, config={"n": 6})
+    recorder.record_series(StubSeries(rows))
+    tracer = Tracer(clock=TickClock())
+    for name, count in spans or []:
+        for _ in range(count):
+            with tracer.span(name):
+                pass
+    recorder.record_metrics(tracer)
+    return recorder.finalize()
+
+
+ROWS_A = [
+    {"snr_db": 8.0, "host_ms": 10.0, "ber": 0.05},
+    {"snr_db": 12.0, "host_ms": 6.0, "ber": 0.0},
+]
+ROWS_B = [
+    {"snr_db": 8.0, "host_ms": 15.0, "ber": 0.04},
+    {"snr_db": 12.0, "host_ms": 6.0, "ber": 0.0},
+]
+
+
+class TestLoadAndRender:
+    def test_load_run_round_trip(self, tmp_path):
+        path = record_run(tmp_path, ROWS_A, spans=[("sd.detect", 2)])
+        run = load_run(path)
+        assert run.run_id == path.name
+        assert run.experiment == "fig6"
+        assert run.series["rows"][0]["host_ms"] == 10.0
+        assert "sd.detect" in run.metrics["spans"]
+
+    def test_load_run_rejects_non_run(self, tmp_path):
+        with pytest.raises(KeyError, match="not a recorded run"):
+            load_run(tmp_path)
+
+    def test_format_run_list(self, tmp_path):
+        record_run(tmp_path, ROWS_A, seed=1)
+        record_run(tmp_path, ROWS_B, seed=2)
+        registry = RunRegistry(tmp_path)
+        runs = [load_run(p) for p in registry.run_dirs()]
+        text = format_run_list(runs)
+        assert "run_id" in text and "fig6" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 runs
+        assert format_run_list([]) == "(no runs recorded)"
+
+    def test_format_run_text_and_markdown(self, tmp_path):
+        path = record_run(tmp_path, ROWS_A, spans=[("sd.detect", 3)])
+        run = load_run(path)
+        text = format_run(run)
+        assert "decode time vs snr" in text
+        assert "sd.detect" in text
+        assert "n=6" in text
+        md = format_run(run, markdown=True)
+        assert "| snr_db | host_ms | ber |" in md
+        assert md.startswith("## run ")
+
+    def test_format_report_is_markdown_document(self, tmp_path):
+        run = load_run(record_run(tmp_path, ROWS_A))
+        report = format_report(run)
+        assert report.startswith(f"# Run report: {run.run_id}")
+        assert "| snr_db |" in report
+
+
+class TestFormatTable:
+    def test_alignment_and_placeholder(self):
+        text = format_table(
+            ["name", "x"], [{"name": "a", "x": 1.5}, {"name": "bb", "x": None}]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].startswith("a ")
+        assert "-" in lines[3]  # None placeholder
+
+    def test_markdown_header_rule(self):
+        md = format_table(["a"], [{"a": 1}], markdown=True)
+        assert md.splitlines()[1] == "|---|"
+
+
+class TestDiff:
+    def diff(self, tmp_path):
+        a = load_run(record_run(tmp_path, ROWS_A, seed=1, spans=[("sd.detect", 2)]))
+        b = load_run(record_run(tmp_path, ROWS_B, seed=2, spans=[("sd.detect", 2)]))
+        return diff_runs(a, b)
+
+    def test_per_snr_deltas(self, tmp_path):
+        diff = self.diff(tmp_path)
+        assert diff.key_column == "snr_db"
+        assert [row["snr_db"] for row in diff.series_rows] == [8.0, 12.0]
+        row = diff.series_rows[0]
+        assert row["host_ms_a"] == 10.0
+        assert row["host_ms_b"] == 15.0
+        assert row["host_ms_delta"] == pytest.approx(5.0)
+        assert row["host_ms_pct"] == pytest.approx(50.0)
+        assert row["ber_delta"] == pytest.approx(-0.01)
+
+    def test_zero_base_pct_is_none(self, tmp_path):
+        diff = self.diff(tmp_path)
+        row = diff.series_rows[1]  # ber 0 -> 0 at 12 dB
+        assert row["ber_pct"] is None
+
+    def test_span_shifts(self, tmp_path):
+        diff = self.diff(tmp_path)
+        assert [row["span"] for row in diff.span_rows] == ["sd.detect"]
+        row = diff.span_rows[0]
+        assert {"p50_a_ms", "p50_b_ms", "p50_pct", "p95_pct", "p99_pct"} <= set(row)
+
+    def test_format_diff_renders_tables(self, tmp_path):
+        diff = self.diff(tmp_path)
+        text = format_diff(diff)
+        assert "per-snr_db series" in text
+        assert "span shifts" in text
+        md = format_diff(diff, markdown=True)
+        assert "| snr_db |" in md
+
+    def test_diff_without_common_table(self, tmp_path):
+        a = RunData(path=tmp_path, manifest={"run_id": "a"})
+        b = RunData(path=tmp_path, manifest={"run_id": "b"})
+        diff = diff_runs(a, b)
+        assert diff.series_rows == [] and diff.span_rows == []
+        assert "no alignable series" in format_diff(diff)

@@ -242,3 +242,88 @@ class TestAnchorCalibration:
         base = FPGAPipeline(PipelineConfig.baseline(4), n_tx=10, n_rx=10, order=4)
         ratio = cpu.mean_decode_seconds(stats) / base.mean_decode_seconds(stats)
         assert 1.0 < ratio < 2.5
+
+
+class TestStageBreakdownProperty:
+    """stage_breakdown() must sum *exactly* to total_cycles — the
+    attribution invariant — for any config, geometry and batch trace."""
+
+    MODULATIONS = {"4qam": 4, "16qam": 16, "64qam": 64}
+
+    def random_config(self, rng, order):
+        from dataclasses import replace
+
+        preset = (
+            PipelineConfig.baseline(order)
+            if rng.random() < 0.5
+            else PipelineConfig.optimized(order)
+        )
+        return replace(
+            preset,
+            dataflow_overlap=bool(rng.random() < 0.5),
+            prefetch=replace(
+                preset.prefetch,
+                double_buffered=bool(rng.random() < 0.5),
+                address_setup_cycles=int(rng.integers(0, 12)),
+                hbm_channels=int(rng.integers(1, 5)),
+            ),
+            gemm=replace(
+                preset.gemm,
+                pipeline_depth=int(rng.integers(1, 24)),
+                initiation_interval=int(rng.integers(1, 5)),
+            ),
+            control_overhead_cycles=int(rng.integers(0, 128)),
+            branch_ii=int(rng.integers(1, 5)),
+            branch_latency=int(rng.integers(1, 20)),
+            norm_ii=int(rng.integers(1, 5)),
+            norm_latency=int(rng.integers(1, 24)),
+            sorted_insertion=bool(rng.random() < 0.5),
+            list_cycles_per_child=int(rng.integers(1, 20)),
+            radius_update_cycles=int(rng.integers(0, 12)),
+            pipeline_fill_cycles=int(rng.integers(0, 48)),
+            node_roundtrip_cycles=int(rng.integers(0, 64)),
+            setup_cycles=int(rng.integers(0, 120_000)),
+        )
+
+    def random_stats(self, rng, n_tx, depth):
+        batches = [
+            BatchEvent(
+                level=int(rng.integers(0, n_tx)),
+                pool_size=int(rng.integers(1, 65)),
+            )
+            for _ in range(depth)
+        ]
+        return DecodeStats(
+            nodes_expanded=depth,
+            nodes_generated=sum(b.pool_size for b in batches),
+            radius_updates=int(rng.integers(0, 20)),
+            batches=batches,
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_attribution_sums_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        mod = list(self.MODULATIONS)[seed % 3]
+        order = self.MODULATIONS[mod]
+        n_tx = int(rng.integers(2, 17))
+        n_rx = n_tx + int(rng.integers(0, 5))
+        config = self.random_config(rng, order)
+        pipe = FPGAPipeline(config, n_tx=n_tx, n_rx=n_rx, order=order)
+        stats = self.random_stats(rng, n_tx, depth=int(rng.integers(1, 400)))
+        report = pipe.decode_report(stats)
+        assert sum(report.stage_breakdown().values()) == report.total_cycles
+        assert all(v >= 0 for v in report.stage_breakdown().values())
+        assert report.batches == len(stats.batches)
+
+    @pytest.mark.parametrize("mod,order", sorted(MODULATIONS.items()))
+    def test_attribution_sums_on_real_traces(self, mod, order):
+        system = MIMOSystem(6, 6, mod)
+        frame = system.random_frame(12.0, np.random.default_rng(1))
+        decoder = SphereDecoder(system.constellation)
+        decoder.prepare(frame.channel, noise_var=frame.noise_var)
+        stats = decoder.detect(frame.received).stats
+        for config in (PipelineConfig.baseline(order), PipelineConfig.optimized(order)):
+            report = FPGAPipeline(
+                config, n_tx=6, n_rx=6, order=order
+            ).decode_report(stats)
+            assert sum(report.stage_breakdown().values()) == report.total_cycles

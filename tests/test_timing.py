@@ -92,6 +92,59 @@ class TestTimer:
         assert timer.elapsed >= 0.0
 
 
+class TestTimerSampleCap:
+    def timed(self, timer, clock, durations):
+        for dt in durations:
+            with timer:
+                clock.t += dt
+
+    def test_ring_keeps_newest_samples(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock, max_samples=3)
+        self.timed(timer, clock, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert timer.samples == pytest.approx([3.0, 4.0, 5.0])
+
+    def test_summarize_aggregates_stay_exact(self):
+        """count/total/min/max cover every call, not just the window."""
+        clock = FakeClock()
+        timer = Timer(clock=clock, max_samples=4)
+        self.timed(timer, clock, [10.0] + [1.0] * 99)
+        summary = timer.summarize()
+        assert summary.count == 100
+        assert timer.calls == 100
+        assert summary.total == pytest.approx(109.0)
+        assert summary.mean == pytest.approx(1.09)
+        assert summary.minimum == pytest.approx(1.0)
+        assert summary.maximum == pytest.approx(10.0)  # evicted yet remembered
+        # percentiles describe the retained window only
+        assert summary.p99 == pytest.approx(1.0)
+
+    def test_default_cap_applies(self):
+        assert Timer().max_samples == 65_536
+
+    def test_unbounded_retention(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock, max_samples=None)
+        self.timed(timer, clock, [1.0] * 10)
+        assert len(timer.samples) == 10
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            Timer(max_samples=0)
+        with pytest.raises(ValueError, match="max_samples"):
+            Timer(max_samples=-5)
+
+    def test_reset_clears_ring_state(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock, max_samples=2)
+        self.timed(timer, clock, [1.0, 2.0, 3.0])
+        timer.reset()
+        assert timer.samples == []
+        self.timed(timer, clock, [7.0])
+        assert timer.samples == pytest.approx([7.0])
+        assert timer.summarize().maximum == pytest.approx(7.0)
+
+
 class TestPercentile:
     def test_matches_numpy(self):
         rng = np.random.default_rng(7)

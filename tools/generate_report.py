@@ -38,6 +38,19 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2023)
     parser.add_argument("--out", default=None, help="write the report here")
     parser.add_argument("--plots", action="store_true", help="include ASCII charts")
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="record each experiment's series into this run registry",
+    )
+    parser.add_argument(
+        "--baseline-out",
+        default=None,
+        metavar="PATH",
+        help="also refresh the benchmark-regression baseline "
+        "(BENCH_baseline.json) from a fresh smoke run",
+    )
     args = parser.parse_args(argv)
 
     names = args.only or list(EXPERIMENTS)
@@ -46,6 +59,9 @@ def main(argv=None) -> int:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
 
+    from repro.obs import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
     sections: list[str] = [
         "# Experiment report",
         f"scale={args.scale} seed={args.seed}",
@@ -60,13 +76,20 @@ def main(argv=None) -> int:
             kwargs["seed"] = args.seed
         started = time.perf_counter()
         print(f"[{name}] {description} ...", flush=True)
+        recorder = registry.new_run(
+            name, seed=kwargs.get("seed"), config=dict(kwargs)
+        )
         try:
             result = fn(**kwargs)
         except TypeError:
             # Experiments without MC depth knobs (e.g. fixed sweeps).
             result = fn(seed=args.seed) if name != "table1" else fn()
+        recorder.record_series(result)
+        run_path = recorder.finalize()
         elapsed = time.perf_counter() - started
         print(f"[{name}] done in {elapsed:.1f}s")
+        if run_path is not None:
+            print(f"[{name}] run recorded: {run_path}")
         sections.append("```")
         sections.append(result.format())
         sections.append("```")
@@ -84,6 +107,16 @@ def main(argv=None) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    if args.baseline_out:
+        # tools/ is on sys.path when this file runs as a script.
+        from pathlib import Path
+
+        import check_regression
+
+        metrics, _series = check_regression.collect_metrics(seed=args.seed)
+        config = {"channels": 2, "frames_per_channel": 3, "seed": args.seed}
+        check_regression.write_baseline(Path(args.baseline_out), metrics, config)
+        print(f"baseline refreshed: {args.baseline_out}")
     return 0
 
 
