@@ -64,6 +64,8 @@ def _time_figure(
     channels: int,
     frames_per_channel: int,
     seed: int,
+    workers: int = 1,
+    batch_frames: bool = False,
     notes: str = "",
 ) -> SeriesResult:
     workload = run_workload_sweep(
@@ -73,6 +75,8 @@ def _time_figure(
         channels=channels,
         frames_per_channel=frames_per_channel,
         seed=seed,
+        workers=workers,
+        batch_frames=batch_frames,
     )
     rows = time_rows(workload)
     return SeriesResult(
@@ -99,6 +103,8 @@ def fig6_time_10x10_4qam(
     channels: int = 3,
     frames_per_channel: int = 4,
     seed: int = 2023,
+    workers: int = 1,
+    batch_frames: bool = False,
 ) -> SeriesResult:
     """Fig. 6: execution time vs SNR, 10x10 MIMO, 4-QAM."""
     return _time_figure(
@@ -110,6 +116,8 @@ def fig6_time_10x10_4qam(
         channels=channels,
         frames_per_channel=frames_per_channel,
         seed=seed,
+        workers=workers,
+        batch_frames=batch_frames,
     )
 
 
@@ -119,6 +127,8 @@ def fig8_time_15x15_4qam(
     channels: int = 3,
     frames_per_channel: int = 3,
     seed: int = 2023,
+    workers: int = 1,
+    batch_frames: bool = False,
 ) -> SeriesResult:
     """Fig. 8: execution time vs SNR, 15x15 MIMO, 4-QAM."""
     return _time_figure(
@@ -130,6 +140,8 @@ def fig8_time_15x15_4qam(
         channels=channels,
         frames_per_channel=frames_per_channel,
         seed=seed,
+        workers=workers,
+        batch_frames=batch_frames,
     )
 
 
@@ -139,6 +151,8 @@ def fig9_time_20x20_4qam(
     channels: int = 2,
     frames_per_channel: int = 2,
     seed: int = 2023,
+    workers: int = 1,
+    batch_frames: bool = False,
 ) -> SeriesResult:
     """Fig. 9: execution time vs SNR, 20x20 MIMO, 4-QAM."""
     return _time_figure(
@@ -150,6 +164,8 @@ def fig9_time_20x20_4qam(
         channels=channels,
         frames_per_channel=frames_per_channel,
         seed=seed,
+        workers=workers,
+        batch_frames=batch_frames,
         notes="low-SNR points may truncate at the node cap; counts reported",
     )
 
@@ -160,6 +176,8 @@ def fig10_time_10x10_16qam(
     channels: int = 3,
     frames_per_channel: int = 3,
     seed: int = 2023,
+    workers: int = 1,
+    batch_frames: bool = False,
 ) -> SeriesResult:
     """Fig. 10: execution time vs SNR, 10x10 MIMO, 16-QAM."""
     return _time_figure(
@@ -171,6 +189,8 @@ def fig10_time_10x10_16qam(
         channels=channels,
         frames_per_channel=frames_per_channel,
         seed=seed,
+        workers=workers,
+        batch_frames=batch_frames,
     )
 
 
@@ -1050,6 +1070,8 @@ def smoke_experiment(
     channels: int = 2,
     frames_per_channel: int = 3,
     seed: int = 2023,
+    workers: int = 1,
+    batch_frames: bool = False,
 ) -> SeriesResult:
     """Tiny deterministic sweep for CI and the benchmark-regression gate.
 
@@ -1057,7 +1079,9 @@ def smoke_experiment(
     Monte Carlo engine, canonical decoder, CPU model and FPGA pipeline.
     ``tools/check_regression.py`` compares this experiment's metrics
     against the committed ``BENCH_baseline.json``; everything except
-    ``host_ms`` is bit-deterministic for a fixed seed.
+    ``host_ms`` is bit-deterministic for a fixed seed — including under
+    ``workers > 1`` process sharding and ``batch_frames`` fused
+    decoding, which CI exercises to guard the equivalence.
     """
     workload = run_workload_sweep(
         6,
@@ -1066,6 +1090,8 @@ def smoke_experiment(
         channels=channels,
         frames_per_channel=frames_per_channel,
         seed=seed,
+        workers=workers,
+        batch_frames=batch_frames,
     )
     rows = []
     for point, trow in zip(workload.sweep.points, time_rows(workload)):

@@ -51,6 +51,44 @@ DEFAULT_MAX_NODES = 150_000
 REAL_TIME_MS = 10.0
 
 
+@dataclass(frozen=True)
+class CanonicalDecoderFactory:
+    """Picklable factory for the paper's Algorithm-1 decoder.
+
+    Plain dataclass (not a closure) so Monte Carlo sweeps can ship it to
+    process-pool workers; see :mod:`repro.mimo.parallel_mc`.
+    """
+
+    constellation: Constellation
+    alpha: float = 2.0
+    max_nodes: int | None = DEFAULT_MAX_NODES
+
+    def __call__(self) -> Detector:
+        return SphereDecoder(
+            self.constellation,
+            strategy="dfs",
+            radius_policy=NoiseScaledRadius(alpha=self.alpha),
+            child_ordering="sorted",
+            max_nodes=self.max_nodes,
+        )
+
+
+@dataclass(frozen=True)
+class BfsGpuDecoderFactory:
+    """Picklable factory for the GPU GEMM-BFS baseline of [1]."""
+
+    constellation: Constellation
+    alpha: float = 4.0
+    max_frontier: int = 2**19
+
+    def __call__(self) -> Detector:
+        return GemmBfsDecoder(
+            self.constellation,
+            radius_policy=NoiseScaledRadius(alpha=self.alpha),
+            max_frontier=self.max_frontier,
+        )
+
+
 def canonical_decoder_factory(
     constellation: Constellation,
     *,
@@ -58,17 +96,9 @@ def canonical_decoder_factory(
     max_nodes: int | None = DEFAULT_MAX_NODES,
 ) -> Callable[[], Detector]:
     """Factory for the paper's Algorithm-1 decoder configuration."""
-
-    def make() -> Detector:
-        return SphereDecoder(
-            constellation,
-            strategy="dfs",
-            radius_policy=NoiseScaledRadius(alpha=alpha),
-            child_ordering="sorted",
-            max_nodes=max_nodes,
-        )
-
-    return make
+    return CanonicalDecoderFactory(
+        constellation, alpha=alpha, max_nodes=max_nodes
+    )
 
 
 def bfs_gpu_decoder_factory(
@@ -78,15 +108,9 @@ def bfs_gpu_decoder_factory(
     max_frontier: int = 2**19,
 ) -> Callable[[], Detector]:
     """Factory for the GPU GEMM-BFS baseline of [1]."""
-
-    def make() -> Detector:
-        return GemmBfsDecoder(
-            constellation,
-            radius_policy=NoiseScaledRadius(alpha=alpha),
-            max_frontier=max_frontier,
-        )
-
-    return make
+    return BfsGpuDecoderFactory(
+        constellation, alpha=alpha, max_frontier=max_frontier
+    )
 
 
 @dataclass
@@ -158,8 +182,15 @@ def run_workload_sweep(
     seed: int = 2023,
     alpha: float = 2.0,
     max_nodes: int | None = DEFAULT_MAX_NODES,
+    workers: int = 1,
+    batch_frames: bool = False,
 ) -> WorkloadSweep:
-    """Run the canonical decoder over an SNR grid, keeping traces."""
+    """Run the canonical decoder over an SNR grid, keeping traces.
+
+    ``workers > 1`` shards channel blocks over a process pool and
+    ``batch_frames`` fuses each block's frames into one ``decode_batch``
+    call — both bit-identical to the serial sweep for the same seed.
+    """
     system = MIMOSystem(n_antennas, n_antennas, modulation)
     const = system.constellation
     engine = MonteCarloEngine(
@@ -168,6 +199,8 @@ def run_workload_sweep(
         frames_per_channel=frames_per_channel,
         seed=seed,
         keep_traces=True,
+        workers=workers,
+        batch_frames=batch_frames,
     )
     sweep = engine.run(
         canonical_decoder_factory(const, alpha=alpha, max_nodes=max_nodes),

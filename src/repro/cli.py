@@ -119,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--frames", type=int, default=None, help="frames per channel")
     exp.add_argument("--seed", type=int, default=2023)
     exp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard Monte Carlo channel blocks over N processes "
+        "(bit-identical to serial; sweeps only)",
+    )
+    exp.add_argument(
         "--plot",
         action="store_true",
         help="also render an ASCII chart of the main series",
@@ -156,6 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
     ber.add_argument("--channels", type=int, default=5)
     ber.add_argument("--frames", type=int, default=10)
     ber.add_argument("--seed", type=int, default=0)
+    ber.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard channel blocks over N worker processes "
+        "(bit-identical to --workers 1 for the same seed)",
+    )
+    ber.add_argument(
+        "--batch",
+        action="store_true",
+        help="decode each block's frames as one fused GEMM batch "
+        "(bit-identical; tree-search detectors only)",
+    )
 
     trc = sub.add_parser(
         "trace",
@@ -265,6 +287,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["frames_per_channel"] = args.frames
     if args.name not in ("table1",):
         kwargs["seed"] = args.seed
+    if args.workers is not None:
+        import inspect
+
+        if "workers" not in inspect.signature(fn).parameters:
+            print(
+                f"experiment {args.name!r} does not support --workers",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["workers"] = args.workers
     if args.name == "table1":
         kwargs = {}
     if args.record:
@@ -364,6 +396,8 @@ def _cmd_decode(args: argparse.Namespace) -> int:
 
 
 def _cmd_ber(args: argparse.Namespace) -> int:
+    import functools
+
     from repro.bench.harness import bfs_gpu_decoder_factory, canonical_decoder_factory
     from repro.detectors.fsd import FixedComplexityDecoder
     from repro.detectors.linear import MMSEDetector, MRCDetector, ZeroForcingDetector
@@ -373,12 +407,14 @@ def _cmd_ber(args: argparse.Namespace) -> int:
     n_tx, n_rx = args.mimo
     system = MIMOSystem(n_tx, n_rx, args.mod)
     const = system.constellation
+    # functools.partial (not lambdas) so every factory stays picklable
+    # for --workers process sharding.
     factories = {
         "sd": canonical_decoder_factory(const),
-        "zf": lambda: ZeroForcingDetector(const),
-        "mmse": lambda: MMSEDetector(const),
-        "mrc": lambda: MRCDetector(const),
-        "fsd": lambda: FixedComplexityDecoder(const),
+        "zf": functools.partial(ZeroForcingDetector, const),
+        "mmse": functools.partial(MMSEDetector, const),
+        "mrc": functools.partial(MRCDetector, const),
+        "fsd": functools.partial(FixedComplexityDecoder, const),
         "bfs": bfs_gpu_decoder_factory(const),
     }
     engine = MonteCarloEngine(
@@ -387,6 +423,8 @@ def _cmd_ber(args: argparse.Namespace) -> int:
         frames_per_channel=args.frames,
         seed=args.seed,
         keep_traces=False,
+        workers=args.workers,
+        batch_frames=args.batch,
     )
     sweep = engine.run(factories[args.detector], args.snr, detector_name=args.detector)
     print(f"{'SNR(dB)':>8}  {'BER':>10}  {'bits':>8}")

@@ -37,6 +37,19 @@ FLOPS_PER_CMAC = 8
 FLOPS_PER_NORM = 8
 
 
+def _stacked_gemv(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """``(B, m) @ (m,)`` with a row-count-independent summation order.
+
+    ``np.matmul`` dispatches tall and single-row operands to different
+    BLAS kernels, so slicing rows out of a taller product is not
+    bit-identical to evaluating them alone. Non-optimised ``einsum``
+    reduces every output row in the same fixed order regardless of ``B``,
+    which is what lets :class:`BatchedGemmEvaluator` (stacking pools of
+    many frames) reproduce :class:`GemmEvaluator` results exactly.
+    """
+    return np.einsum("bm,m->b", matrix, vector)
+
+
 class GemmEvaluator:
     """Evaluates PD increments for pools of same-level nodes via GEMM.
 
@@ -127,7 +140,7 @@ class GemmEvaluator:
             # Path position i holds level M-1-i; row index j-(k+1) needs
             # level j ascending -> reverse the path columns.
             symbols = self.constellation.points[parent_indices[:, ::-1]]  # (B, m)
-            shared = symbols @ row  # GEMM: (B, m) @ (m,) per pool -> (B,)
+            shared = _stacked_gemv(symbols, row)  # (B, m) @ (m,) -> (B,)
             self.gemm_flops += FLOPS_PER_CMAC * pool * depth
         else:
             shared = np.zeros(pool, dtype=np.complex128)
@@ -153,3 +166,120 @@ class GemmEvaluator:
         s = self.constellation.points[indices_by_level]
         residual = self.ybar - self.r @ s
         return float(np.real(np.vdot(residual, residual)))
+
+
+class BatchedGemmEvaluator:
+    """PD evaluation for node pools drawn from ``F`` concurrent frames.
+
+    The paper's BLAS-2 -> BLAS-3 refactor applied *across frames*, not
+    just within one tree level: all frames of a block-fading channel
+    share the triangular factor ``R``, so same-level pools from several
+    concurrent decodes stack into one taller GEMM operand. Only the
+    rotated receive vector differs per frame, and it enters in the
+    element-wise NORM step — so each output row of the fused product is
+    the same independent dot product :class:`GemmEvaluator` would have
+    computed for that row alone, and batched decoding is bit-identical
+    to per-frame decoding (``tests/test_parallel_mc.py`` enforces this).
+
+    Parameters
+    ----------
+    r:
+        ``(M, M)`` upper-triangular factor shared by every frame.
+    ybars:
+        ``(F, M)`` rotated receive vectors, one row per frame.
+    constellation:
+        The symbol alphabet.
+    """
+
+    def __init__(
+        self,
+        r: np.ndarray,
+        ybars: np.ndarray,
+        constellation: Constellation,
+    ) -> None:
+        r = check_matrix(r, "r")
+        if r.shape[0] != r.shape[1]:
+            raise ValueError(f"r must be square, got {r.shape}")
+        if not np.allclose(r, np.triu(r)):
+            raise ValueError("r must be upper triangular")
+        self.n_tx = r.shape[0]
+        ybars = np.asarray(ybars)
+        if ybars.ndim != 2 or ybars.shape[1] != self.n_tx:
+            raise ValueError(
+                f"ybars must have shape (F, {self.n_tx}), got {ybars.shape}"
+            )
+        self.n_frames = ybars.shape[0]
+        self.ybars = ybars.astype(np.complex128)
+        self.r = r.astype(np.complex128)
+        self.constellation = constellation
+        points = constellation.points
+        self._diag_points = np.asarray(
+            [self.r[k, k] * points for k in range(self.n_tx)]
+        )  # (M, P)
+        self._rows = [self.r[k, k + 1 :] for k in range(self.n_tx)]
+        #: Fused cross-frame GEMM calls actually issued (the batching
+        #: win: compare against the sum of per-frame ``gemm_calls``).
+        self.fused_gemm_calls = 0
+        #: Pool rows evaluated across all fused calls.
+        self.rows_evaluated = 0
+        self.gemm_flops = 0
+        self.norm_flops = 0
+
+    @property
+    def order(self) -> int:
+        """Children per expansion (the paper's modulation factor P)."""
+        return self.constellation.order
+
+    def expand(
+        self,
+        level: int,
+        parent_indices: np.ndarray,
+        parent_pds: np.ndarray,
+        frame_rows: np.ndarray,
+    ) -> np.ndarray:
+        """Child PDs for a cross-frame pool of same-level nodes.
+
+        ``parent_indices``/``parent_pds`` are laid out exactly as in
+        :meth:`GemmEvaluator.expand`; ``frame_rows`` is the ``(B,)``
+        integer map from pool row to frame (row of ``ybars``).
+        """
+        if not 0 <= level < self.n_tx:
+            raise ValueError(f"level must be in [0, {self.n_tx - 1}], got {level}")
+        parent_indices = np.asarray(parent_indices, dtype=np.int64)
+        parent_pds = np.asarray(parent_pds, dtype=float)
+        frame_rows = np.asarray(frame_rows, dtype=np.int64)
+        depth = self.n_tx - 1 - level
+        if parent_indices.ndim != 2 or parent_indices.shape[1] != depth:
+            raise ValueError(
+                f"parent_indices must have shape (B, {depth}), "
+                f"got {parent_indices.shape}"
+            )
+        pool = parent_indices.shape[0]
+        if parent_pds.shape != (pool,) or frame_rows.shape != (pool,):
+            raise ValueError(
+                f"parent_pds and frame_rows must have shape ({pool},), "
+                f"got {parent_pds.shape} and {frame_rows.shape}"
+            )
+        if frame_rows.size and not (
+            0 <= frame_rows.min() and frame_rows.max() < self.n_frames
+        ):
+            raise ValueError(
+                f"frame_rows must index into {self.n_frames} frames"
+            )
+        row = self._rows[level]
+        if depth:
+            symbols = self.constellation.points[parent_indices[:, ::-1]]
+            # One fused (B_total, m) @ (m,) product over all frames.
+            shared = _stacked_gemv(symbols, row)
+            self.gemm_flops += FLOPS_PER_CMAC * pool * depth
+        else:
+            shared = np.zeros(pool, dtype=np.complex128)
+        self.fused_gemm_calls += 1
+        self.rows_evaluated += pool
+        ybar_rows = self.ybars[frame_rows, level]  # (B,)
+        error = (
+            ybar_rows[:, None] - shared[:, None] - self._diag_points[level][None, :]
+        )
+        increments = error.real**2 + error.imag**2
+        self.norm_flops += FLOPS_PER_NORM * pool * self.order
+        return parent_pds[:, None] + increments

@@ -44,7 +44,13 @@ import heapq
 import numpy as np
 
 from repro.core.enumeration import CHILD_ORDERS, child_order
-from repro.core.gemm import GemmEvaluator
+from repro.core.gemm import (
+    FLOPS_PER_CMAC,
+    FLOPS_PER_NORM,
+    BatchedGemmEvaluator,
+    GemmEvaluator,
+)
+from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
 from repro.core.radius import BabaiRadius, RadiusPolicy, babai_point
 from repro.core.tree import SearchNode, path_to_level_indices, root_node
 from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
@@ -193,10 +199,117 @@ class SphereDecoder(Detector):
         """
         stats = DecodeStats()
         tracer = self._tracer = current_tracer()
+        evaluator = GemmEvaluator(r, ybar, self.constellation)
+        incumbent, bound = drive_serial(
+            self._solve_gen(r, ybar, noise_var, stats, tracer), evaluator
+        )
+        if tracer.enabled:
+            tracer.count("sd.nodes_expanded", stats.nodes_expanded)
+            tracer.count("sd.nodes_generated", stats.nodes_generated)
+            tracer.count("sd.nodes_pruned", stats.nodes_pruned)
+            tracer.count("sd.leaves_reached", stats.leaves_reached)
+            tracer.count("sd.gemm_calls", stats.gemm_calls)
+            tracer.count("sd.gemm_flops", stats.gemm_flops)
+        return incumbent, bound, stats
+
+    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
+        """Decode ``B`` received vectors with cross-frame fused GEMMs.
+
+        All rows are decoded against the *prepared* channel (the
+        block-fading assumption), so every frame shares the triangular
+        factor and their same-level node pools stack into single
+        :class:`~repro.core.gemm.BatchedGemmEvaluator` calls — the
+        paper's BLAS-2 -> BLAS-3 refactor applied across frames. Each
+        frame's search runs its own unmodified schedule in lockstep
+        (:func:`~repro.core.lockstep.drive_lockstep`), so the returned
+        decisions, metrics and per-frame search statistics are
+        **bit-identical** to calling :meth:`detect` per row; only
+        ``wall_time_s`` differs (the batch's wall time split evenly, as
+        per-frame timing is not separable inside a fused GEMM).
+        """
+        self._require_prepared()
+        received = np.asarray(received)
+        if received.ndim != 2 or received.shape[1] != self._channel.shape[0]:
+            raise ValueError(
+                f"received must have shape (B, {self._channel.shape[0]}), "
+                f"got {received.shape}"
+            )
+        if received.shape[0] == 0:
+            return []
+        n_frames = received.shape[0]
+        tracer = current_tracer()
+        timer = Timer()
+        stats_list = [DecodeStats() for _ in range(n_frames)]
         with tracer.span(
-            "sd.solve", strategy=self.strategy, n_tx=int(r.shape[1])
+            "sd.decode_batch", detector=self.name, frames=n_frames
         ):
-            evaluator = GemmEvaluator(r, ybar, self.constellation)
+            with timer:
+                ybars = np.stack(
+                    [effective_receive(self._qr, row) for row in received]
+                )
+                evaluator = BatchedGemmEvaluator(
+                    self._qr.r, ybars, self.constellation
+                )
+                # Interleaved generators must not open nested spans (the
+                # span stack is per-context, not per-frame) — run quiet.
+                self._tracer = NULL_TRACER
+                searches = [
+                    self._solve_gen(
+                        self._qr.r,
+                        ybars[f],
+                        self._noise_var,
+                        stats_list[f],
+                        NULL_TRACER,
+                    )
+                    for f in range(n_frames)
+                ]
+                outcomes = drive_lockstep(searches, evaluator)
+        if tracer.enabled:
+            tracer.count("sd.batch.frames", n_frames)
+            tracer.count("sd.batch.fused_gemm_calls", evaluator.fused_gemm_calls)
+            tracer.count(
+                "sd.batch.frame_gemm_calls",
+                sum(st.gemm_calls for st in stats_list),
+            )
+        results: list[DetectionResult] = []
+        per_frame_s = timer.elapsed / n_frames
+        for f in range(n_frames):
+            incumbent, _bound = outcomes[f]
+            stats = stats_list[f]
+            stats.wall_time_s = per_frame_s
+            indices = self._qr.unpermute(incumbent)
+            symbols = self.constellation.map_indices(indices)
+            bits = self.constellation.indices_to_bits(indices)
+            residual = received[f] - self._channel @ symbols
+            metric = float(np.real(np.vdot(residual, residual)))
+            results.append(
+                DetectionResult(
+                    indices=indices,
+                    symbols=symbols,
+                    bits=bits,
+                    metric=metric,
+                    stats=stats,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Search internals (generators — see repro.core.lockstep)
+    # ------------------------------------------------------------------
+
+    def _solve_gen(self, r, ybar, noise_var, stats, tracer):
+        """Search generator for one frame's full solve.
+
+        Yields :class:`~repro.core.lockstep.ExpandRequest`s and returns
+        ``(indices_by_level, reduced_metric)``; the caller chooses the
+        evaluator (serial or cross-frame fused). ``tracer`` scopes the
+        ``sd.solve``/``sd.search`` spans — pass ``NULL_TRACER`` when
+        several generators run interleaved (lockstep batching), where
+        spans opened across yields of different frames would corrupt
+        the nesting stack.
+        """
+        n_tx = int(r.shape[1])
+        with tracer.span("sd.solve", strategy=self.strategy, n_tx=n_tx):
             init = self.radius_policy.initial(
                 r, ybar, self.constellation, float(noise_var)
             )
@@ -205,8 +318,8 @@ class SphereDecoder(Detector):
             stats.radius_trace.append(bound)
             while True:
                 with tracer.span("sd.search", bound=bound):
-                    incumbent, bound = self._search(
-                        evaluator, bound, incumbent, stats
+                    incumbent, bound = yield from self._search(
+                        n_tx, bound, incumbent, stats
                     )
                 if incumbent is not None or not self.radius_policy.can_escalate():
                     break
@@ -225,49 +338,44 @@ class SphereDecoder(Detector):
                     "point (metric %.4g)",
                     bound,
                 )
-            stats.gemm_calls = evaluator.gemm_calls
-            stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
-        if tracer.enabled:
-            tracer.count("sd.nodes_expanded", stats.nodes_expanded)
-            tracer.count("sd.nodes_generated", stats.nodes_generated)
-            tracer.count("sd.nodes_pruned", stats.nodes_pruned)
-            tracer.count("sd.leaves_reached", stats.leaves_reached)
-            tracer.count("sd.gemm_calls", stats.gemm_calls)
-            tracer.count("sd.gemm_flops", stats.gemm_flops)
-        if not self.record_trace:
-            stats.batches = []
-        return np.asarray(incumbent), float(bound), stats
-
-    # ------------------------------------------------------------------
-    # Search internals
-    # ------------------------------------------------------------------
+        return np.asarray(incumbent), float(bound)
 
     def _search(
         self,
-        evaluator: GemmEvaluator,
+        n_tx: int,
         bound: float,
         incumbent: np.ndarray | None,
         stats: DecodeStats,
-    ) -> tuple[np.ndarray | None, float]:
+    ):
         """One full tree exploration under the given initial bound.
 
-        Returns the best complete solution found (ascending-level indices)
-        and its metric — or ``(incumbent, bound)`` unchanged when the
-        sphere is empty.
+        Generator (driven via ``yield from``); returns the best complete
+        solution found (ascending-level indices) and its metric — or
+        ``(incumbent, bound)`` unchanged when the sphere is empty.
         """
         if self.strategy == "best-first":
-            return self._search_best_first(evaluator, bound, incumbent, stats)
-        return self._search_dfs(evaluator, bound, incumbent, stats)
+            return (
+                yield from self._search_best_first(n_tx, bound, incumbent, stats)
+            )
+        return (yield from self._search_dfs(n_tx, bound, incumbent, stats))
 
     def _expand_pool(
         self,
-        evaluator: GemmEvaluator,
         pool: list[SearchNode],
+        n_tx: int,
         stats: DecodeStats,
-    ) -> np.ndarray:
-        """Evaluate all children of a same-level node pool via one GEMM."""
+    ):
+        """Request evaluation of a same-level node pool (one GEMM).
+
+        Generator: yields the :class:`ExpandRequest`, receives the
+        ``(B, P)`` child PDs, accounts the work in ``stats`` with the
+        exact FLOP formulas of :class:`GemmEvaluator`, and returns the
+        child PDs — so per-frame counters match the serial evaluator's
+        no matter which driver ran the GEMM.
+        """
         level = pool[0].level
-        depth = evaluator.n_tx - 1 - level
+        depth = n_tx - 1 - level
+        order = self.constellation.order
         parent_idx = np.fromiter(
             (i for node in pool for i in node.path),
             dtype=np.int64,
@@ -276,9 +384,13 @@ class SphereDecoder(Detector):
         parent_pds = np.fromiter(
             (node.pd for node in pool), dtype=float, count=len(pool)
         )
-        child_pds = evaluator.expand(level, parent_idx, parent_pds)
+        child_pds = yield ExpandRequest(level, parent_idx, parent_pds)
         stats.nodes_expanded += len(pool)
-        stats.nodes_generated += len(pool) * evaluator.order
+        stats.nodes_generated += len(pool) * order
+        stats.gemm_calls += 1
+        if depth:
+            stats.gemm_flops += FLOPS_PER_CMAC * len(pool) * depth
+        stats.gemm_flops += FLOPS_PER_NORM * len(pool) * order
         if self.record_trace:
             stats.batches.append(BatchEvent(level=level, pool_size=len(pool)))
         if self._tracer.enabled:
@@ -310,12 +422,11 @@ class SphereDecoder(Detector):
 
     def _search_best_first(
         self,
-        evaluator: GemmEvaluator,
+        n_tx: int,
         bound: float,
         incumbent: np.ndarray | None,
         stats: DecodeStats,
-    ) -> tuple[np.ndarray | None, float]:
-        n_tx = evaluator.n_tx
+    ):
         seq = 1
         heap: list[SearchNode] = [root_node(n_tx)]
         while heap:
@@ -330,7 +441,7 @@ class SphereDecoder(Detector):
                 and heap[0].pd < bound
             ):
                 pool.append(heapq.heappop(heap))
-            child_pds = self._expand_pool(evaluator, pool, stats)
+            child_pds = yield from self._expand_pool(pool, n_tx, stats)
             if first.level == 0:
                 incumbent, bound = self._accept_leaves(
                     pool, child_pds, bound, incumbent, stats, n_tx
@@ -359,12 +470,11 @@ class SphereDecoder(Detector):
 
     def _search_dfs(
         self,
-        evaluator: GemmEvaluator,
+        n_tx: int,
         bound: float,
         incumbent: np.ndarray | None,
         stats: DecodeStats,
-    ) -> tuple[np.ndarray | None, float]:
-        n_tx = evaluator.n_tx
+    ):
         seq = 1
         stack: list[SearchNode] = [root_node(n_tx)]
         while stack:
@@ -374,7 +484,7 @@ class SphereDecoder(Detector):
                 # shrunk since — prune on pop.
                 stats.nodes_pruned += 1
                 continue
-            child_pds = self._expand_pool(evaluator, [node], stats)
+            child_pds = yield from self._expand_pool([node], n_tx, stats)
             if node.level == 0:
                 incumbent, bound = self._accept_leaves(
                     [node], child_pds, bound, incumbent, stats, n_tx

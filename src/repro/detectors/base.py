@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, fields
-from typing import NamedTuple
+from typing import Iterable, NamedTuple
 
 import numpy as np
 
@@ -53,6 +53,15 @@ class DecodeStats:
     ``merge`` metadata override (``max_list_size`` keeps the maximum).
     Adding a field therefore never silently drops it from aggregates —
     ``tests/test_detector_base.py`` asserts every field round-trips.
+
+    Merging is **order-independent** for every scalar field (sums and
+    maxima commute and associate), so cross-process aggregation needs no
+    global frame order: ``a.merge(b)`` equals ``b.merge(a)`` field-wise
+    except for the list fields (``batches``, ``radius_trace``), which
+    concatenate left-to-right. Callers that shard frames across workers
+    therefore merge worker results in deterministic shard order (see
+    :mod:`repro.mimo.parallel_mc`) so the concatenated traces reproduce
+    the serial order exactly.
     """
 
     nodes_expanded: int = 0
@@ -92,6 +101,31 @@ class DecodeStats:
                     f"DecodeStats.{f.name}: unknown merge rule {rule!r}"
                 )
         return type(self)(**merged)
+
+    @classmethod
+    def merge_all(cls, stats: Iterable["DecodeStats"]) -> "DecodeStats":
+        """Fold many stats records into one in linear time.
+
+        Equivalent to chaining :meth:`merge` pairwise left-to-right but
+        without the quadratic list re-concatenation — the form the
+        Monte Carlo engine and the process-sharded sweep runner use to
+        aggregate thousands of per-frame records.
+        """
+        merged = cls()
+        total: dict[str, object] = {
+            f.name: getattr(merged, f.name) for f in fields(cls)
+        }
+        for st in stats:
+            for f in fields(cls):
+                value = getattr(st, f.name)
+                rule = f.metadata.get("merge")
+                if rule == "max":
+                    total[f.name] = max(total[f.name], value)
+                elif isinstance(value, list):
+                    total[f.name].extend(value)
+                else:
+                    total[f.name] += value
+        return cls(**total)
 
 
 @dataclass

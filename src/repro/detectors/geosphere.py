@@ -39,6 +39,12 @@ class GeosphereDecoder(SphereDecoder):
         with current_tracer().span("geosphere.detect"):
             return super().detect(received)
 
+    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
+        with current_tracer().span(
+            "geosphere.decode_batch", frames=int(np.asarray(received).shape[0])
+        ):
+            return super().decode_batch(received)
+
     def __init__(
         self,
         constellation: Constellation,

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.gemm import GemmEvaluator
+from repro.core.gemm import (
+    FLOPS_PER_CMAC,
+    FLOPS_PER_NORM,
+    BatchedGemmEvaluator,
+    GemmEvaluator,
+)
+from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
 from repro.core.radius import NoiseScaledRadius, RadiusPolicy, babai_point
 from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
 from repro.mimo.constellation import Constellation
@@ -86,27 +92,33 @@ class GemmBfsDecoder(Detector):
 
     def _sweep(
         self,
-        evaluator: GemmEvaluator,
+        n_tx: int,
         radius_sq: float,
         stats: DecodeStats,
-    ) -> tuple[np.ndarray | None, float]:
+        tracer,
+    ):
         """One full root-to-leaves BFS sweep under a fixed radius.
 
+        Search generator (see :mod:`repro.core.lockstep`): yields one
+        :class:`ExpandRequest` per level and receives the child PDs.
         Returns ``(best_indices_by_level, best_metric)`` or
         ``(None, inf)`` when the sphere is empty.
         """
-        n_tx = evaluator.n_tx
-        p = evaluator.order
-        tracer = self._tracer
+        p = self.constellation.order
         # Frontier state: (F, depth) root-first index paths + (F,) PDs.
         paths = np.empty((1, 0), dtype=np.int64)
         pds = np.zeros(1, dtype=float)
         for level in range(n_tx - 1, -1, -1):
             with tracer.span("bfs.level", level=level, frontier=paths.shape[0]):
-                child_pds = evaluator.expand(level, paths, pds)  # (F, P)
+                child_pds = yield ExpandRequest(level, paths, pds)  # (F, P)
             frontier = paths.shape[0]
             stats.nodes_expanded += frontier
             stats.nodes_generated += frontier * p
+            stats.gemm_calls += 1
+            depth = n_tx - 1 - level
+            if depth:
+                stats.gemm_flops += FLOPS_PER_CMAC * frontier * depth
+            stats.gemm_flops += FLOPS_PER_NORM * frontier * p
             if self.record_trace:
                 stats.batches.append(
                     BatchEvent(level=level, pool_size=frontier)
@@ -135,6 +147,30 @@ class GemmBfsDecoder(Detector):
         # paths are root-first (level M-1 .. 0); flip to ascending level.
         return paths[best, ::-1].copy(), float(pds[best])
 
+    def _solve_gen(self, r, ybar, noise_var, stats, tracer):
+        """Full solve (sweep + radius escalation) as a search generator.
+
+        Returns ``(indices_by_level, reduced_metric)``. Pass
+        ``NULL_TRACER`` when interleaving several generators under
+        lockstep batching (nested spans from different frames would
+        corrupt the span stack).
+        """
+        n_tx = int(r.shape[1])
+        init = self.radius_policy.initial(
+            r, ybar, self.constellation, float(noise_var)
+        )
+        radius_sq = float(init.radius_sq)
+        stats.radius_trace.append(radius_sq)
+        best, metric = yield from self._sweep(n_tx, radius_sq, stats, tracer)
+        while best is None and self.radius_policy.can_escalate():
+            radius_sq *= self.radius_policy.escalation_factor
+            stats.radius_trace.append(radius_sq)
+            best, metric = yield from self._sweep(n_tx, radius_sq, stats, tracer)
+        if best is None:
+            best, metric = babai_point(r, ybar, self.constellation)
+            stats.truncated += 1
+        return best, metric
+
     def detect(self, received: np.ndarray) -> DetectionResult:
         self._require_prepared()
         received = check_vector(
@@ -147,23 +183,12 @@ class GemmBfsDecoder(Detector):
             with timer:
                 ybar = effective_receive(self._qr, received)
                 evaluator = GemmEvaluator(self._qr.r, ybar, self.constellation)
-                init = self.radius_policy.initial(
-                    self._qr.r, ybar, self.constellation, self._noise_var
+                best, metric = drive_serial(
+                    self._solve_gen(
+                        self._qr.r, ybar, self._noise_var, stats, tracer
+                    ),
+                    evaluator,
                 )
-                radius_sq = float(init.radius_sq)
-                stats.radius_trace.append(radius_sq)
-                best, metric = self._sweep(evaluator, radius_sq, stats)
-                while best is None and self.radius_policy.can_escalate():
-                    radius_sq *= self.radius_policy.escalation_factor
-                    stats.radius_trace.append(radius_sq)
-                    best, metric = self._sweep(evaluator, radius_sq, stats)
-                if best is None:
-                    best, metric = babai_point(
-                        self._qr.r, ybar, self.constellation
-                    )
-                    stats.truncated += 1
-                stats.gemm_calls = evaluator.gemm_calls
-                stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
         if tracer.enabled:
             tracer.count("bfs.nodes_expanded", stats.nodes_expanded)
             tracer.count("bfs.nodes_pruned", stats.nodes_pruned)
@@ -182,3 +207,75 @@ class GemmBfsDecoder(Detector):
             metric=true_metric,
             stats=stats,
         )
+
+    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
+        """Decode ``B`` received vectors with cross-frame fused GEMMs.
+
+        The BFS frontier sweeps of all frames run in lockstep
+        (:func:`~repro.core.lockstep.drive_lockstep`): same-level
+        frontiers stack into one :class:`BatchedGemmEvaluator` call, so
+        the per-level GEMMs grow ``B`` times taller — the workload shape
+        the GPU cost model favours. Decisions, metrics and per-frame
+        stats are bit-identical to per-row :meth:`detect`; only
+        ``wall_time_s`` differs (batch wall time split evenly).
+        """
+        self._require_prepared()
+        received = np.asarray(received)
+        if received.ndim != 2 or received.shape[1] != self._channel.shape[0]:
+            raise ValueError(
+                f"received must have shape (B, {self._channel.shape[0]}), "
+                f"got {received.shape}"
+            )
+        if received.shape[0] == 0:
+            return []
+        n_frames = received.shape[0]
+        tracer = current_tracer()
+        timer = Timer()
+        stats_list = [DecodeStats() for _ in range(n_frames)]
+        with tracer.span(
+            "bfs.decode_batch", detector=self.name, frames=n_frames
+        ):
+            with timer:
+                ybars = np.stack(
+                    [effective_receive(self._qr, row) for row in received]
+                )
+                evaluator = BatchedGemmEvaluator(
+                    self._qr.r, ybars, self.constellation
+                )
+                searches = [
+                    self._solve_gen(
+                        self._qr.r,
+                        ybars[f],
+                        self._noise_var,
+                        stats_list[f],
+                        NULL_TRACER,
+                    )
+                    for f in range(n_frames)
+                ]
+                outcomes = drive_lockstep(searches, evaluator)
+        if tracer.enabled:
+            tracer.count("bfs.batch.frames", n_frames)
+            tracer.count(
+                "bfs.batch.fused_gemm_calls", evaluator.fused_gemm_calls
+            )
+        results: list[DetectionResult] = []
+        per_frame_s = timer.elapsed / n_frames
+        for f in range(n_frames):
+            best, _metric = outcomes[f]
+            stats = stats_list[f]
+            stats.wall_time_s = per_frame_s
+            indices = self._qr.unpermute(best)
+            symbols = self.constellation.map_indices(indices)
+            bits = self.constellation.indices_to_bits(indices)
+            residual = received[f] - self._channel @ symbols
+            true_metric = float(np.real(np.vdot(residual, residual)))
+            results.append(
+                DetectionResult(
+                    indices=indices,
+                    symbols=symbols,
+                    bits=bits,
+                    metric=true_metric,
+                    stats=stats,
+                )
+            )
+        return results

@@ -7,18 +7,22 @@ realisations, runs a number of frames through each, and accumulates error
 counters plus the detector's :class:`~repro.detectors.base.DecodeStats`
 (the work traces later consumed by the FPGA/CPU/GPU time models).
 
-Work is optionally spread over processes with independent
-``SeedSequence``-spawned streams; results are bit-exact reproducible for
-a given ``(seed, n_workers-independent plan)`` because every channel
-block owns its own generator.
+Work is optionally sharded over processes (``workers > 1``, via
+:mod:`repro.mimo.parallel_mc`): every channel block owns its own
+``SeedSequence``-derived generator, so results are bit-identical to the
+serial sweep for the same master seed regardless of worker count.
+Frames within a block can additionally be decoded as one fused batch
+(``batch_frames=True``) on detectors exposing ``decode_batch`` — also
+bit-identical, just a different GEMM schedule.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -45,6 +49,11 @@ class SnrPoint:
     frame_stats: list[DecodeStats] = field(default_factory=list)
     decode_time_s: float = 0.0
     frames: int = 0
+    #: Pooled decode timer (one sample per timed decode section); merged
+    #: across blocks — and across worker processes — via
+    #: :meth:`~repro.util.timing.Timer.merge`, so ``timer.summarize()``
+    #: percentiles reflect the whole point, not just the last block.
+    timer: Timer = field(default_factory=Timer)
 
     @property
     def ber(self) -> float:
@@ -105,21 +114,47 @@ def _run_block(
     frames: int,
     rng: np.random.Generator,
     keep_traces: bool,
-) -> tuple[ErrorCounter, list[DecodeStats], float]:
-    """Run ``frames`` transmissions over one fresh channel realisation."""
+    *,
+    batch_frames: bool = False,
+) -> tuple[ErrorCounter, list[DecodeStats], Timer]:
+    """Run ``frames`` transmissions over one fresh channel realisation.
+
+    With ``batch_frames`` the block's frames are drawn up front (the
+    generator stream is identical — detectors consume no randomness) and
+    decoded in one ``decode_batch`` call when the detector supports it,
+    falling back to the per-frame loop otherwise. Decisions are
+    bit-identical either way; only the wall-clock accounting granularity
+    changes (one timer sample per block instead of per frame).
+    """
     detector = factory()
     counter = ErrorCounter()
     stats: list[DecodeStats] = []
     tracer = current_tracer()
     timer = Timer()
+    use_batch = batch_frames and hasattr(detector, "decode_batch")
     with tracer.span("mc.block", snr_db=snr_db, frames=frames):
         channel = system.channel_model.draw_channel(rng)
         detector.prepare(channel, noise_var=system.noise_var(snr_db))
-        for _ in range(frames):
-            frame = system.random_frame(snr_db, rng, channel=channel)
-            with tracer.span("mc.frame", snr_db=snr_db):
-                with timer:
-                    result = detector.detect(frame.received)
+        if use_batch:
+            drawn = [
+                system.random_frame(snr_db, rng, channel=channel)
+                for _ in range(frames)
+            ]
+            received = np.stack([frame.received for frame in drawn])
+            with timer:
+                results = detector.decode_batch(received)
+            frame_results = zip(drawn, results)
+        else:
+            def _detect_serially():
+                for _ in range(frames):
+                    frame = system.random_frame(snr_db, rng, channel=channel)
+                    with tracer.span("mc.frame", snr_db=snr_db):
+                        with timer:
+                            result = detector.detect(frame.received)
+                    yield frame, result
+
+            frame_results = _detect_serially()
+        for frame, result in frame_results:
             counter.update(
                 frame.bits, result.bits, frame.symbol_indices, result.indices
             )
@@ -131,14 +166,7 @@ def _run_block(
     if tracer.enabled:
         tracer.count("mc.frames", frames)
         tracer.count("mc.bit_errors", counter.bit_errors)
-    return counter, stats, timer.elapsed
-
-
-def _worker(args: tuple) -> tuple[ErrorCounter, list[DecodeStats], float]:
-    """Top-level (picklable) wrapper for process-pool execution."""
-    system, factory, snr_db, frames, seed_seq, keep_traces = args
-    rng = np.random.default_rng(seed_seq)
-    return _run_block(system, factory, snr_db, frames, rng, keep_traces)
+    return counter, stats, timer
 
 
 class MonteCarloEngine:
@@ -157,16 +185,35 @@ class MonteCarloEngine:
     target_bit_errors:
         Optional early-stop: once a point has accumulated this many bit
         errors *and* at least one channel block has run, remaining blocks
-        for that point are skipped (serial mode only).
+        for that point are skipped (serial mode only; ignored — with a
+        warning — when blocks are sharded over workers).
     keep_traces:
         Keep per-expansion :class:`BatchEvent` traces in the stats (needed
         by the FPGA pipeline simulator; disable to save memory on very
         long BER runs).
     heartbeat_every:
-        Emit a live progress heartbeat every N channel blocks (serial
-        mode): an INFO log line and, under an enabled tracer, an
-        ``mc.heartbeat`` instant event carrying frames done, running
-        BER, nodes/s and the point's ETA. ``0`` disables heartbeats.
+        Emit a live progress heartbeat every N channel blocks: an INFO
+        log line and, under an enabled tracer, an ``mc.heartbeat``
+        instant event carrying frames done, running BER, nodes/s and the
+        point's ETA. ``0`` disables heartbeats. With ``workers > 1``
+        the workers report per-block progress over a queue and the
+        parent emits the same events (plus a ``workers`` field).
+    workers:
+        Default process count for :meth:`run`. ``1`` decodes serially in
+        this process; ``N > 1`` shards channel blocks over a process
+        pool (:mod:`repro.mimo.parallel_mc`) with bit-identical results
+        for the same seed.
+    batch_frames:
+        Decode each block's frames as one fused batch via the detector's
+        ``decode_batch`` (bit-identical; falls back to the per-frame
+        loop for detectors without one).
+    chunk_blocks:
+        Blocks per shard when sharding (``None``: auto, see
+        :func:`repro.mimo.parallel_mc.plan_chunks`).
+    crash_dir:
+        Directory where crashing workers write tracebacks before the
+        error propagates (default: the ``REPRO_MC_CRASH_DIR``
+        environment variable, if set).
     """
 
     def __init__(
@@ -179,6 +226,10 @@ class MonteCarloEngine:
         target_bit_errors: int | None = None,
         keep_traces: bool = True,
         heartbeat_every: int = 1,
+        workers: int = 1,
+        batch_frames: bool = False,
+        chunk_blocks: int | None = None,
+        crash_dir: str | Path | None = None,
     ) -> None:
         self.system = system
         self.channels = check_positive_int(channels, "channels")
@@ -191,6 +242,16 @@ class MonteCarloEngine:
         if heartbeat_every < 0:
             raise ValueError("heartbeat_every must be >= 0")
         self.heartbeat_every = heartbeat_every
+        self.workers = check_positive_int(workers, "workers")
+        self.batch_frames = batch_frames
+        self.chunk_blocks = (
+            None
+            if chunk_blocks is None
+            else check_positive_int(chunk_blocks, "chunk_blocks")
+        )
+        if crash_dir is None:
+            crash_dir = os.environ.get("REPRO_MC_CRASH_DIR") or None
+        self.crash_dir = crash_dir
 
     def _heartbeat(
         self,
@@ -240,22 +301,39 @@ class MonteCarloEngine:
         detector_factory: DetectorFactory,
         snrs_db: Sequence[float],
         *,
-        n_workers: int = 1,
+        n_workers: int | None = None,
         detector_name: str | None = None,
     ) -> SweepResult:
         """Sweep the SNR grid and return aggregated results.
 
         ``detector_factory`` is called once per channel block (so each
         block gets a fresh detector — important for process workers); it
-        must be picklable when ``n_workers > 1``.
+        must be picklable when work is sharded over workers.
+        ``n_workers`` overrides the engine's ``workers`` default; any
+        value above 1 delegates to
+        :func:`repro.mimo.parallel_mc.run_sweep_sharded`, which is
+        bit-identical to the serial path for the same seed.
         """
         snrs = [float(s) for s in snrs_db]
         if not snrs:
             raise ValueError("snrs_db must be non-empty")
+        if n_workers is None:
+            n_workers = self.workers
         n_workers = check_positive_int(n_workers, "n_workers")
+        if n_workers > 1:
+            # NOTE: contextvars don't cross process boundaries, so worker
+            # blocks run untraced; the parent still emits mc.point spans
+            # and queue-fed mc.heartbeat instants (see parallel_mc).
+            from repro.mimo.parallel_mc import run_sweep_sharded
+
+            return run_sweep_sharded(
+                self,
+                detector_factory,
+                snrs,
+                workers=n_workers,
+                detector_name=detector_name,
+            )
         tracer = current_tracer()
-        # NOTE: contextvars don't cross process boundaries, so worker
-        # blocks (n_workers > 1) run untraced; serial mode traces fully.
         seqs = np.random.SeedSequence(self.seed).spawn(len(snrs))
         points: list[SnrPoint] = []
         for snr_db, seq in zip(snrs, seqs):
@@ -263,54 +341,37 @@ class MonteCarloEngine:
             point = SnrPoint(snr_db=snr_db, errors=ErrorCounter())
             wall_started = time.perf_counter()
             with tracer.span("mc.point", snr_db=snr_db):
-                if n_workers == 1:
-                    for block_index, bseq in enumerate(block_seqs, start=1):
-                        rng = np.random.default_rng(bseq)
-                        counter, stats, elapsed = _run_block(
-                            self.system,
-                            detector_factory,
-                            snr_db,
-                            self.frames_per_channel,
-                            rng,
-                            self.keep_traces,
+                for block_index, bseq in enumerate(block_seqs, start=1):
+                    rng = np.random.default_rng(bseq)
+                    counter, stats, timer = _run_block(
+                        self.system,
+                        detector_factory,
+                        snr_db,
+                        self.frames_per_channel,
+                        rng,
+                        self.keep_traces,
+                        batch_frames=self.batch_frames,
+                    )
+                    point.errors = point.errors.merge(counter)
+                    point.frame_stats.extend(stats)
+                    point.timer = point.timer.merge(timer)
+                    point.decode_time_s = point.timer.elapsed
+                    point.frames += self.frames_per_channel
+                    if (
+                        self.heartbeat_every
+                        and block_index % self.heartbeat_every == 0
+                    ):
+                        self._heartbeat(
+                            tracer,
+                            point,
+                            blocks_done=block_index,
+                            wall_started=wall_started,
                         )
-                        point.errors = point.errors.merge(counter)
-                        point.frame_stats.extend(stats)
-                        point.decode_time_s += elapsed
-                        point.frames += self.frames_per_channel
-                        if (
-                            self.heartbeat_every
-                            and block_index % self.heartbeat_every == 0
-                        ):
-                            self._heartbeat(
-                                tracer,
-                                point,
-                                blocks_done=block_index,
-                                wall_started=wall_started,
-                            )
-                        if (
-                            self.target_bit_errors is not None
-                            and point.errors.bit_errors >= self.target_bit_errors
-                        ):
-                            break
-                else:
-                    jobs = [
-                        (
-                            self.system,
-                            detector_factory,
-                            snr_db,
-                            self.frames_per_channel,
-                            bseq,
-                            self.keep_traces,
-                        )
-                        for bseq in block_seqs
-                    ]
-                    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                        for counter, stats, elapsed in pool.map(_worker, jobs):
-                            point.errors = point.errors.merge(counter)
-                            point.frame_stats.extend(stats)
-                            point.decode_time_s += elapsed
-                            point.frames += self.frames_per_channel
+                    if (
+                        self.target_bit_errors is not None
+                        and point.errors.bit_errors >= self.target_bit_errors
+                    ):
+                        break
             _log.info(
                 "mc point %.1f dB: ber=%.3g over %d frames (%.3f s decode)",
                 snr_db,

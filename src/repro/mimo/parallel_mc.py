@@ -1,0 +1,438 @@
+"""Process-sharded Monte Carlo sweeps (frame-parallel BER simulation).
+
+The serial :class:`~repro.mimo.montecarlo.MonteCarloEngine` decodes
+channel blocks one after another. This module shards those blocks across
+a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+result **bit-identical** to the serial sweep for the same master seed:
+
+* Seeding is reproduced exactly: the same
+  ``SeedSequence(seed).spawn(len(snrs))`` / ``seq.spawn(channels)``
+  tree the serial loop walks is built up front, and each shard ships the
+  ``SeedSequence`` objects of its contiguous block range. Every block
+  therefore draws from the identical generator stream no matter which
+  worker runs it.
+* Shards are contiguous ``[start, stop)`` block ranges dispatched in
+  chunks (:func:`plan_chunks`), and outcomes are merged in ascending
+  ``shard_id`` order — so concatenated per-frame stats, radius traces
+  and error counters reproduce the serial frame order exactly.
+  ``tests/test_parallel_mc.py`` enforces the equivalence.
+* Workers run untraced (contextvars do not cross processes); instead
+  they report per-block :class:`BlockProgress` messages over a manager
+  queue and the parent emits the same ``mc.heartbeat`` instants (plus a
+  ``workers`` field) the serial engine would, honouring
+  ``heartbeat_every``.
+
+Failure forensics: a worker that raises writes a full traceback to
+``crash_dir`` (``REPRO_MC_CRASH_DIR`` or the engine's ``crash_dir``)
+before re-raising, so CI can upload crash logs as artifacts even though
+the parent only sees the pickled exception.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import Manager
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.detectors.base import DecodeStats, Detector
+from repro.mimo.metrics import ErrorCounter
+from repro.mimo.system import MIMOSystem
+from repro.obs.log import get_logger
+from repro.obs.tracer import current_tracer
+from repro.util.timing import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.mimo.montecarlo import MonteCarloEngine, SweepResult
+
+DetectorFactory = Callable[[], Detector]
+
+_log = get_logger(__name__)
+
+#: Default shards per worker: small enough to amortise process start-up,
+#: large enough that a slow shard cannot serialise the tail of the sweep.
+CHUNKS_PER_WORKER = 4
+
+
+def plan_chunks(
+    n_blocks: int,
+    workers: int,
+    chunk_blocks: int | None = None,
+) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` block ranges for one SNR point.
+
+    Deterministic in its inputs (no dependence on worker timing): the
+    same ``(n_blocks, workers, chunk_blocks)`` always yields the same
+    plan, which is what makes shard merging reproducible. When
+    ``chunk_blocks`` is ``None`` the chunk size targets
+    ``workers * CHUNKS_PER_WORKER`` shards per point.
+    """
+    if n_blocks <= 0:
+        raise ValueError(f"n_blocks must be positive, got {n_blocks}")
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if chunk_blocks is None:
+        chunk_blocks = max(1, math.ceil(n_blocks / (workers * CHUNKS_PER_WORKER)))
+    elif chunk_blocks <= 0:
+        raise ValueError(f"chunk_blocks must be positive, got {chunk_blocks}")
+    return [
+        (start, min(start + chunk_blocks, n_blocks))
+        for start in range(0, n_blocks, chunk_blocks)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous run of channel blocks belonging to one SNR point."""
+
+    shard_id: int
+    point_index: int
+    snr_db: float
+    block_start: int
+    block_stop: int
+    #: The exact per-block ``SeedSequence`` objects the serial loop would
+    #: have used for blocks ``[block_start, block_stop)``.
+    seed_seqs: tuple[np.random.SeedSequence, ...]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.block_stop - self.block_start
+
+
+@dataclass(frozen=True)
+class BlockProgress:
+    """Per-block progress message a worker posts to the parent's queue."""
+
+    point_index: int
+    snr_db: float
+    shard_id: int
+    frames: int
+    bit_errors: int
+    bits: int
+    nodes_expanded: int
+    decode_time_s: float
+
+
+@dataclass
+class ShardOutcome:
+    """Aggregated result of one shard, merged by the parent in id order."""
+
+    shard_id: int
+    point_index: int
+    counter: ErrorCounter
+    frame_stats: list[DecodeStats] = field(default_factory=list)
+    timer: Timer = field(default_factory=Timer)
+    frames: int = 0
+
+
+@dataclass(frozen=True)
+class _ShardConfig:
+    """Picklable, shard-invariant worker configuration."""
+
+    system: MIMOSystem
+    factory: DetectorFactory
+    frames_per_channel: int
+    keep_traces: bool
+    batch_frames: bool
+    crash_dir: str | None
+
+
+def _write_crash_log(crash_dir: str, spec: ShardSpec, exc: BaseException) -> None:
+    try:
+        directory = Path(crash_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"shard-{spec.shard_id:04d}.log"
+        path.write_text(
+            f"shard {spec.shard_id} (snr {spec.snr_db} dB, blocks "
+            f"[{spec.block_start}, {spec.block_stop})) failed in pid "
+            f"{os.getpid()}\n\n"
+            + "".join(traceback.format_exception(exc)),
+            encoding="utf-8",
+        )
+    except OSError:  # pragma: no cover - forensics must never mask the error
+        pass
+
+
+def _run_shard(spec: ShardSpec, config: _ShardConfig, queue) -> ShardOutcome:
+    """Worker entry point: run one shard's blocks and report progress.
+
+    Runs in a separate process — untraced (the ambient tracer does not
+    cross the boundary); progress flows back through ``queue`` instead.
+    Any exception is written to ``config.crash_dir`` before propagating.
+    """
+    from repro.mimo.montecarlo import _run_block
+
+    try:
+        outcome = ShardOutcome(
+            shard_id=spec.shard_id,
+            point_index=spec.point_index,
+            counter=ErrorCounter(),
+        )
+        for seed_seq in spec.seed_seqs:
+            rng = np.random.default_rng(seed_seq)
+            counter, stats, timer = _run_block(
+                config.system,
+                config.factory,
+                spec.snr_db,
+                config.frames_per_channel,
+                rng,
+                config.keep_traces,
+                batch_frames=config.batch_frames,
+            )
+            outcome.counter = outcome.counter.merge(counter)
+            outcome.frame_stats.extend(stats)
+            outcome.timer = outcome.timer.merge(timer)
+            outcome.frames += config.frames_per_channel
+            if queue is not None:
+                queue.put(
+                    BlockProgress(
+                        point_index=spec.point_index,
+                        snr_db=spec.snr_db,
+                        shard_id=spec.shard_id,
+                        frames=config.frames_per_channel,
+                        bit_errors=counter.bit_errors,
+                        bits=counter.bits,
+                        nodes_expanded=sum(
+                            st.nodes_expanded for st in stats
+                        ),
+                        decode_time_s=timer.elapsed,
+                    )
+                )
+        return outcome
+    except BaseException as exc:
+        if config.crash_dir:
+            _write_crash_log(config.crash_dir, spec, exc)
+        raise
+
+
+@dataclass
+class _PointProgress:
+    """Parent-side live accumulator for one SNR point's heartbeats."""
+
+    snr_db: float
+    blocks_total: int
+    blocks_done: int = 0
+    frames: int = 0
+    bit_errors: int = 0
+    bits: int = 0
+    nodes_expanded: int = 0
+    decode_time_s: float = 0.0
+
+    @property
+    def ber(self) -> float:
+        return self.bit_errors / self.bits if self.bits else float("nan")
+
+
+def _emit_heartbeat(
+    tracer,
+    progress: _PointProgress,
+    *,
+    workers: int,
+    wall_started: float,
+) -> None:
+    """Parent-side ``mc.heartbeat`` with the serial engine's payload.
+
+    Same keys as :meth:`MonteCarloEngine._heartbeat` plus ``workers``;
+    the ETA divides wall time since the pool started by completed blocks,
+    so concurrent points share the clock (documented in
+    ``docs/observability.md``).
+    """
+    if not tracer.enabled and not _log.isEnabledFor(logging.INFO):
+        return
+    elapsed = time.perf_counter() - wall_started
+    remaining = progress.blocks_total - progress.blocks_done
+    eta_s = (
+        elapsed / progress.blocks_done * remaining
+        if progress.blocks_done
+        else float("nan")
+    )
+    nodes_per_s = (
+        progress.nodes_expanded / progress.decode_time_s
+        if progress.decode_time_s
+        else 0.0
+    )
+    _log.info(
+        "mc heartbeat %.1f dB: block %d/%d, %d frames, ber=%.3g, "
+        "%.0f nodes/s, eta %.1f s (%d workers)",
+        progress.snr_db,
+        progress.blocks_done,
+        progress.blocks_total,
+        progress.frames,
+        progress.ber,
+        nodes_per_s,
+        eta_s,
+        workers,
+    )
+    tracer.instant(
+        "mc.heartbeat",
+        snr_db=progress.snr_db,
+        blocks_done=progress.blocks_done,
+        blocks_total=progress.blocks_total,
+        frames=progress.frames,
+        ber=progress.ber,
+        nodes_per_s=nodes_per_s,
+        eta_s=eta_s,
+        workers=workers,
+    )
+
+
+def plan_shards(
+    snrs: Sequence[float],
+    seed: int | None,
+    channels: int,
+    *,
+    workers: int,
+    chunk_blocks: int | None = None,
+) -> list[ShardSpec]:
+    """Build the full shard plan for a sweep, point-major in block order.
+
+    Walks exactly the seeding tree the serial engine walks —
+    ``SeedSequence(seed).spawn(len(snrs))`` then ``seq.spawn(channels)``
+    per point — so each shard carries the serial per-block streams.
+    """
+    seqs = np.random.SeedSequence(seed).spawn(len(snrs))
+    shards: list[ShardSpec] = []
+    for point_index, (snr_db, seq) in enumerate(zip(snrs, seqs)):
+        block_seqs = seq.spawn(channels)
+        for start, stop in plan_chunks(channels, workers, chunk_blocks):
+            shards.append(
+                ShardSpec(
+                    shard_id=len(shards),
+                    point_index=point_index,
+                    snr_db=float(snr_db),
+                    block_start=start,
+                    block_stop=stop,
+                    seed_seqs=tuple(block_seqs[start:stop]),
+                )
+            )
+    return shards
+
+
+def run_sweep_sharded(
+    engine: "MonteCarloEngine",
+    detector_factory: DetectorFactory,
+    snrs: Sequence[float],
+    *,
+    workers: int,
+    detector_name: str | None = None,
+) -> "SweepResult":
+    """Run the engine's sweep with blocks sharded over a process pool.
+
+    Bit-identical to ``engine.run(..., n_workers=1)`` in every decode
+    outcome: BERs, per-frame stats (except ``wall_time_s``), node
+    counts and traces. ``detector_factory`` must be picklable.
+    ``target_bit_errors`` early-stopping is a serial-only feature and is
+    ignored here (all planned blocks run).
+    """
+    from repro.mimo.montecarlo import SnrPoint, SweepResult
+
+    snr_list = [float(s) for s in snrs]
+    if not snr_list:
+        raise ValueError("snrs must be non-empty")
+    if engine.target_bit_errors is not None:
+        _log.warning(
+            "target_bit_errors is ignored with workers=%d "
+            "(early stop is serial-only)",
+            workers,
+        )
+    tracer = current_tracer()
+    shards = plan_shards(
+        snr_list,
+        engine.seed,
+        engine.channels,
+        workers=workers,
+        chunk_blocks=engine.chunk_blocks,
+    )
+    config = _ShardConfig(
+        system=engine.system,
+        factory=detector_factory,
+        frames_per_channel=engine.frames_per_channel,
+        keep_traces=engine.keep_traces,
+        batch_frames=engine.batch_frames,
+        crash_dir=str(engine.crash_dir) if engine.crash_dir else None,
+    )
+    progress = {
+        i: _PointProgress(snr_db=snr_db, blocks_total=engine.channels)
+        for i, snr_db in enumerate(snr_list)
+    }
+    outcomes: dict[int, ShardOutcome] = {}
+    wall_started = time.perf_counter()
+
+    def drain(queue) -> None:
+        while True:
+            try:
+                msg: BlockProgress = queue.get_nowait()
+            except Exception:  # queue.Empty via the manager proxy
+                return
+            p = progress[msg.point_index]
+            p.blocks_done += 1
+            p.frames += msg.frames
+            p.bit_errors += msg.bit_errors
+            p.bits += msg.bits
+            p.nodes_expanded += msg.nodes_expanded
+            p.decode_time_s += msg.decode_time_s
+            if (
+                engine.heartbeat_every
+                and p.blocks_done % engine.heartbeat_every == 0
+            ):
+                _emit_heartbeat(
+                    tracer, p, workers=workers, wall_started=wall_started
+                )
+
+    with Manager() as manager:
+        queue = manager.Queue()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_shard, spec, config, queue): spec
+                for spec in shards
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=0.1, return_when=FIRST_COMPLETED
+                )
+                drain(queue)
+                for future in done:
+                    outcome = future.result()  # re-raises worker crashes
+                    outcomes[outcome.shard_id] = outcome
+        drain(queue)
+
+    points: list[SnrPoint] = []
+    for point_index, snr_db in enumerate(snr_list):
+        with tracer.span(
+            "mc.point", snr_db=snr_db, workers=workers, sharded=True
+        ):
+            point = SnrPoint(snr_db=snr_db, errors=ErrorCounter())
+            for shard_id in sorted(outcomes):
+                outcome = outcomes[shard_id]
+                if outcome.point_index != point_index:
+                    continue
+                point.errors = point.errors.merge(outcome.counter)
+                point.frame_stats.extend(outcome.frame_stats)
+                point.timer = point.timer.merge(outcome.timer)
+                point.frames += outcome.frames
+            point.decode_time_s = point.timer.elapsed
+        _log.info(
+            "mc point %.1f dB: ber=%.3g over %d frames (%.3f s decode, "
+            "%d workers)",
+            snr_db,
+            point.ber,
+            point.frames,
+            point.decode_time_s,
+            workers,
+        )
+        points.append(point)
+    probe = detector_factory()
+    return SweepResult(
+        detector_name=detector_name or probe.name,
+        system_label=repr(engine.system),
+        points=points,
+    )

@@ -164,6 +164,49 @@ class Timer:
         self._max = float("-inf")
         self._start = None
 
+    def merge(self, other: "Timer") -> "Timer":
+        """Combine two timers (e.g. accumulated in different processes).
+
+        The exact aggregates are merged exactly: ``calls`` and
+        ``elapsed`` sum, min/max combine — so ``summarize()`` of the
+        merged timer reports exact count/total/mean/min/max no matter
+        how the work was sharded. Percentiles are computed from the
+        *pooled* retained samples of both sides; when the pool exceeds
+        ``max_samples`` it is decimated quantile-preservingly (sorted,
+        then evenly strided down to the cap), which keeps the merge
+        **order-independent**: ``a.merge(b)`` and ``b.merge(a)`` yield
+        identical summaries. Worker processes have no global call
+        order, so "newest wins" ring semantics cannot apply across a
+        merge; the distribution (a multiset) is what percentiles need,
+        and that is preserved.
+
+        The result adopts ``self.max_samples`` and is a new timer; both
+        operands are left untouched.
+        """
+        if self._start is not None or other._start is not None:
+            raise RuntimeError("cannot merge a Timer that is mid-measurement")
+        merged = Timer(self.clock, max_samples=self.max_samples)
+        merged.elapsed = self.elapsed + other.elapsed
+        merged.calls = self.calls + other.calls
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        pool = sorted(self.samples + other.samples)
+        cap = self.max_samples
+        if cap is not None and len(pool) > cap:
+            # Quantile-preserving decimation: evenly strided picks from
+            # the sorted pool (endpoints included) approximate every
+            # percentile of the full pool without order sensitivity.
+            if cap == 1:
+                pool = [pool[(len(pool) - 1) // 2]]
+            else:
+                idx = [
+                    round(i * (len(pool) - 1) / (cap - 1)) for i in range(cap)
+                ]
+                pool = [pool[i] for i in idx]
+        merged._samples = pool
+        merged._next = 0
+        return merged
+
     def summarize(self) -> TimingSummary:
         """Distribution summary over the per-call durations.
 

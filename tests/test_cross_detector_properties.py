@@ -143,8 +143,16 @@ def test_property_leaf_first_needs_fewer_nodes_than_bfs(n, snr_db, seed):
     seed=st.integers(min_value=0, max_value=2**31 - 1),
 )
 @settings(max_examples=20, deadline=None)
-def test_property_kbest_monotone_in_k(n, snr_db, seed):
-    """Larger K never yields a worse metric (supersets of survivors)."""
+def test_property_kbest_full_width_dominates(n, snr_db, seed):
+    """Untruncated K-best is exact ML, so no finite K beats it.
+
+    Note K-best is *not* monotone in K in general: K=1 follows the
+    greedy SIC path, whose prefix can fall outside a wider beam's
+    globally-ranked survivors yet finish at a better leaf (hypothesis
+    found ``n=5, snr_db=0, seed=32973498``). Only the full-width beam —
+    which never truncates and is therefore exhaustive — dominates every
+    narrower configuration.
+    """
     system, frame = one_frame(n, "4qam", snr_db, seed)
     const = system.constellation
     metrics = []
@@ -152,7 +160,7 @@ def test_property_kbest_monotone_in_k(n, snr_db, seed):
         det = KBestDecoder(const, k=k)
         det.prepare(frame.channel)
         metrics.append(det.detect(frame.received).metric)
-    assert metrics[1] <= metrics[0] + 1e-9
+    assert metrics[2] <= metrics[0] + 1e-9
     assert metrics[2] <= metrics[1] + 1e-9
 
 

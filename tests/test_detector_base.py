@@ -153,3 +153,49 @@ class TestDetectorABC:
         det.prepare(np.eye(2))
         with pytest.raises(ValueError):
             det.detect_batch(np.zeros(2))
+
+
+class TestMergeAll:
+    def _sample(self, i):
+        return DecodeStats(
+            nodes_expanded=i,
+            gemm_calls=2 * i,
+            max_list_size=i * i,
+            batches=[BatchEvent(level=i, pool_size=i + 1)],
+            radius_trace=[float(i)],
+        )
+
+    def test_equivalent_to_pairwise_merge(self):
+        records = [self._sample(i) for i in range(1, 6)]
+        folded = records[0]
+        for other in records[1:]:
+            folded = folded.merge(other)
+        assert DecodeStats.merge_all(records) == folded
+
+    def test_empty_iterable_gives_defaults(self):
+        assert DecodeStats.merge_all([]) == DecodeStats()
+
+    def test_scalar_fields_order_independent(self):
+        records = [self._sample(i) for i in (3, 1, 4, 1, 5)]
+        forward = DecodeStats.merge_all(records)
+        backward = DecodeStats.merge_all(list(reversed(records)))
+        for f in fields(DecodeStats):
+            if f.name in ("batches", "radius_trace"):
+                continue  # list fields concatenate in input order
+            assert getattr(forward, f.name) == getattr(backward, f.name), f.name
+
+    def test_list_fields_concatenate_in_input_order(self):
+        records = [self._sample(i) for i in (2, 7, 5)]
+        merged = DecodeStats.merge_all(records)
+        assert merged.radius_trace == [2.0, 7.0, 5.0]
+        assert [b.level for b in merged.batches] == [2, 7, 5]
+
+    def test_does_not_mutate_inputs(self):
+        records = [self._sample(1), self._sample(2)]
+        DecodeStats.merge_all(records)
+        assert records[0].radius_trace == [1.0]
+        assert records[1].radius_trace == [2.0]
+
+    def test_accepts_generator(self):
+        total = DecodeStats.merge_all(self._sample(i) for i in range(3))
+        assert total.nodes_expanded == 3

@@ -186,3 +186,85 @@ class TestSummarize:
         values = list(range(101))
         summary = summarize(values)
         assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+class TestTimerMerge:
+    """Cross-process merge semantics (repro.mimo.parallel_mc uses these)."""
+
+    def _timer(self, durations, *, max_samples=None):
+        clock = FakeClock()
+        timer = Timer(clock=clock, max_samples=max_samples)
+        for d in durations:
+            with timer:
+                clock.t += d
+        return timer
+
+    def test_merge_sums_exact_aggregates(self):
+        a = self._timer([1.0, 2.0])
+        b = self._timer([3.0])
+        m = a.merge(b)
+        assert m.calls == 3
+        assert m.elapsed == pytest.approx(6.0)
+        s = m.summarize()
+        assert s.count == 3
+        assert s.minimum == pytest.approx(1.0)
+        assert s.maximum == pytest.approx(3.0)
+        assert s.mean == pytest.approx(2.0)
+
+    def test_merge_pools_samples_for_percentiles(self):
+        a = self._timer([1.0, 5.0])
+        b = self._timer([2.0, 4.0, 3.0])
+        m = a.merge(b)
+        assert sorted(m.samples) == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert m.summarize().p50 == pytest.approx(3.0)
+
+    def test_merge_is_order_independent(self):
+        a = self._timer([0.5, 1.5, 9.0])
+        b = self._timer([2.0, 0.1])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.summarize() == ba.summarize()
+        assert ab.samples == ba.samples
+
+    def test_merge_honours_max_samples_cap(self):
+        a = self._timer(range(1, 9), max_samples=4)
+        b = self._timer(range(9, 17), max_samples=4)
+        m = a.merge(b)
+        assert len(m.samples) == 4
+        # Exact aggregates survive the decimation.
+        assert m.calls == 16
+        assert m.summarize().count == 16
+        assert m.summarize().minimum == pytest.approx(1.0)
+        assert m.summarize().maximum == pytest.approx(16.0)
+        # Decimation is quantile-preserving: endpoints of the retained
+        # windows survive, and the picks are sorted.
+        assert m.samples == sorted(m.samples)
+        assert m.samples[0] == pytest.approx(min(a.samples + b.samples))
+        assert m.samples[-1] == pytest.approx(max(a.samples + b.samples))
+
+    def test_merge_cap_of_one_keeps_median(self):
+        a = self._timer([1.0, 2.0, 3.0], max_samples=1)
+        b = self._timer([4.0, 5.0], max_samples=1)
+        m = a.merge(b)
+        assert len(m.samples) == 1
+
+    def test_merge_does_not_mutate_operands(self):
+        a = self._timer([1.0])
+        b = self._timer([2.0])
+        a.merge(b)
+        assert a.calls == 1 and b.calls == 1
+        assert a.samples == [1.0] and b.samples == [2.0]
+
+    def test_merge_rejects_mid_measurement_timer(self):
+        clock = FakeClock()
+        a = Timer(clock=clock)
+        b = Timer(clock=clock)
+        a.__enter__()
+        with pytest.raises(RuntimeError, match="mid-measurement"):
+            a.merge(b)
+        with pytest.raises(RuntimeError, match="mid-measurement"):
+            b.merge(a)
+
+    def test_merge_empty_timers(self):
+        m = Timer().merge(Timer())
+        assert m.calls == 0
+        assert m.summarize().empty

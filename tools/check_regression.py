@@ -71,13 +71,20 @@ def metric_class(name: str) -> str | None:
 
 
 def collect_metrics(
-    *, channels: int = 2, frames_per_channel: int = 3, seed: int = 2023
+    *,
+    channels: int = 2,
+    frames_per_channel: int = 3,
+    seed: int = 2023,
+    workers: int = 1,
 ) -> tuple[dict[str, float], object]:
     """Run the smoke experiment; returns (flat metrics, SeriesResult)."""
     from repro.bench.experiments import smoke_experiment
 
     series = smoke_experiment(
-        channels=channels, frames_per_channel=frames_per_channel, seed=seed
+        channels=channels,
+        frames_per_channel=frames_per_channel,
+        seed=seed,
+        workers=workers,
     )
     metrics: dict[str, float] = {}
     for row in series.rows:
@@ -193,6 +200,12 @@ def main(argv=None) -> int:
     parser.add_argument("--channels", type=int, default=2)
     parser.add_argument("--frames", type=int, default=3)
     parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the smoke sweep sharded over N processes; deterministic "
+        "metrics are bit-identical to serial, so the same baseline "
+        "applies (CI uses this to gate the pool path)",
+    )
     for cls, default in sorted(DEFAULT_TOLERANCES.items()):
         parser.add_argument(
             f"--tol-{cls}", type=float, default=None, metavar="REL",
@@ -213,7 +226,10 @@ def main(argv=None) -> int:
     tracer = Tracer(enabled=recorder.enabled)
     with use_tracer(tracer):
         current, series = collect_metrics(
-            channels=args.channels, frames_per_channel=args.frames, seed=args.seed
+            channels=args.channels,
+            frames_per_channel=args.frames,
+            seed=args.seed,
+            workers=args.workers,
         )
     print(series.format())
     recorder.record_series(series)
