@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.core.gemm import GemmEvaluator
 from repro.core.radius import NoiseScaledRadius, babai_point
-from repro.core.sphere_decoder import SphereDecoder
+from repro.detectors.sphere import SphereDecoder
 from repro.detectors.sd_bfs import GemmBfsDecoder
 from repro.mimo.constellation import Constellation
 from repro.mimo.preprocessing import effective_receive, qr_decompose, sorted_qr

@@ -46,7 +46,7 @@ from repro.mimo.constellation import Constellation
 from repro.mimo.channel import ChannelModel, snr_db_to_noise_var
 from repro.mimo.system import MIMOSystem, Frame
 from repro.mimo.montecarlo import MonteCarloEngine, SweepResult
-from repro.core.sphere_decoder import SphereDecoder
+from repro.detectors.sphere import SphereDecoder
 from repro.core.radius import (
     InfiniteRadius,
     NoiseScaledRadius,
@@ -64,7 +64,7 @@ from repro.detectors.sd_bfs import GemmBfsDecoder
 from repro.detectors.geosphere import GeosphereDecoder
 from repro.detectors.fsd import FixedComplexityDecoder
 from repro.detectors.soft import SoftOutputSphereDetector, SoftDetectionResult
-from repro.core.parallel import PartitionedSphereDecoder
+from repro.detectors.partitioned import PartitionedSphereDecoder
 from repro.detectors.sic import SICDetector
 from repro.detectors.kbest import KBestDecoder
 from repro.detectors.lr import LRZFDetector

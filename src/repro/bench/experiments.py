@@ -21,10 +21,7 @@ from repro.bench.harness import (
     run_workload_sweep,
     time_rows,
 )
-from repro.core.radius import BabaiRadius, NoiseScaledRadius
-from repro.core.sphere_decoder import SphereDecoder
-from repro.detectors.geosphere import GeosphereDecoder
-from repro.detectors.linear import MMSEDetector, ZeroForcingDetector
+from repro.detectors.registry import spec
 from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
 from repro.fpga.power import (
     cpu_power_w,
@@ -217,8 +214,8 @@ def fig7_ber_10x10_4qam(
         keep_traces=False,
     )
     sd = engine.run(canonical_decoder_factory(const), snrs)
-    zf = engine.run(lambda: ZeroForcingDetector(const), snrs, detector_name="zf")
-    mmse = engine.run(lambda: MMSEDetector(const), snrs, detector_name="mmse")
+    zf = engine.run(spec("zf", const), snrs, detector_name="zf")
+    mmse = engine.run(spec("mmse", const), snrs, detector_name="mmse")
     rows = []
     for p_sd, p_zf, p_mmse in zip(sd.points, zf.points, mmse.points):
         rows.append(
@@ -316,9 +313,9 @@ def fig12_detector_comparison(
         keep_traces=True,
     )
     leaf_first = engine.run(canonical_decoder_factory(const), snrs)
-    geo = engine.run(lambda: GeosphereDecoder(const), snrs, detector_name="geosphere")
-    zf = engine.run(lambda: ZeroForcingDetector(const), snrs, detector_name="zf")
-    mmse = engine.run(lambda: MMSEDetector(const), snrs, detector_name="mmse")
+    geo = engine.run(spec("geosphere", const), snrs, detector_name="geosphere")
+    zf = engine.run(spec("zf", const), snrs, detector_name="zf")
+    mmse = engine.run(spec("mmse", const), snrs, detector_name="mmse")
     warp = WARPCostModel()
     fpga = FPGAPipeline(PipelineConfig.optimized(4), n_tx=10, n_rx=10, order=4)
     linear_ms = linear_detector_seconds(10, 10, vectors_per_block=10) * 1e3
@@ -499,20 +496,11 @@ def ablation_search_strategy(
         keep_traces=False,
     )
     variants = {
-        "bestfs": lambda: SphereDecoder(const, strategy="best-first"),
-        "dfs_sorted": lambda: SphereDecoder(
-            const, strategy="dfs", radius_policy=NoiseScaledRadius(alpha=2.0)
-        ),
-        "dfs_natural": lambda: SphereDecoder(
-            const,
-            strategy="dfs",
-            child_ordering="natural",
-            radius_policy=NoiseScaledRadius(alpha=2.0),
-        ),
+        "bestfs": spec("sd-bestfs", const),
+        "dfs_sorted": spec("sd", const, max_nodes=None),
+        "dfs_natural": spec("sd", const, max_nodes=None, child_ordering="natural"),
         "bfs": bfs_gpu_decoder_factory(const),
-        "babai_seeded": lambda: SphereDecoder(
-            const, strategy="dfs", radius_policy=BabaiRadius()
-        ),
+        "babai_seeded": spec("sd-dfs", const),
     }
     sweeps = {
         name: engine.run(factory, snrs, detector_name=name)
@@ -646,12 +634,9 @@ def ablation_precision(
                     else:
                         r_use = qr.r.astype(dtype).astype(np.complex128)
                         ybar_use = ybar.astype(dtype).astype(np.complex128)
-                    decoder = SphereDecoder(
-                        const,
-                        strategy="dfs",
-                        radius_policy=NoiseScaledRadius(alpha=2.0),
-                        record_trace=False,
-                    )
+                    decoder = spec(
+                        "sd", const, max_nodes=None, record_trace=False
+                    )()
                     best, _metric, _stats = decoder.solve(
                         r_use, ybar_use, frame.noise_var
                     )
@@ -687,8 +672,6 @@ def ablation_parallel_pes(
     benchmarked the way Nikitopoulos et al. [4] report theirs (latency
     reduction vs the sequential decoder; they reach 29x at 32 PEs).
     """
-    from repro.core.parallel import PartitionedSphereDecoder
-
     system = MIMOSystem(10, 10, "4qam")
     const = system.constellation
     rng = np.random.default_rng(seed)
@@ -705,9 +688,7 @@ def ablation_parallel_pes(
         totals = []
         syncs = []
         for frame in frames:
-            decoder = PartitionedSphereDecoder(
-                const, n_pes=n_pes, radius_policy=NoiseScaledRadius(alpha=2.0)
-            )
+            decoder = spec("partitioned", const, n_pes=n_pes, alpha=2.0)()
             decoder.prepare(frame.channel, noise_var=frame.noise_var)
             result = decoder.detect(frame.received)
             makespans.append(decoder.makespan_expansions())
@@ -773,12 +754,7 @@ def ablation_imperfect_csi(
         for _ in range(channels):
             report = link.run_pilot_phase(pilot_snr, rng)
             mses.append(report.mse)
-            decoder = SphereDecoder(
-                const,
-                strategy="dfs",
-                radius_policy=NoiseScaledRadius(alpha=2.0),
-                max_nodes=50_000,
-            )
+            decoder = spec("sd", const, max_nodes=50_000)()
             decoder.prepare(report.estimate, noise_var=system.noise_var(snr_db))
             for _ in range(frames_per_channel):
                 frame = system.random_frame(
@@ -829,12 +805,7 @@ def ablation_correlation(
         for _ in range(channels):
             h = model.draw_channel(rng)
             noise_var = model.noise_var(snr_db)
-            decoder = SphereDecoder(
-                const,
-                strategy="dfs",
-                radius_policy=NoiseScaledRadius(alpha=2.0),
-                max_nodes=100_000,
-            )
+            decoder = spec("sd", const, max_nodes=100_000)()
             decoder.prepare(h, noise_var=noise_var)
             for _ in range(frames_per_channel):
                 idx = rng.integers(0, const.order, 10)
@@ -879,8 +850,6 @@ def ablation_domain(
     fan-out, but the doubled depth delays leaf (radius-update) events —
     so neither domain dominates universally.
     """
-    from repro.detectors.real_sd import RealSphereDecoder
-
     rows = []
     for modulation in modulations:
         system = MIMOSystem(10, 10, modulation)
@@ -892,18 +861,8 @@ def ablation_domain(
         for _ in range(channels):
             first = system.random_frame(snr_db, rng)
             decoders = {
-                "complex": SphereDecoder(
-                    const,
-                    strategy="dfs",
-                    radius_policy=NoiseScaledRadius(alpha=2.0),
-                    max_nodes=100_000,
-                ),
-                "real": RealSphereDecoder(
-                    const,
-                    strategy="dfs",
-                    radius_policy=NoiseScaledRadius(alpha=2.0),
-                    max_nodes=100_000,
-                ),
+                "complex": spec("sd", const, max_nodes=100_000)(),
+                "real": spec("sphere-real", const, max_nodes=100_000)(),
             }
             for det in decoders.values():
                 det.prepare(first.channel, noise_var=first.noise_var)

@@ -17,12 +17,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
-from repro.core.radius import NoiseScaledRadius
-from repro.core.sphere_decoder import SphereDecoder
-from repro.detectors.base import Detector
-from repro.detectors.sd_bfs import GemmBfsDecoder
+from repro.detectors.registry import DEFAULT_MAX_NODES, DetectorSpec, spec
 from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
 from repro.mimo.constellation import Constellation
 from repro.mimo.montecarlo import MonteCarloEngine, SweepResult
@@ -43,50 +40,8 @@ _log = get_logger(__name__)
 #: SNR grid used by every execution-time figure in the paper.
 CANONICAL_SNRS: tuple[float, ...] = (4.0, 8.0, 12.0, 16.0, 20.0)
 
-#: Safety cap on expanded nodes per decode for the huge low-SNR points
-#: (20x20 at 4 dB); truncations are counted and reported.
-DEFAULT_MAX_NODES = 150_000
-
 #: The paper's real-time constraint (section I).
 REAL_TIME_MS = 10.0
-
-
-@dataclass(frozen=True)
-class CanonicalDecoderFactory:
-    """Picklable factory for the paper's Algorithm-1 decoder.
-
-    Plain dataclass (not a closure) so Monte Carlo sweeps can ship it to
-    process-pool workers; see :mod:`repro.mimo.parallel_mc`.
-    """
-
-    constellation: Constellation
-    alpha: float = 2.0
-    max_nodes: int | None = DEFAULT_MAX_NODES
-
-    def __call__(self) -> Detector:
-        return SphereDecoder(
-            self.constellation,
-            strategy="dfs",
-            radius_policy=NoiseScaledRadius(alpha=self.alpha),
-            child_ordering="sorted",
-            max_nodes=self.max_nodes,
-        )
-
-
-@dataclass(frozen=True)
-class BfsGpuDecoderFactory:
-    """Picklable factory for the GPU GEMM-BFS baseline of [1]."""
-
-    constellation: Constellation
-    alpha: float = 4.0
-    max_frontier: int = 2**19
-
-    def __call__(self) -> Detector:
-        return GemmBfsDecoder(
-            self.constellation,
-            radius_policy=NoiseScaledRadius(alpha=self.alpha),
-            max_frontier=self.max_frontier,
-        )
 
 
 def canonical_decoder_factory(
@@ -94,11 +49,13 @@ def canonical_decoder_factory(
     *,
     alpha: float = 2.0,
     max_nodes: int | None = DEFAULT_MAX_NODES,
-) -> Callable[[], Detector]:
-    """Factory for the paper's Algorithm-1 decoder configuration."""
-    return CanonicalDecoderFactory(
-        constellation, alpha=alpha, max_nodes=max_nodes
-    )
+) -> DetectorSpec:
+    """Spec for the paper's Algorithm-1 decoder configuration.
+
+    A :class:`DetectorSpec` is picklable, so Monte Carlo sweeps can ship
+    it to process-pool workers; see :mod:`repro.mimo.parallel_mc`.
+    """
+    return spec("sd", constellation, alpha=alpha, max_nodes=max_nodes)
 
 
 def bfs_gpu_decoder_factory(
@@ -106,11 +63,9 @@ def bfs_gpu_decoder_factory(
     *,
     alpha: float = 4.0,
     max_frontier: int = 2**19,
-) -> Callable[[], Detector]:
-    """Factory for the GPU GEMM-BFS baseline of [1]."""
-    return BfsGpuDecoderFactory(
-        constellation, alpha=alpha, max_frontier=max_frontier
-    )
+) -> DetectorSpec:
+    """Spec for the GPU GEMM-BFS baseline of [1]."""
+    return spec("bfs", constellation, alpha=alpha, max_frontier=max_frontier)
 
 
 @dataclass

@@ -4,6 +4,10 @@ Subcommands
 -----------
 ``list``
     Show the available experiments (tables/figures/ablations).
+``detectors``
+    Show the detector registry: every registered kind with its
+    parameters, capability flags (exact ML, fused batch decoding,
+    FPGA trace replay) and the paper figures that use it.
 ``experiment NAME``
     Run one experiment and print its table. ``--channels`` and
     ``--frames`` trade Monte Carlo depth for wall time.
@@ -112,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser(
+        "detectors",
+        help="list the detector registry (kinds, params, capabilities)",
+    )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument("name", help="experiment id, e.g. fig6, table1")
@@ -270,6 +279,28 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_detectors() -> int:
+    from repro.detectors.registry import detector_entries
+
+    for entry in detector_entries():
+        caps = [
+            label
+            for flag, label in (
+                (entry.exact, "exact-ML"),
+                (entry.batch, "batch-decode"),
+                (entry.fpga_replayable, "fpga-replay"),
+            )
+            if flag
+        ]
+        print(f"{entry.kind}: {entry.summary}")
+        print(f"    capabilities : {', '.join(caps) if caps else '-'}")
+        params = ", ".join(f"{k}={v!r}" for k, v in entry.defaults.items())
+        print(f"    params       : {params if params else '-'}")
+        figures = ", ".join(entry.figures)
+        print(f"    figures      : {figures if figures else '-'}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.bench.experiments import EXPERIMENTS
 
@@ -359,8 +390,13 @@ def _plot_experiment(result):
         return None
 
 
+#: CLI ``--strategy`` choice -> registry kind (Babai-seeded exploration
+#: variants, matching ``SphereDecoder``'s own defaults per strategy).
+_STRATEGY_KINDS = {"best-first": "sd-bestfs", "dfs": "sd-dfs"}
+
+
 def _cmd_decode(args: argparse.Namespace) -> int:
-    from repro.core.sphere_decoder import SphereDecoder
+    from repro.detectors.registry import spec
     from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
     from repro.mimo.system import MIMOSystem
     from repro.perfmodel import CPUCostModel
@@ -369,7 +405,7 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     system = MIMOSystem(n_tx, n_rx, args.mod)
     rng = np.random.default_rng(args.seed)
     frame = system.random_frame(args.snr, rng)
-    decoder = SphereDecoder(system.constellation, strategy=args.strategy)
+    decoder = spec(_STRATEGY_KINDS[args.strategy], system.constellation)()
     decoder.prepare(frame.channel, noise_var=frame.noise_var)
     result = decoder.detect(frame.received)
     correct = bool(np.array_equal(result.indices, frame.symbol_indices))
@@ -396,25 +432,22 @@ def _cmd_decode(args: argparse.Namespace) -> int:
 
 
 def _cmd_ber(args: argparse.Namespace) -> int:
-    import functools
-
     from repro.bench.harness import bfs_gpu_decoder_factory, canonical_decoder_factory
-    from repro.detectors.fsd import FixedComplexityDecoder
-    from repro.detectors.linear import MMSEDetector, MRCDetector, ZeroForcingDetector
+    from repro.detectors.registry import spec
     from repro.mimo.montecarlo import MonteCarloEngine
     from repro.mimo.system import MIMOSystem
 
     n_tx, n_rx = args.mimo
     system = MIMOSystem(n_tx, n_rx, args.mod)
     const = system.constellation
-    # functools.partial (not lambdas) so every factory stays picklable
-    # for --workers process sharding.
+    # DetectorSpecs (not lambdas) so every factory stays picklable for
+    # --workers process sharding.
     factories = {
         "sd": canonical_decoder_factory(const),
-        "zf": functools.partial(ZeroForcingDetector, const),
-        "mmse": functools.partial(MMSEDetector, const),
-        "mrc": functools.partial(MRCDetector, const),
-        "fsd": functools.partial(FixedComplexityDecoder, const),
+        "zf": spec("zf", const),
+        "mmse": spec("mmse", const),
+        "mrc": spec("mrc", const),
+        "fsd": spec("fsd", const),
         "bfs": bfs_gpu_decoder_factory(const),
     }
     engine = MonteCarloEngine(
@@ -434,7 +467,7 @@ def _cmd_ber(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.core.sphere_decoder import SphereDecoder
+    from repro.detectors.registry import spec
     from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
     from repro.mimo.system import MIMOSystem
     from repro.obs import (
@@ -449,7 +482,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     system = MIMOSystem(n_tx, n_rx, args.mod)
     rng = np.random.default_rng(args.seed)
     frame = system.random_frame(args.snr, rng)
-    decoder = SphereDecoder(system.constellation, strategy=args.strategy)
+    decoder = spec(_STRATEGY_KINDS[args.strategy], system.constellation)()
     order = system.constellation.order
     config = (
         PipelineConfig.optimized(order)
@@ -560,6 +593,8 @@ def _cmd_runs(args: argparse.Namespace) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
+    if args.command == "detectors":
+        return _cmd_detectors()
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "decode":

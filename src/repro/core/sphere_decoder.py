@@ -1,515 +1,47 @@
-"""GEMM-based sphere decoder with Best-First / sorted-DFS traversal.
+"""Deprecated shim — the decoder moved to :mod:`repro.detectors.sphere`.
 
-This is the algorithm of the paper (Alg. 1 + section III): the SD search
-tree is explored leaf-first — either globally best-first (a priority
-queue on partial distance, the Geosphere-inspired strategy the paper
-adopts) or depth-first with per-level PD-sorted child insertion (the LIFO
-list of Fig. 3) — while node evaluation is batched into matrix-matrix
-products (:class:`~repro.core.gemm.GemmEvaluator`, the compute-bound
-refactor of Arfaoui et al.).
+The search loops now live in :mod:`repro.core.traversal` (policy
+objects) and the detector shell in :mod:`repro.detectors.sphere`; this
+module re-exports the old names with a :class:`DeprecationWarning` so
+pre-refactor imports keep working::
 
-Exactness
----------
-Partial distances are sums of non-negative terms, so PD never decreases
-along a path. With an infinite initial radius (or a Babai-seeded
-incumbent) the search is exact maximum likelihood:
+    from repro.core.sphere_decoder import SphereDecoder   # still works
 
-* Best-FS pops nodes in ascending PD; once the best frontier PD reaches
-  the incumbent metric no unexplored leaf can beat it — terminate.
-* Sorted-DFS only discards nodes whose PD already meets/exceeds the
-  incumbent metric, which no descendant leaf can undercut.
-
-Both facts are property-tested against brute force in
-``tests/test_sphere_decoder_exactness.py``.
-
-Instrumentation
----------------
-Every expansion appends a :class:`~repro.detectors.base.BatchEvent` to
-the decode's :class:`~repro.detectors.base.DecodeStats`. The FPGA
-pipeline simulator replays those events through its module cycle models;
-the CPU/GPU models consume the aggregate counters.
-
-When an ambient :class:`repro.obs.Tracer` is installed
-(:func:`repro.obs.use_tracer`), each decode additionally emits nested
-spans (``sd.detect`` > ``sd.solve`` > ``sd.search``), one ``sd.batch``
-instant per GEMM-batched expansion and node/GEMM counters. With no
-tracer installed the hot path pays one attribute read and a boolean
-check per batch — see ``docs/observability.md``.
+Imports happen lazily inside :func:`__getattr__` (PEP 562) so this
+module has no module-level dependency on the detector layer — the
+``core`` package must not import ``detectors`` (see
+``tools/check_layering.py``).
 """
 
 from __future__ import annotations
 
-import heapq
+import warnings
 
-import numpy as np
-
-from repro.core.enumeration import CHILD_ORDERS, child_order
-from repro.core.gemm import (
-    FLOPS_PER_CMAC,
-    FLOPS_PER_NORM,
-    BatchedGemmEvaluator,
-    GemmEvaluator,
-)
-from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
-from repro.core.radius import BabaiRadius, RadiusPolicy, babai_point
-from repro.core.tree import SearchNode, path_to_level_indices, root_node
-from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
-from repro.mimo.constellation import Constellation
-from repro.mimo.preprocessing import (
-    QRResult,
-    effective_receive,
-    qr_decompose,
-    sorted_qr,
-)
-from repro.obs.log import get_logger
-from repro.obs.tracer import NULL_TRACER, current_tracer
-from repro.util.timing import Timer
-from repro.util.validation import check_in, check_matrix, check_positive_int, check_vector
-
-STRATEGIES = ("best-first", "dfs")
-ORDERINGS = ("natural", "sqrd")
-
-_log = get_logger(__name__)
+#: Old name -> (new module, attribute) for every symbol that moved.
+_MOVED = {
+    "SphereDecoder": ("repro.detectors.sphere", "SphereDecoder"),
+    "STRATEGIES": ("repro.detectors.sphere", "STRATEGIES"),
+    "ORDERINGS": ("repro.detectors.sphere", "ORDERINGS"),
+}
 
 
-class SphereDecoder(Detector):
-    """The paper's GEMM-based leaf-first sphere decoder.
+def __getattr__(name: str):
+    try:
+        module_name, attr = _MOVED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    warnings.warn(
+        f"repro.core.sphere_decoder.{name} moved to {module_name}.{attr}; "
+        "update the import (this shim will be removed)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
 
-    Parameters
-    ----------
-    constellation:
-        Symbol alphabet (4-QAM / 16-QAM in the paper's evaluation).
-    strategy:
-        ``"best-first"`` (global priority queue; default) or ``"dfs"``
-        (LIFO with PD-sorted child insertion, Fig. 3). Both are exact.
-    radius_policy:
-        Initial-radius strategy; defaults to :class:`BabaiRadius`
-        (exact, never erases, tight pruning).
-    ordering:
-        Column ordering for the QR step: ``"natural"`` (plain QR, as the
-        paper) or ``"sqrd"`` (sorted QR, an ablation that tightens
-        pruning further).
-    pool_size:
-        Best-FS only: up to this many same-level frontier nodes are
-        popped together and evaluated in one GEMM batch. 1 recovers pure
-        best-first; larger pools trade a little search discipline for
-        bigger (more FPGA/GPU-friendly) GEMMs. Never affects exactness —
-        only nodes already inside the sphere are pooled.
-    child_ordering:
-        ``"sorted"`` (Best-FS/Geosphere behaviour) or ``"natural"``; only
-        observable under ``"dfs"``, where it fixes the stack push order.
-    max_nodes:
-        Optional safety cap on expanded nodes; when hit, the best
-        incumbent so far is returned and ``stats.truncated`` is set.
-    record_trace:
-        Keep the per-expansion :class:`BatchEvent` list in the stats.
-    """
+    return getattr(importlib.import_module(module_name), attr)
 
-    name = "sphere-gemm"
 
-    def __init__(
-        self,
-        constellation: Constellation,
-        *,
-        strategy: str = "best-first",
-        radius_policy: RadiusPolicy | None = None,
-        ordering: str = "natural",
-        pool_size: int = 8,
-        child_ordering: str = "sorted",
-        max_nodes: int | None = None,
-        record_trace: bool = True,
-    ) -> None:
-        self.constellation = constellation
-        self.strategy = check_in(strategy, "strategy", STRATEGIES)
-        self.radius_policy = radius_policy or BabaiRadius()
-        self.ordering = check_in(ordering, "ordering", ORDERINGS)
-        self.pool_size = check_positive_int(pool_size, "pool_size")
-        self.child_ordering = check_in(
-            child_ordering, "child_ordering", CHILD_ORDERS
-        )
-        self.max_nodes = (
-            None if max_nodes is None else check_positive_int(max_nodes, "max_nodes")
-        )
-        self.record_trace = record_trace
-        self._qr: QRResult | None = None
-        self._channel: np.ndarray | None = None
-        self._noise_var = 0.0
-        self._prepared = False
-        # Ambient tracer snapshot for the decode in flight; refreshed by
-        # solve() so the per-batch hot path pays only an attribute read.
-        self._tracer = NULL_TRACER
-
-    # ------------------------------------------------------------------
-    # Detector protocol
-    # ------------------------------------------------------------------
-
-    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
-        channel = check_matrix(channel, "channel")
-        if noise_var < 0:
-            raise ValueError(f"noise_var must be non-negative, got {noise_var}")
-        self._channel = channel
-        self._qr = sorted_qr(channel) if self.ordering == "sqrd" else qr_decompose(channel)
-        self._noise_var = float(noise_var)
-        self._prepared = True
-
-    def detect(self, received: np.ndarray) -> DetectionResult:
-        self._require_prepared()
-        received = check_vector(
-            received, "received", length=self._channel.shape[0]
-        )
-        tracer = current_tracer()
-        timer = Timer()
-        with tracer.span("sd.detect", detector=self.name, strategy=self.strategy):
-            with timer:
-                ybar = effective_receive(self._qr, received)
-                incumbent, _bound, stats = self.solve(
-                    self._qr.r, ybar, self._noise_var
-                )
-        stats.wall_time_s = timer.elapsed
-        # ``incumbent`` is indexed by tree level == factorised column;
-        # map back to the original antenna order.
-        indices = self._qr.unpermute(incumbent)
-        symbols = self.constellation.map_indices(indices)
-        bits = self.constellation.indices_to_bits(indices)
-        residual = received - self._channel @ symbols
-        metric = float(np.real(np.vdot(residual, residual)))
-        return DetectionResult(
-            indices=indices,
-            symbols=symbols,
-            bits=bits,
-            metric=metric,
-            stats=stats,
-        )
-
-    def solve(
-        self,
-        r: np.ndarray,
-        ybar: np.ndarray,
-        noise_var: float = 0.0,
-    ) -> tuple[np.ndarray, float, DecodeStats]:
-        """Decode a pre-triangularised system ``min ||ybar - R s||^2``.
-
-        Lower-level entry point than :meth:`detect`: no QR, no
-        permutation handling — useful when the caller owns the
-        preprocessing (e.g. the reduced-precision ablation quantises R
-        and ybar itself).
-
-        Returns ``(indices_by_level, reduced_metric, stats)`` where
-        ``indices_by_level[k]`` is the constellation index of level ``k``.
-        """
-        stats = DecodeStats()
-        tracer = self._tracer = current_tracer()
-        evaluator = GemmEvaluator(r, ybar, self.constellation)
-        incumbent, bound = drive_serial(
-            self._solve_gen(r, ybar, noise_var, stats, tracer), evaluator
-        )
-        if tracer.enabled:
-            tracer.count("sd.nodes_expanded", stats.nodes_expanded)
-            tracer.count("sd.nodes_generated", stats.nodes_generated)
-            tracer.count("sd.nodes_pruned", stats.nodes_pruned)
-            tracer.count("sd.leaves_reached", stats.leaves_reached)
-            tracer.count("sd.gemm_calls", stats.gemm_calls)
-            tracer.count("sd.gemm_flops", stats.gemm_flops)
-        return incumbent, bound, stats
-
-    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
-        """Decode ``B`` received vectors with cross-frame fused GEMMs.
-
-        All rows are decoded against the *prepared* channel (the
-        block-fading assumption), so every frame shares the triangular
-        factor and their same-level node pools stack into single
-        :class:`~repro.core.gemm.BatchedGemmEvaluator` calls — the
-        paper's BLAS-2 -> BLAS-3 refactor applied across frames. Each
-        frame's search runs its own unmodified schedule in lockstep
-        (:func:`~repro.core.lockstep.drive_lockstep`), so the returned
-        decisions, metrics and per-frame search statistics are
-        **bit-identical** to calling :meth:`detect` per row; only
-        ``wall_time_s`` differs (the batch's wall time split evenly, as
-        per-frame timing is not separable inside a fused GEMM).
-        """
-        self._require_prepared()
-        received = np.asarray(received)
-        if received.ndim != 2 or received.shape[1] != self._channel.shape[0]:
-            raise ValueError(
-                f"received must have shape (B, {self._channel.shape[0]}), "
-                f"got {received.shape}"
-            )
-        if received.shape[0] == 0:
-            return []
-        n_frames = received.shape[0]
-        tracer = current_tracer()
-        timer = Timer()
-        stats_list = [DecodeStats() for _ in range(n_frames)]
-        with tracer.span(
-            "sd.decode_batch", detector=self.name, frames=n_frames
-        ):
-            with timer:
-                ybars = np.stack(
-                    [effective_receive(self._qr, row) for row in received]
-                )
-                evaluator = BatchedGemmEvaluator(
-                    self._qr.r, ybars, self.constellation
-                )
-                # Interleaved generators must not open nested spans (the
-                # span stack is per-context, not per-frame) — run quiet.
-                self._tracer = NULL_TRACER
-                searches = [
-                    self._solve_gen(
-                        self._qr.r,
-                        ybars[f],
-                        self._noise_var,
-                        stats_list[f],
-                        NULL_TRACER,
-                    )
-                    for f in range(n_frames)
-                ]
-                outcomes = drive_lockstep(searches, evaluator)
-        if tracer.enabled:
-            tracer.count("sd.batch.frames", n_frames)
-            tracer.count("sd.batch.fused_gemm_calls", evaluator.fused_gemm_calls)
-            tracer.count(
-                "sd.batch.frame_gemm_calls",
-                sum(st.gemm_calls for st in stats_list),
-            )
-        results: list[DetectionResult] = []
-        per_frame_s = timer.elapsed / n_frames
-        for f in range(n_frames):
-            incumbent, _bound = outcomes[f]
-            stats = stats_list[f]
-            stats.wall_time_s = per_frame_s
-            indices = self._qr.unpermute(incumbent)
-            symbols = self.constellation.map_indices(indices)
-            bits = self.constellation.indices_to_bits(indices)
-            residual = received[f] - self._channel @ symbols
-            metric = float(np.real(np.vdot(residual, residual)))
-            results.append(
-                DetectionResult(
-                    indices=indices,
-                    symbols=symbols,
-                    bits=bits,
-                    metric=metric,
-                    stats=stats,
-                )
-            )
-        return results
-
-    # ------------------------------------------------------------------
-    # Search internals (generators — see repro.core.lockstep)
-    # ------------------------------------------------------------------
-
-    def _solve_gen(self, r, ybar, noise_var, stats, tracer):
-        """Search generator for one frame's full solve.
-
-        Yields :class:`~repro.core.lockstep.ExpandRequest`s and returns
-        ``(indices_by_level, reduced_metric)``; the caller chooses the
-        evaluator (serial or cross-frame fused). ``tracer`` scopes the
-        ``sd.solve``/``sd.search`` spans — pass ``NULL_TRACER`` when
-        several generators run interleaved (lockstep batching), where
-        spans opened across yields of different frames would corrupt
-        the nesting stack.
-        """
-        n_tx = int(r.shape[1])
-        with tracer.span("sd.solve", strategy=self.strategy, n_tx=n_tx):
-            init = self.radius_policy.initial(
-                r, ybar, self.constellation, float(noise_var)
-            )
-            bound = float(init.radius_sq)
-            incumbent = init.incumbent_indices
-            stats.radius_trace.append(bound)
-            while True:
-                with tracer.span("sd.search", bound=bound):
-                    incumbent, bound = yield from self._search(
-                        n_tx, bound, incumbent, stats
-                    )
-                if incumbent is not None or not self.radius_policy.can_escalate():
-                    break
-                if stats.truncated:
-                    # The search hit the node cap before finding any leaf —
-                    # a larger radius can only make that worse; give up and
-                    # fall back to the Babai point below.
-                    break
-                bound *= self.radius_policy.escalation_factor
-                stats.radius_trace.append(bound)
-            if incumbent is None:
-                incumbent, bound = babai_point(r, ybar, self.constellation)
-                stats.truncated = max(stats.truncated, 1)
-                _log.debug(
-                    "sphere empty after escalation; falling back to Babai "
-                    "point (metric %.4g)",
-                    bound,
-                )
-        return np.asarray(incumbent), float(bound)
-
-    def _search(
-        self,
-        n_tx: int,
-        bound: float,
-        incumbent: np.ndarray | None,
-        stats: DecodeStats,
-    ):
-        """One full tree exploration under the given initial bound.
-
-        Generator (driven via ``yield from``); returns the best complete
-        solution found (ascending-level indices) and its metric — or
-        ``(incumbent, bound)`` unchanged when the sphere is empty.
-        """
-        if self.strategy == "best-first":
-            return (
-                yield from self._search_best_first(n_tx, bound, incumbent, stats)
-            )
-        return (yield from self._search_dfs(n_tx, bound, incumbent, stats))
-
-    def _expand_pool(
-        self,
-        pool: list[SearchNode],
-        n_tx: int,
-        stats: DecodeStats,
-    ):
-        """Request evaluation of a same-level node pool (one GEMM).
-
-        Generator: yields the :class:`ExpandRequest`, receives the
-        ``(B, P)`` child PDs, accounts the work in ``stats`` with the
-        exact FLOP formulas of :class:`GemmEvaluator`, and returns the
-        child PDs — so per-frame counters match the serial evaluator's
-        no matter which driver ran the GEMM.
-        """
-        level = pool[0].level
-        depth = n_tx - 1 - level
-        order = self.constellation.order
-        parent_idx = np.fromiter(
-            (i for node in pool for i in node.path),
-            dtype=np.int64,
-            count=len(pool) * depth,
-        ).reshape(len(pool), depth)
-        parent_pds = np.fromiter(
-            (node.pd for node in pool), dtype=float, count=len(pool)
-        )
-        child_pds = yield ExpandRequest(level, parent_idx, parent_pds)
-        stats.nodes_expanded += len(pool)
-        stats.nodes_generated += len(pool) * order
-        stats.gemm_calls += 1
-        if depth:
-            stats.gemm_flops += FLOPS_PER_CMAC * len(pool) * depth
-        stats.gemm_flops += FLOPS_PER_NORM * len(pool) * order
-        if self.record_trace:
-            stats.batches.append(BatchEvent(level=level, pool_size=len(pool)))
-        if self._tracer.enabled:
-            self._tracer.instant("sd.batch", level=level, pool=len(pool))
-        return child_pds
-
-    def _accept_leaves(
-        self,
-        pool: list[SearchNode],
-        child_pds: np.ndarray,
-        bound: float,
-        incumbent: np.ndarray | None,
-        stats: DecodeStats,
-        n_tx: int,
-    ) -> tuple[np.ndarray | None, float]:
-        """Fold a batch of leaf evaluations into the incumbent/bound."""
-        in_sphere = child_pds < bound
-        stats.leaves_reached += int(np.count_nonzero(in_sphere))
-        stats.nodes_pruned += int(in_sphere.size - np.count_nonzero(in_sphere))
-        flat = int(np.argmin(child_pds))
-        n, c = divmod(flat, child_pds.shape[1])
-        if child_pds[n, c] < bound:
-            bound = float(child_pds[n, c])
-            path = pool[n].path + (c,)
-            incumbent = path_to_level_indices(path, n_tx)
-            stats.radius_updates += 1
-            stats.radius_trace.append(bound)
-        return incumbent, bound
-
-    def _search_best_first(
-        self,
-        n_tx: int,
-        bound: float,
-        incumbent: np.ndarray | None,
-        stats: DecodeStats,
-    ):
-        seq = 1
-        heap: list[SearchNode] = [root_node(n_tx)]
-        while heap:
-            if heap[0].pd >= bound:
-                break  # heap is PD-ordered: nothing left can improve
-            first = heapq.heappop(heap)
-            pool = [first]
-            while (
-                len(pool) < self.pool_size
-                and heap
-                and heap[0].level == first.level
-                and heap[0].pd < bound
-            ):
-                pool.append(heapq.heappop(heap))
-            child_pds = yield from self._expand_pool(pool, n_tx, stats)
-            if first.level == 0:
-                incumbent, bound = self._accept_leaves(
-                    pool, child_pds, bound, incumbent, stats, n_tx
-                )
-            else:
-                mask = child_pds < bound
-                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
-                next_level = first.level - 1
-                for i, node in enumerate(pool):
-                    for c in np.nonzero(mask[i])[0]:
-                        heapq.heappush(
-                            heap,
-                            SearchNode(
-                                pd=float(child_pds[i, c]),
-                                seq=seq,
-                                level=next_level,
-                                path=node.path + (int(c),),
-                            ),
-                        )
-                        seq += 1
-                stats.max_list_size = max(stats.max_list_size, len(heap))
-            if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
-                stats.truncated += 1
-                break
-        return incumbent, bound
-
-    def _search_dfs(
-        self,
-        n_tx: int,
-        bound: float,
-        incumbent: np.ndarray | None,
-        stats: DecodeStats,
-    ):
-        seq = 1
-        stack: list[SearchNode] = [root_node(n_tx)]
-        while stack:
-            node = stack.pop()
-            if node.pd >= bound:
-                # Generated inside an older, looser sphere; the radius has
-                # shrunk since — prune on pop.
-                stats.nodes_pruned += 1
-                continue
-            child_pds = yield from self._expand_pool([node], n_tx, stats)
-            if node.level == 0:
-                incumbent, bound = self._accept_leaves(
-                    [node], child_pds, bound, incumbent, stats, n_tx
-                )
-            else:
-                pds = child_pds[0]
-                order = child_order(pds, self.child_ordering)
-                mask = pds < bound
-                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
-                next_level = node.level - 1
-                # Push worst-first so the best child is on top of the LIFO
-                # (the sorted insertion of Fig. 3).
-                for c in order[::-1]:
-                    if mask[c]:
-                        stack.append(
-                            SearchNode(
-                                pd=float(pds[c]),
-                                seq=seq,
-                                level=next_level,
-                                path=node.path + (int(c),),
-                            )
-                        )
-                        seq += 1
-                stats.max_list_size = max(stats.max_list_size, len(stack))
-            if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
-                stats.truncated += 1
-                break
-        return incumbent, bound
+def __dir__():
+    return sorted(_MOVED)

@@ -1,0 +1,628 @@
+"""Unified tree-traversal engine: search policy x evaluation backend.
+
+The paper's central claim is that one sphere-decoding algorithm can be
+re-targeted across execution substrates (CPU BLAS-3, GPU, FPGA dataflow)
+because *what to expand next* is separable from *how partial distances
+are evaluated*. This module is that separation made concrete:
+
+``TraversalPolicy``
+    What to expand next. Each policy is a search **generator** over the
+    :class:`~repro.core.lockstep.ExpandRequest` protocol: it yields
+    same-level node pools and receives the ``(B, P)`` child partial
+    distances, never touching an evaluator directly.
+
+    * :class:`BestFirstPolicy` — global priority queue on PD with
+      same-level pooling (the paper's Best-FS, Alg. 1).
+    * :class:`DfsPolicy` — LIFO with PD-sorted child insertion (the
+      sorted-DFS of Fig. 3; pool size 1 recovers Geosphere's schedule).
+    * :class:`BfsPolicy` — level-synchronous frontier sweep (the
+      GPU baseline of Arfaoui et al., one GEMM per level).
+    * :class:`KBestPolicy` — breadth-first with K survivors per level
+      (fixed-throughput hardware detector; not exact).
+    * :class:`FsdPolicy` — fixed-complexity schedule: full enumeration
+      on ``rho`` levels, single-best-child SIC below (not exact).
+
+``ScalarGemvBackend`` / ``FusedGemmBackend``
+    How child PDs are computed. The scalar backend drives one frame's
+    generator serially against a :class:`~repro.core.gemm.GemmEvaluator`;
+    the fused backend runs many frames' generators in lockstep against a
+    :class:`~repro.core.gemm.BatchedGemmEvaluator`, stacking same-level
+    pools across frames into single BLAS-3 calls. Both produce
+    bit-identical child PDs (shared ``_stacked_gemv`` kernel), so every
+    policy gets cross-frame batch decoding for free.
+
+``TraversalEngine``
+    Binds a constellation, a policy and a radius policy. The detector
+    classes in :mod:`repro.detectors` are thin configurations of this
+    engine; all of them emit the uniform
+    :class:`~repro.core.stats.BatchEvent` trace the FPGA pipeline
+    simulator replays.
+
+Exactness of the best-first / DFS policies is property-tested against
+brute force in ``tests/test_sphere_decoder_exactness.py``; equivalence
+of the scalar and fused backends in ``tests/test_parallel_mc.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+
+import numpy as np
+
+from repro.core.enumeration import CHILD_ORDERS, child_order
+from repro.core.gemm import (
+    FLOPS_PER_CMAC,
+    FLOPS_PER_NORM,
+    BatchedGemmEvaluator,
+    GemmEvaluator,
+)
+from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
+from repro.core.radius import babai_point
+from repro.core.stats import BatchEvent, DecodeStats
+from repro.core.tree import SearchNode, path_to_level_indices, root_node
+from repro.obs.log import get_logger
+from repro.obs.tracer import NULL_TRACER
+from repro.util.validation import check_in, check_positive_int
+
+_log = get_logger(__name__)
+
+
+class TraversalPolicy(abc.ABC):
+    """What to expand next — a search schedule over the SD tree.
+
+    A policy is stateless across decodes: :meth:`solve_gen` returns a
+    fresh generator per frame, so one policy instance can drive many
+    interleaved frames (the fused backend relies on this).
+    """
+
+    @abc.abstractmethod
+    def solve_gen(self, engine: "TraversalEngine", r, ybar, noise_var, stats, tracer):
+        """Search generator for one frame's full solve.
+
+        Yields :class:`~repro.core.lockstep.ExpandRequest`s and returns
+        ``(indices_by_level, reduced_metric)``; the backend chooses the
+        evaluator (serial or cross-frame fused). ``tracer`` scopes any
+        spans the policy opens — pass ``NULL_TRACER`` when several
+        generators run interleaved (lockstep batching), where spans
+        opened across yields of different frames would corrupt the
+        nesting stack.
+        """
+
+
+class _PooledTreePolicy(TraversalPolicy):
+    """Shared solve shape of the leaf-first (best-FS / DFS) policies.
+
+    Owns the radius schedule the paper's decoder uses: initial radius
+    from the engine's radius policy, geometric escalation while the
+    sphere is empty — abandoned once the node cap truncates a search,
+    since a larger radius can only expand the workload — and a Babai
+    fallback when every escalation came back empty.
+    """
+
+    #: Strategy label used in ``sd.solve`` span args and detector attrs.
+    strategy: str
+
+    def __init__(self, *, max_nodes: int | None = None) -> None:
+        self.max_nodes = (
+            None if max_nodes is None else check_positive_int(max_nodes, "max_nodes")
+        )
+
+    def solve_gen(self, engine, r, ybar, noise_var, stats, tracer):
+        n_tx = int(r.shape[1])
+        with tracer.span("sd.solve", strategy=self.strategy, n_tx=n_tx):
+            init = engine.radius_policy.initial(
+                r, ybar, engine.constellation, float(noise_var)
+            )
+            bound = float(init.radius_sq)
+            incumbent = init.incumbent_indices
+            stats.radius_trace.append(bound)
+            while True:
+                with tracer.span("sd.search", bound=bound):
+                    incumbent, bound = yield from self._search(
+                        engine, n_tx, bound, incumbent, stats, tracer
+                    )
+                if incumbent is not None or not engine.radius_policy.can_escalate():
+                    break
+                if stats.truncated:
+                    # The search hit the node cap before finding any leaf —
+                    # a larger radius can only make that worse; give up and
+                    # fall back to the Babai point below.
+                    break
+                bound *= engine.radius_policy.escalation_factor
+                stats.radius_trace.append(bound)
+            if incumbent is None:
+                incumbent, bound = babai_point(r, ybar, engine.constellation)
+                stats.truncated = max(stats.truncated, 1)
+                _log.debug(
+                    "sphere empty after escalation; falling back to Babai "
+                    "point (metric %.4g)",
+                    bound,
+                )
+        return np.asarray(incumbent), float(bound)
+
+    @abc.abstractmethod
+    def _search(self, engine, n_tx, bound, incumbent, stats, tracer):
+        """One full tree exploration under the given initial bound.
+
+        Generator (driven via ``yield from``); returns the best complete
+        solution found (ascending-level indices) and its metric — or
+        ``(incumbent, bound)`` unchanged when the sphere is empty.
+        """
+
+    def _expand_pool(self, engine, pool, n_tx, stats, tracer):
+        """Request evaluation of a same-level node pool (one GEMM).
+
+        Generator: yields the :class:`ExpandRequest`, receives the
+        ``(B, P)`` child PDs, accounts the work in ``stats`` with the
+        exact FLOP formulas of :class:`GemmEvaluator`, and returns the
+        child PDs — so per-frame counters match the serial evaluator's
+        no matter which backend ran the GEMM.
+        """
+        level = pool[0].level
+        depth = n_tx - 1 - level
+        order = engine.constellation.order
+        parent_idx = np.fromiter(
+            (i for node in pool for i in node.path),
+            dtype=np.int64,
+            count=len(pool) * depth,
+        ).reshape(len(pool), depth)
+        parent_pds = np.fromiter(
+            (node.pd for node in pool), dtype=float, count=len(pool)
+        )
+        child_pds = yield ExpandRequest(level, parent_idx, parent_pds)
+        stats.nodes_expanded += len(pool)
+        stats.nodes_generated += len(pool) * order
+        stats.gemm_calls += 1
+        if depth:
+            stats.gemm_flops += FLOPS_PER_CMAC * len(pool) * depth
+        stats.gemm_flops += FLOPS_PER_NORM * len(pool) * order
+        if engine.record_trace:
+            stats.batches.append(BatchEvent(level=level, pool_size=len(pool)))
+        if tracer.enabled:
+            tracer.instant("sd.batch", level=level, pool=len(pool))
+        return child_pds
+
+    @staticmethod
+    def _accept_leaves(pool, child_pds, bound, incumbent, stats, n_tx):
+        """Fold a batch of leaf evaluations into the incumbent/bound."""
+        in_sphere = child_pds < bound
+        stats.leaves_reached += int(np.count_nonzero(in_sphere))
+        stats.nodes_pruned += int(in_sphere.size - np.count_nonzero(in_sphere))
+        flat = int(np.argmin(child_pds))
+        n, c = divmod(flat, child_pds.shape[1])
+        if child_pds[n, c] < bound:
+            bound = float(child_pds[n, c])
+            path = pool[n].path + (c,)
+            incumbent = path_to_level_indices(path, n_tx)
+            stats.radius_updates += 1
+            stats.radius_trace.append(bound)
+        return incumbent, bound
+
+
+class BestFirstPolicy(_PooledTreePolicy):
+    """Global priority queue on PD with same-level pooling (Alg. 1).
+
+    Parameters
+    ----------
+    pool_size:
+        Up to this many same-level frontier nodes are popped together
+        and evaluated in one GEMM batch. 1 recovers pure best-first;
+        larger pools trade a little search discipline for bigger (more
+        FPGA/GPU-friendly) GEMMs. Never affects exactness — only nodes
+        already inside the sphere are pooled.
+    max_nodes:
+        Optional safety cap on expanded nodes; when hit, the best
+        incumbent so far is returned and ``stats.truncated`` is set.
+    """
+
+    strategy = "best-first"
+
+    def __init__(self, *, pool_size: int = 8, max_nodes: int | None = None) -> None:
+        super().__init__(max_nodes=max_nodes)
+        self.pool_size = check_positive_int(pool_size, "pool_size")
+
+    def _search(self, engine, n_tx, bound, incumbent, stats, tracer):
+        seq = 1
+        heap: list[SearchNode] = [root_node(n_tx)]
+        while heap:
+            if heap[0].pd >= bound:
+                break  # heap is PD-ordered: nothing left can improve
+            first = heapq.heappop(heap)
+            pool = [first]
+            while (
+                len(pool) < self.pool_size
+                and heap
+                and heap[0].level == first.level
+                and heap[0].pd < bound
+            ):
+                pool.append(heapq.heappop(heap))
+            child_pds = yield from self._expand_pool(
+                engine, pool, n_tx, stats, tracer
+            )
+            if first.level == 0:
+                incumbent, bound = self._accept_leaves(
+                    pool, child_pds, bound, incumbent, stats, n_tx
+                )
+            else:
+                mask = child_pds < bound
+                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
+                next_level = first.level - 1
+                for i, node in enumerate(pool):
+                    for c in np.nonzero(mask[i])[0]:
+                        heapq.heappush(
+                            heap,
+                            SearchNode(
+                                pd=float(child_pds[i, c]),
+                                seq=seq,
+                                level=next_level,
+                                path=node.path + (int(c),),
+                            ),
+                        )
+                        seq += 1
+                stats.max_list_size = max(stats.max_list_size, len(heap))
+            if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
+                stats.truncated += 1
+                break
+        return incumbent, bound
+
+
+class DfsPolicy(_PooledTreePolicy):
+    """Depth-first with per-level PD-sorted child insertion (Fig. 3).
+
+    Parameters
+    ----------
+    child_ordering:
+        ``"sorted"`` (Best-FS/Geosphere behaviour) or ``"natural"``;
+        fixes the stack push order.
+    max_nodes:
+        Optional safety cap on expanded nodes.
+    """
+
+    strategy = "dfs"
+
+    def __init__(
+        self, *, child_ordering: str = "sorted", max_nodes: int | None = None
+    ) -> None:
+        super().__init__(max_nodes=max_nodes)
+        self.child_ordering = check_in(
+            child_ordering, "child_ordering", CHILD_ORDERS
+        )
+
+    def _search(self, engine, n_tx, bound, incumbent, stats, tracer):
+        seq = 1
+        stack: list[SearchNode] = [root_node(n_tx)]
+        while stack:
+            node = stack.pop()
+            if node.pd >= bound:
+                # Generated inside an older, looser sphere; the radius has
+                # shrunk since — prune on pop.
+                stats.nodes_pruned += 1
+                continue
+            child_pds = yield from self._expand_pool(
+                engine, [node], n_tx, stats, tracer
+            )
+            if node.level == 0:
+                incumbent, bound = self._accept_leaves(
+                    [node], child_pds, bound, incumbent, stats, n_tx
+                )
+            else:
+                pds = child_pds[0]
+                order = child_order(pds, self.child_ordering)
+                mask = pds < bound
+                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
+                next_level = node.level - 1
+                # Push worst-first so the best child is on top of the LIFO
+                # (the sorted insertion of Fig. 3).
+                for c in order[::-1]:
+                    if mask[c]:
+                        stack.append(
+                            SearchNode(
+                                pd=float(pds[c]),
+                                seq=seq,
+                                level=next_level,
+                                path=node.path + (int(c),),
+                            )
+                        )
+                        seq += 1
+                stats.max_list_size = max(stats.max_list_size, len(stack))
+            if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
+                stats.truncated += 1
+                break
+        return incumbent, bound
+
+
+class BfsPolicy(TraversalPolicy):
+    """Level-synchronous frontier sweep (the [1]/GPU strategy).
+
+    All of its pruning comes from the initial radius; if a level ends
+    with an empty frontier the radius escalates and the sweep restarts.
+    Unlike the leaf-first policies, escalation continues even after a
+    frontier truncation (the truncated sweep may simply have dropped the
+    sphere's occupants).
+
+    Parameters
+    ----------
+    max_frontier:
+        Optional cap on the surviving frontier per level (K-best style
+        truncation). ``None`` keeps every in-sphere node, as in [1] —
+        exact *within the sphere* but memory-hungry for 16-QAM.
+    """
+
+    def __init__(self, *, max_frontier: int | None = None) -> None:
+        self.max_frontier = (
+            None
+            if max_frontier is None
+            else check_positive_int(max_frontier, "max_frontier")
+        )
+
+    def _sweep(self, engine, n_tx, radius_sq, stats, tracer):
+        """One full root-to-leaves BFS sweep under a fixed radius.
+
+        Yields one :class:`ExpandRequest` per level and receives the
+        child PDs. Returns ``(best_indices_by_level, best_metric)`` or
+        ``(None, inf)`` when the sphere is empty.
+        """
+        p = engine.constellation.order
+        # Frontier state: (F, depth) root-first index paths + (F,) PDs.
+        paths = np.empty((1, 0), dtype=np.int64)
+        pds = np.zeros(1, dtype=float)
+        for level in range(n_tx - 1, -1, -1):
+            with tracer.span("bfs.level", level=level, frontier=paths.shape[0]):
+                child_pds = yield ExpandRequest(level, paths, pds)  # (F, P)
+            frontier = paths.shape[0]
+            stats.nodes_expanded += frontier
+            stats.nodes_generated += frontier * p
+            stats.gemm_calls += 1
+            depth = n_tx - 1 - level
+            if depth:
+                stats.gemm_flops += FLOPS_PER_CMAC * frontier * depth
+            stats.gemm_flops += FLOPS_PER_NORM * frontier * p
+            if engine.record_trace:
+                stats.batches.append(
+                    BatchEvent(level=level, pool_size=frontier)
+                )
+            keep_n, keep_c = np.nonzero(child_pds < radius_sq)
+            stats.nodes_pruned += frontier * p - keep_n.size
+            if keep_n.size == 0:
+                return None, float("inf")
+            new_pds = child_pds[keep_n, keep_c]
+            if self.max_frontier is not None and keep_n.size > self.max_frontier:
+                # K-best truncation: keep the lowest-PD survivors.
+                top = np.argpartition(new_pds, self.max_frontier)[
+                    : self.max_frontier
+                ]
+                keep_n, keep_c, new_pds = keep_n[top], keep_c[top], new_pds[top]
+                stats.truncated += 1
+            paths = np.concatenate(
+                [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
+            )
+            pds = new_pds
+            stats.max_list_size = max(stats.max_list_size, paths.shape[0])
+        stats.leaves_reached += paths.shape[0]
+        best = int(np.argmin(pds))
+        stats.radius_updates += 1
+        stats.radius_trace.append(float(pds[best]))
+        # paths are root-first (level M-1 .. 0); flip to ascending level.
+        return paths[best, ::-1].copy(), float(pds[best])
+
+    def solve_gen(self, engine, r, ybar, noise_var, stats, tracer):
+        n_tx = int(r.shape[1])
+        init = engine.radius_policy.initial(
+            r, ybar, engine.constellation, float(noise_var)
+        )
+        radius_sq = float(init.radius_sq)
+        stats.radius_trace.append(radius_sq)
+        best, metric = yield from self._sweep(engine, n_tx, radius_sq, stats, tracer)
+        while best is None and engine.radius_policy.can_escalate():
+            radius_sq *= engine.radius_policy.escalation_factor
+            stats.radius_trace.append(radius_sq)
+            best, metric = yield from self._sweep(
+                engine, n_tx, radius_sq, stats, tracer
+            )
+        if best is None:
+            best, metric = babai_point(r, ybar, engine.constellation)
+            stats.truncated += 1
+        return best, metric
+
+
+class _SweepPolicy(TraversalPolicy):
+    """Shared breadth-first sweep shape of the fixed-workload policies.
+
+    K-best and FSD consult no radius policy at all: they sweep root to
+    leaves exactly once, keeping survivors by their own rule, and the
+    best surviving leaf is the decision. K-best records the decision
+    metric as its one ``radius_trace`` entry (its survivor list acts as
+    an implicit shrinking bound); FSD's schedule has no bound of any
+    kind, so its trace stays empty.
+    """
+
+    #: Whether the final decision metric is logged as a radius update.
+    final_metric_in_trace = True
+
+    def solve_gen(self, engine, r, ybar, noise_var, stats, tracer):
+        n_tx = int(r.shape[1])
+        p = engine.constellation.order
+        paths = np.empty((1, 0), dtype=np.int64)
+        pds = np.zeros(1, dtype=float)
+        for level in range(n_tx - 1, -1, -1):
+            child_pds = yield ExpandRequest(level, paths, pds)
+            width = paths.shape[0]
+            stats.nodes_expanded += width
+            stats.nodes_generated += width * p
+            stats.gemm_calls += 1
+            depth = n_tx - 1 - level
+            if depth:
+                stats.gemm_flops += FLOPS_PER_CMAC * width * depth
+            stats.gemm_flops += FLOPS_PER_NORM * width * p
+            if engine.record_trace:
+                stats.batches.append(BatchEvent(level=level, pool_size=width))
+            keep_n, keep_c, pds = self._select(level, n_tx, child_pds, stats)
+            paths = np.concatenate(
+                [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
+            )
+            stats.max_list_size = max(stats.max_list_size, paths.shape[0])
+        stats.leaves_reached += paths.shape[0]
+        best = int(np.argmin(pds))
+        if self.final_metric_in_trace:
+            stats.radius_updates += 1
+            stats.radius_trace.append(float(pds[best]))
+        # The generator protocol requires at least one yield before
+        # returning, which the level loop always provides (n_tx >= 1).
+        return paths[best, ::-1].copy(), float(pds[best])
+
+    @abc.abstractmethod
+    def _select(self, level, n_tx, child_pds, stats):
+        """Choose the survivors of one level.
+
+        Returns ``(keep_n, keep_c, pds)``: parent row indices, child
+        column indices and the survivors' PDs.
+        """
+
+
+class KBestPolicy(_SweepPolicy):
+    """Breadth-first with the K lowest-PD survivors per level.
+
+    Parameters
+    ----------
+    k:
+        Survivors kept per level. ``k >= P^M`` recovers exhaustive ML;
+        small ``k`` trades BER for a hard workload bound. Typical
+        hardware choices are 8–64.
+    """
+
+    def __init__(self, *, k: int = 16) -> None:
+        self.k = check_positive_int(k, "k")
+
+    def _select(self, level, n_tx, child_pds, stats):
+        p = child_pds.shape[1]
+        flat = child_pds.ravel()
+        keep = min(self.k, flat.size)
+        if keep < flat.size:
+            chosen = np.argpartition(flat, keep)[:keep]
+            stats.nodes_pruned += flat.size - keep
+        else:
+            chosen = np.arange(flat.size)
+        keep_n, keep_c = np.divmod(chosen, p)
+        return keep_n, keep_c, flat[chosen]
+
+
+class FsdPolicy(_SweepPolicy):
+    """Fixed-complexity schedule: full enumeration, then SIC.
+
+    Parameters
+    ----------
+    rho:
+        Number of fully-enumerated levels (``P^rho`` candidate paths).
+        The classic choice for square systems is small (1 or 2).
+    """
+
+    final_metric_in_trace = False
+
+    def __init__(self, *, rho: int = 1) -> None:
+        self.rho = check_positive_int(rho, "rho")
+
+    def _select(self, level, n_tx, child_pds, stats):
+        width, p = child_pds.shape
+        depth_from_root = n_tx - 1 - level
+        if depth_from_root < self.rho:
+            # Full-expansion phase: keep every child.
+            keep_n = np.repeat(np.arange(width), p)
+            keep_c = np.tile(np.arange(p), width)
+            return keep_n, keep_c, child_pds.ravel().copy()
+        # SIC phase: single best child per candidate.
+        keep_n = np.arange(width)
+        keep_c = np.argmin(child_pds, axis=1)
+        return keep_n, keep_c, child_pds[keep_n, keep_c]
+
+
+class ScalarGemvBackend:
+    """Per-frame serial PD evaluation (one GEMV-shaped GEMM per pool).
+
+    Drives a single frame's search generator to completion against a
+    :class:`~repro.core.gemm.GemmEvaluator` — the CPU reference path.
+    """
+
+    def run(self, engine, r, ybar, noise_var, stats, tracer):
+        evaluator = GemmEvaluator(r, ybar, engine.constellation)
+        return drive_serial(
+            engine.solve_gen(r, ybar, noise_var, stats, tracer), evaluator
+        )
+
+
+class FusedGemmBackend:
+    """Cross-frame fused PD evaluation (the BLAS-2 -> BLAS-3 refactor).
+
+    Runs ``B`` frames' search generators in lockstep against one
+    :class:`~repro.core.gemm.BatchedGemmEvaluator`, stacking same-level
+    node pools into single GEMMs. Generators run with ``NULL_TRACER``:
+    the span stack is per-context, not per-frame, so spans opened across
+    yields of interleaved frames would corrupt the nesting.
+
+    After :meth:`run`, :attr:`fused_gemm_calls` holds the number of
+    cross-frame GEMMs the batch actually issued.
+    """
+
+    def __init__(self) -> None:
+        self.fused_gemm_calls = 0
+
+    def run(self, engine, r, ybars, noise_var, stats_list):
+        evaluator = BatchedGemmEvaluator(r, ybars, engine.constellation)
+        searches = [
+            engine.solve_gen(r, ybars[f], noise_var, stats_list[f], NULL_TRACER)
+            for f in range(ybars.shape[0])
+        ]
+        outcomes = drive_lockstep(searches, evaluator)
+        self.fused_gemm_calls = evaluator.fused_gemm_calls
+        return outcomes
+
+
+class TraversalEngine:
+    """One search policy bound to a constellation and radius schedule.
+
+    Parameters
+    ----------
+    constellation:
+        Symbol alphabet.
+    policy:
+        The :class:`TraversalPolicy` deciding the expansion schedule.
+    radius_policy:
+        Initial-radius strategy consulted by the radius-driven policies
+        (best-FS / DFS / BFS); the fixed-workload policies (K-best, FSD)
+        ignore it. ``None`` is only valid for the latter.
+    record_trace:
+        Keep the per-expansion :class:`BatchEvent` list in the stats.
+    """
+
+    def __init__(
+        self,
+        constellation,
+        policy: TraversalPolicy,
+        *,
+        radius_policy=None,
+        record_trace: bool = True,
+    ) -> None:
+        self.constellation = constellation
+        self.policy = policy
+        self.radius_policy = radius_policy
+        self.record_trace = record_trace
+
+    def solve_gen(self, r, ybar, noise_var, stats, tracer):
+        """The policy's search generator for one frame (see lockstep)."""
+        return self.policy.solve_gen(self, r, ybar, noise_var, stats, tracer)
+
+    def solve(self, r, ybar, noise_var, stats, tracer, backend=None):
+        """Solve one pre-triangularised frame; returns (indices, metric)."""
+        backend = backend or ScalarGemvBackend()
+        return backend.run(self, r, ybar, noise_var, stats, tracer)
+
+    def solve_batch(self, r, ybars, noise_var, stats_list, backend=None):
+        """Solve ``B`` frames with cross-frame fused GEMMs.
+
+        Returns ``(outcomes, backend)`` where ``outcomes[f]`` is frame
+        ``f``'s ``(indices, metric)`` — bit-identical to per-frame
+        :meth:`solve` — and the backend exposes ``fused_gemm_calls``.
+        """
+        backend = backend or FusedGemmBackend()
+        outcomes = backend.run(self, r, ybars, noise_var, stats_list)
+        return outcomes, backend

@@ -1,8 +1,17 @@
-"""Detector zoo: linear baselines, ML ground truth and tree-search decoders."""
+"""Detector zoo: linear baselines, ML ground truth and tree-search decoders.
+
+Construction for experiments/CLI/Monte-Carlo goes through the
+declarative registry (:mod:`repro.detectors.registry`): a
+:class:`DetectorSpec` names a registered kind plus parameters and is
+picklable across process pools. Direct class construction remains fine
+for library use.
+"""
 
 from repro.detectors.base import Detector, DetectionResult, DecodeStats, BatchEvent
+from repro.detectors.engine import EngineDetector
 from repro.detectors.linear import ZeroForcingDetector, MMSEDetector, MRCDetector
 from repro.detectors.ml import MLDetector
+from repro.detectors.sphere import SphereDecoder
 from repro.detectors.sd_bfs import GemmBfsDecoder
 from repro.detectors.geosphere import GeosphereDecoder
 from repro.detectors.fsd import FixedComplexityDecoder
@@ -11,16 +20,26 @@ from repro.detectors.sic import SICDetector
 from repro.detectors.kbest import KBestDecoder
 from repro.detectors.lr import LRZFDetector
 from repro.detectors.real_sd import RealSphereDecoder
+from repro.detectors.partitioned import PartitionedSphereDecoder
+from repro.detectors.registry import (
+    DetectorEntry,
+    DetectorSpec,
+    detector_entries,
+    detector_entry,
+    spec,
+)
 
 __all__ = [
     "Detector",
     "DetectionResult",
     "DecodeStats",
     "BatchEvent",
+    "EngineDetector",
     "ZeroForcingDetector",
     "MMSEDetector",
     "MRCDetector",
     "MLDetector",
+    "SphereDecoder",
     "GemmBfsDecoder",
     "GeosphereDecoder",
     "FixedComplexityDecoder",
@@ -30,4 +49,10 @@ __all__ = [
     "KBestDecoder",
     "LRZFDetector",
     "RealSphereDecoder",
+    "PartitionedSphereDecoder",
+    "DetectorEntry",
+    "DetectorSpec",
+    "detector_entries",
+    "detector_entry",
+    "spec",
 ]

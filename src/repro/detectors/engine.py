@@ -1,0 +1,245 @@
+"""Detector shell around :class:`repro.core.traversal.TraversalEngine`.
+
+Every tree-search detector in the zoo is the same machine: QR-prepare a
+channel, map each received vector into the triangular domain, run a
+search policy against an evaluation backend, and fold the winning path
+back to antenna order. :class:`EngineDetector` implements that shell
+once — ``prepare`` / ``detect`` / ``solve`` / ``decode_batch``, obs
+spans and counters, per-frame wall-time accounting — and the concrete
+detectors (:class:`~repro.detectors.sphere.SphereDecoder`,
+:class:`~repro.detectors.sd_bfs.GemmBfsDecoder`,
+:class:`~repro.detectors.geosphere.GeosphereDecoder`,
+:class:`~repro.detectors.kbest.KBestDecoder`,
+:class:`~repro.detectors.fsd.FixedComplexityDecoder`) reduce to a
+policy choice plus a handful of class attributes.
+
+A consequence the registry relies on: every engine detector gets the
+cross-frame fused ``decode_batch`` path and emits the uniform
+:class:`~repro.core.stats.BatchEvent` trace the FPGA pipeline simulator
+replays — including K-best and FSD, which previously had neither.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import numpy as np
+
+from repro.core.traversal import TraversalEngine, TraversalPolicy
+from repro.detectors.base import DecodeStats, DetectionResult, Detector
+from repro.mimo.preprocessing import (
+    QRResult,
+    effective_receive,
+    qr_decompose,
+    sorted_qr,
+)
+from repro.obs.tracer import current_tracer
+from repro.util.timing import Timer
+from repro.util.validation import check_matrix, check_vector
+
+
+class EngineDetector(Detector):
+    """Shared two-phase shell for traversal-engine detectors.
+
+    Subclasses implement :meth:`_policy` (a fresh
+    :class:`TraversalPolicy` built from current instance attributes, so
+    post-construction attribute tweaks — e.g. tests setting
+    ``decoder.max_nodes`` — keep working) and set the class attributes
+    below to fix their trace vocabulary.
+    """
+
+    #: Prefix of every span/counter this detector emits (``sd``, ``bfs``…).
+    trace_root = "sd"
+    #: Extra outer span prefix for re-badged configurations (Geosphere
+    #: wraps the inherited ``sd.*`` spans in ``geosphere.*`` ones so its
+    #: time stays attributable in mixed-detector traces).
+    wrapper_span: str | None = None
+    #: ``DecodeStats`` fields emitted as ``<root>.<field>`` counters
+    #: after each solve.
+    counter_fields: tuple[str, ...] = ()
+    #: Emit ``<root>.batch.frame_gemm_calls`` in ``decode_batch``.
+    batch_frame_gemm_counter = False
+    #: Column ordering for the QR step: ``"natural"`` (plain QR) or
+    #: ``"sqrd"`` (sorted QR). May be overridden per instance.
+    ordering = "natural"
+
+    constellation = None
+    radius_policy = None
+    record_trace = True
+
+    def _policy(self) -> TraversalPolicy:
+        raise NotImplementedError
+
+    def _engine(self) -> TraversalEngine:
+        return TraversalEngine(
+            self.constellation,
+            self._policy(),
+            radius_policy=self.radius_policy,
+            record_trace=self.record_trace,
+        )
+
+    def _detect_span_args(self) -> dict:
+        return {"detector": self.name}
+
+    def _check_channel(self, channel: np.ndarray) -> None:
+        """Subclass hook for extra channel validation (e.g. FSD's rho)."""
+
+    # ------------------------------------------------------------------
+    # Detector protocol
+    # ------------------------------------------------------------------
+
+    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
+        channel = check_matrix(channel, "channel")
+        if noise_var < 0:
+            raise ValueError(f"noise_var must be non-negative, got {noise_var}")
+        self._check_channel(channel)
+        self._channel = channel
+        self._qr: QRResult = (
+            sorted_qr(channel) if self.ordering == "sqrd" else qr_decompose(channel)
+        )
+        self._noise_var = float(noise_var)
+        self._prepared = True
+
+    def detect(self, received: np.ndarray) -> DetectionResult:
+        self._require_prepared()
+        received = check_vector(
+            received, "received", length=self._channel.shape[0]
+        )
+        tracer = current_tracer()
+        timer = Timer()
+        with ExitStack() as spans:
+            if self.wrapper_span is not None:
+                spans.enter_context(tracer.span(f"{self.wrapper_span}.detect"))
+            spans.enter_context(
+                tracer.span(
+                    f"{self.trace_root}.detect", **self._detect_span_args()
+                )
+            )
+            with timer:
+                ybar = effective_receive(self._qr, received)
+                incumbent, _bound, stats = self.solve(
+                    self._qr.r, ybar, self._noise_var
+                )
+        stats.wall_time_s = timer.elapsed
+        return self._fold_back(received, incumbent, stats)
+
+    def solve(
+        self,
+        r: np.ndarray,
+        ybar: np.ndarray,
+        noise_var: float = 0.0,
+    ) -> tuple[np.ndarray, float, DecodeStats]:
+        """Decode a pre-triangularised system ``min ||ybar - R s||^2``.
+
+        Lower-level entry point than :meth:`detect`: no QR, no
+        permutation handling — useful when the caller owns the
+        preprocessing (e.g. the reduced-precision ablation quantises R
+        and ybar itself).
+
+        Returns ``(indices_by_level, reduced_metric, stats)`` where
+        ``indices_by_level[k]`` is the constellation index of level ``k``.
+        """
+        stats = DecodeStats()
+        tracer = current_tracer()
+        incumbent, bound = self._engine().solve(
+            r, ybar, noise_var, stats, tracer
+        )
+        if tracer.enabled:
+            for name in self.counter_fields:
+                tracer.count(
+                    f"{self.trace_root}.{name}", getattr(stats, name)
+                )
+        return incumbent, bound, stats
+
+    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
+        """Decode ``B`` received vectors with cross-frame fused GEMMs.
+
+        All rows are decoded against the *prepared* channel (the
+        block-fading assumption), so every frame shares the triangular
+        factor and their same-level node pools stack into single
+        :class:`~repro.core.gemm.BatchedGemmEvaluator` calls — the
+        paper's BLAS-2 -> BLAS-3 refactor applied across frames. Each
+        frame's search runs its own unmodified schedule in lockstep
+        (:func:`~repro.core.lockstep.drive_lockstep`), so the returned
+        decisions, metrics and per-frame search statistics are
+        **bit-identical** to calling :meth:`detect` per row; only
+        ``wall_time_s`` differs (the batch's wall time split evenly, as
+        per-frame timing is not separable inside a fused GEMM).
+        """
+        self._require_prepared()
+        received = np.asarray(received)
+        if received.ndim != 2 or received.shape[1] != self._channel.shape[0]:
+            raise ValueError(
+                f"received must have shape (B, {self._channel.shape[0]}), "
+                f"got {received.shape}"
+            )
+        if received.shape[0] == 0:
+            return []
+        n_frames = received.shape[0]
+        tracer = current_tracer()
+        timer = Timer()
+        stats_list = [DecodeStats() for _ in range(n_frames)]
+        with ExitStack() as spans:
+            if self.wrapper_span is not None:
+                spans.enter_context(
+                    tracer.span(
+                        f"{self.wrapper_span}.decode_batch", frames=n_frames
+                    )
+                )
+            spans.enter_context(
+                tracer.span(
+                    f"{self.trace_root}.decode_batch",
+                    detector=self.name,
+                    frames=n_frames,
+                )
+            )
+            with timer:
+                ybars = np.stack(
+                    [effective_receive(self._qr, row) for row in received]
+                )
+                outcomes, backend = self._engine().solve_batch(
+                    self._qr.r, ybars, self._noise_var, stats_list
+                )
+        if tracer.enabled:
+            tracer.count(f"{self.trace_root}.batch.frames", n_frames)
+            tracer.count(
+                f"{self.trace_root}.batch.fused_gemm_calls",
+                backend.fused_gemm_calls,
+            )
+            if self.batch_frame_gemm_counter:
+                tracer.count(
+                    f"{self.trace_root}.batch.frame_gemm_calls",
+                    sum(st.gemm_calls for st in stats_list),
+                )
+        results: list[DetectionResult] = []
+        per_frame_s = timer.elapsed / n_frames
+        for f in range(n_frames):
+            incumbent, _bound = outcomes[f]
+            stats = stats_list[f]
+            stats.wall_time_s = per_frame_s
+            results.append(self._fold_back(received[f], incumbent, stats))
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _fold_back(
+        self,
+        received: np.ndarray,
+        incumbent: np.ndarray,
+        stats: DecodeStats,
+    ) -> DetectionResult:
+        """Map a tree-level decision back to antenna order + true metric."""
+        # ``incumbent`` is indexed by tree level == factorised column;
+        # map back to the original antenna order.
+        indices = self._qr.unpermute(incumbent)
+        symbols = self.constellation.map_indices(indices)
+        bits = self.constellation.indices_to_bits(indices)
+        residual = received - self._channel @ symbols
+        metric = float(np.real(np.vdot(residual, residual)))
+        return DetectionResult(
+            indices=indices,
+            symbols=symbols,
+            bits=bits,
+            metric=metric,
+            stats=stats,
+        )

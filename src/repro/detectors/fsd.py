@@ -8,24 +8,24 @@ is therefore exactly ``P^rho`` root-to-leaf paths regardless of SNR —
 "massively parallelizable with minimal dependencies", but resource-hungry
 and sub-optimal, which is why the paper pursues the exact SD instead.
 
-The implementation is fully vectorised: each level processes the entire
-``P^rho``-wide candidate block with one :meth:`GemmEvaluator.expand`
-call, so FSD also serves as a stress test for the batched evaluator.
+The schedule is :class:`~repro.core.traversal.FsdPolicy`: each level
+processes the entire ``P^rho``-wide candidate block with one
+:class:`ExpandRequest`, so FSD also serves as a stress test for the
+batched evaluator. Running through the shared engine shell gives FSD
+the cross-frame fused ``decode_batch`` path and ``fsd.*`` obs spans.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.gemm import GemmEvaluator
-from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
+from repro.core.traversal import FsdPolicy, TraversalPolicy
+from repro.detectors.engine import EngineDetector
 from repro.mimo.constellation import Constellation
-from repro.mimo.preprocessing import QRResult, effective_receive, sorted_qr
-from repro.util.timing import Timer
-from repro.util.validation import check_matrix, check_positive_int, check_vector
+from repro.util.validation import check_positive_int
 
 
-class FixedComplexityDecoder(Detector):
+class FixedComplexityDecoder(EngineDetector):
     """FSD: full enumeration on ``rho`` levels, SIC below.
 
     Parameters
@@ -40,6 +40,20 @@ class FixedComplexityDecoder(Detector):
     """
 
     name = "fsd"
+    trace_root = "fsd"
+    counter_fields = (
+        "nodes_expanded",
+        "nodes_pruned",
+        "leaves_reached",
+        "gemm_calls",
+    )
+    # FSD conventionally uses an ordering that puts the *least*
+    # reliable streams in the fully-enumerated levels; SQRD places the
+    # weakest stream at the deepest (last-detected) level, and its
+    # reverse property means the top tree levels hold strong streams.
+    # We keep SQRD: it is the standard robustness ordering and the
+    # detector stays sub-optimal either way.
+    ordering = "sqrd"
 
     def __init__(
         self,
@@ -51,79 +65,16 @@ class FixedComplexityDecoder(Detector):
         self.constellation = constellation
         self.rho = check_positive_int(rho, "rho")
         self.record_trace = record_trace
-        self._qr: QRResult | None = None
-        self._channel: np.ndarray | None = None
+        self._qr = None
+        self._channel = None
+        self._noise_var = 0.0
         self._prepared = False
 
-    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
-        channel = check_matrix(channel, "channel")
+    def _check_channel(self, channel: np.ndarray) -> None:
         if self.rho > channel.shape[1]:
             raise ValueError(
                 f"rho={self.rho} exceeds the number of streams {channel.shape[1]}"
             )
-        self._channel = channel
-        # FSD conventionally uses an ordering that puts the *least*
-        # reliable streams in the fully-enumerated levels; SQRD places the
-        # weakest stream at the deepest (last-detected) level, and its
-        # reverse property means the top tree levels hold strong streams.
-        # We keep SQRD: it is the standard robustness ordering and the
-        # detector stays sub-optimal either way.
-        self._qr = sorted_qr(channel)
-        self._prepared = True
 
-    def detect(self, received: np.ndarray) -> DetectionResult:
-        self._require_prepared()
-        received = check_vector(
-            received, "received", length=self._channel.shape[0]
-        )
-        timer = Timer()
-        stats = DecodeStats()
-        with timer:
-            ybar = effective_receive(self._qr, received)
-            evaluator = GemmEvaluator(self._qr.r, ybar, self.constellation)
-            n_tx = evaluator.n_tx
-            p = evaluator.order
-            paths = np.empty((1, 0), dtype=np.int64)
-            pds = np.zeros(1, dtype=float)
-            for level in range(n_tx - 1, -1, -1):
-                depth_from_root = n_tx - 1 - level
-                child_pds = evaluator.expand(level, paths, pds)
-                width = paths.shape[0]
-                stats.nodes_expanded += width
-                stats.nodes_generated += width * p
-                if self.record_trace:
-                    stats.batches.append(
-                        BatchEvent(level=level, pool_size=width)
-                    )
-                if depth_from_root < self.rho:
-                    # Full-expansion phase: keep every child.
-                    keep_n = np.repeat(np.arange(width), p)
-                    keep_c = np.tile(np.arange(p), width)
-                    pds = child_pds.ravel().copy()
-                else:
-                    # SIC phase: single best child per candidate.
-                    keep_n = np.arange(width)
-                    keep_c = np.argmin(child_pds, axis=1)
-                    pds = child_pds[keep_n, keep_c]
-                paths = np.concatenate(
-                    [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
-                )
-                stats.max_list_size = max(stats.max_list_size, paths.shape[0])
-            stats.leaves_reached += paths.shape[0]
-            best = int(np.argmin(pds))
-            stats.gemm_calls = evaluator.gemm_calls
-            stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
-            best_by_level = paths[best, ::-1].copy()
-        stats.wall_time_s = timer.elapsed
-        indices = self._qr.unpermute(best_by_level)
-        symbols = self.constellation.map_indices(indices)
-        bits = self.constellation.indices_to_bits(indices)
-        residual = received - self._channel @ symbols
-        metric = float(np.real(np.vdot(residual, residual)))
-        return DetectionResult(
-            indices=indices,
-            symbols=symbols,
-            bits=bits,
-            metric=metric,
-            stats=stats,
-        )
+    def _policy(self) -> TraversalPolicy:
+        return FsdPolicy(rho=self.rho)

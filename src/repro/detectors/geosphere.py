@@ -9,41 +9,28 @@ ascending-PD order, radius updated at each leaf — i.e. the sorted-DFS
 strategy without GEMM batching.
 
 We therefore realise it as a thin configuration of
-:class:`~repro.core.sphere_decoder.SphereDecoder` (strategy ``"dfs"``,
+:class:`~repro.detectors.sphere.SphereDecoder` (strategy ``"dfs"``,
 pool size 1, infinite initial radius: exact ML), and the WARP cost model
 in :mod:`repro.perfmodel` charges its node count at scalar
 (non-batched) per-node cost — the memory-bound profile the paper says
-the GEMM refactor eliminates.
+the GEMM refactor eliminates. The shared engine path handles the
+``detect``/``decode_batch`` plumbing; ``wrapper_span`` re-badges the
+traces so Geosphere time is attributable in mixed-detector runs (the
+inner ``sd.detect``/``sd.solve`` spans nest beneath ``geosphere.*``).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.radius import InfiniteRadius, RadiusPolicy
-from repro.core.sphere_decoder import SphereDecoder
-from repro.detectors.base import DetectionResult
+from repro.detectors.sphere import SphereDecoder
 from repro.mimo.constellation import Constellation
-from repro.obs.tracer import current_tracer
 
 
 class GeosphereDecoder(SphereDecoder):
     """Exact DFS sphere decoder with sorted (Schnorr–Euchner) enumeration."""
 
     name = "geosphere"
-
-    def detect(self, received: np.ndarray) -> DetectionResult:
-        # Wrap the inherited decode in a detector-specific span so
-        # Geosphere time is attributable in mixed-detector traces (the
-        # inner ``sd.detect``/``sd.solve`` spans nest beneath it).
-        with current_tracer().span("geosphere.detect"):
-            return super().detect(received)
-
-    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
-        with current_tracer().span(
-            "geosphere.decode_batch", frames=int(np.asarray(received).shape[0])
-        ):
-            return super().decode_batch(received)
+    wrapper_span = "geosphere"
 
     def __init__(
         self,

@@ -6,24 +6,23 @@ FSD, section II-C), which is why commercial MIMO ASICs use it; unlike
 the FSD its survivors are chosen adaptively per level, giving much
 better BER for the same work. It is the natural middle point between
 :class:`~repro.detectors.fsd.FixedComplexityDecoder` and the exact
-:class:`~repro.core.sphere_decoder.SphereDecoder`, and — because each
+:class:`~repro.detectors.sphere.SphereDecoder`, and — because each
 level is one batched evaluation — it maps to the paper's GEMM engine
-just as well as BFS does.
+just as well as BFS does. The sweep is
+:class:`~repro.core.traversal.KBestPolicy`; running through the shared
+engine shell gives K-best the cross-frame fused ``decode_batch`` path
+and ``kbest.*`` obs spans for free.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.gemm import GemmEvaluator
-from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
+from repro.core.traversal import KBestPolicy, TraversalPolicy
+from repro.detectors.engine import EngineDetector
 from repro.mimo.constellation import Constellation
-from repro.mimo.preprocessing import QRResult, effective_receive, sorted_qr
-from repro.util.timing import Timer
-from repro.util.validation import check_matrix, check_positive_int, check_vector
+from repro.util.validation import check_positive_int
 
 
-class KBestDecoder(Detector):
+class KBestDecoder(EngineDetector):
     """Per-level K-survivor breadth-first detector.
 
     Parameters
@@ -37,6 +36,16 @@ class KBestDecoder(Detector):
     """
 
     name = "kbest"
+    trace_root = "kbest"
+    counter_fields = (
+        "nodes_expanded",
+        "nodes_pruned",
+        "leaves_reached",
+        "gemm_calls",
+    )
+    # SQRD ordering: detecting reliable streams first makes the
+    # K-survivor truncation far less likely to drop the ML path.
+    ordering = "sqrd"
 
     def __init__(
         self,
@@ -48,65 +57,10 @@ class KBestDecoder(Detector):
         self.constellation = constellation
         self.k = check_positive_int(k, "k")
         self.record_trace = record_trace
-        self._qr: QRResult | None = None
-        self._channel: np.ndarray | None = None
+        self._qr = None
+        self._channel = None
+        self._noise_var = 0.0
         self._prepared = False
 
-    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
-        channel = check_matrix(channel, "channel")
-        self._channel = channel
-        # SQRD ordering: detecting reliable streams first makes the
-        # K-survivor truncation far less likely to drop the ML path.
-        self._qr = sorted_qr(channel)
-        self._prepared = True
-
-    def detect(self, received: np.ndarray) -> DetectionResult:
-        self._require_prepared()
-        received = check_vector(
-            received, "received", length=self._channel.shape[0]
-        )
-        timer = Timer()
-        stats = DecodeStats()
-        with timer:
-            ybar = effective_receive(self._qr, received)
-            evaluator = GemmEvaluator(self._qr.r, ybar, self.constellation)
-            n_tx = evaluator.n_tx
-            p = evaluator.order
-            paths = np.empty((1, 0), dtype=np.int64)
-            pds = np.zeros(1, dtype=float)
-            for level in range(n_tx - 1, -1, -1):
-                child_pds = evaluator.expand(level, paths, pds)
-                width = paths.shape[0]
-                stats.nodes_expanded += width
-                stats.nodes_generated += width * p
-                if self.record_trace:
-                    stats.batches.append(BatchEvent(level=level, pool_size=width))
-                flat = child_pds.ravel()
-                keep = min(self.k, flat.size)
-                if keep < flat.size:
-                    chosen = np.argpartition(flat, keep)[:keep]
-                    stats.nodes_pruned += flat.size - keep
-                else:
-                    chosen = np.arange(flat.size)
-                keep_n, keep_c = np.divmod(chosen, p)
-                paths = np.concatenate(
-                    [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
-                )
-                pds = flat[chosen]
-                stats.max_list_size = max(stats.max_list_size, paths.shape[0])
-            stats.leaves_reached += paths.shape[0]
-            best = int(np.argmin(pds))
-            best_by_level = paths[best, ::-1].copy()
-            stats.radius_updates += 1
-            stats.radius_trace.append(float(pds[best]))
-            stats.gemm_calls = evaluator.gemm_calls
-            stats.gemm_flops = evaluator.gemm_flops + evaluator.norm_flops
-        stats.wall_time_s = timer.elapsed
-        indices = self._qr.unpermute(best_by_level)
-        symbols = self.constellation.map_indices(indices)
-        bits = self.constellation.indices_to_bits(indices)
-        residual = received - self._channel @ symbols
-        metric = float(np.real(np.vdot(residual, residual)))
-        return DetectionResult(
-            indices=indices, symbols=symbols, bits=bits, metric=metric, stats=stats
-        )
+    def _policy(self) -> TraversalPolicy:
+        return KBestPolicy(k=self.k)

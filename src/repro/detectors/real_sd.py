@@ -23,8 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.radius import NoiseScaledRadius, RadiusPolicy
-from repro.core.sphere_decoder import SphereDecoder
 from repro.detectors.base import DetectionResult, Detector
+from repro.detectors.sphere import SphereDecoder
 from repro.mimo.constellation import Constellation, gray_code
 from repro.mimo.preprocessing import real_decomposition
 from repro.util.validation import check_matrix, check_vector

@@ -9,34 +9,25 @@ swept to the leaves, so the number of explored nodes is orders of
 magnitude larger than with leaf-first strategies — Best-FS visits "less
 than 1% of the number of explored nodes" (section IV-F).
 
-The implementation keeps the whole frontier in flat arrays and performs
-one :meth:`GemmEvaluator.expand` per level, so its
-:class:`~repro.detectors.base.BatchEvent` trace has exactly one event per
-level with ``pool_size`` = frontier width — precisely the workload shape
-the GPU cost model expects.
+The sweep itself is :class:`~repro.core.traversal.BfsPolicy`: the whole
+frontier lives in flat arrays and each level is one
+:class:`ExpandRequest`, so the :class:`~repro.core.stats.BatchEvent`
+trace has exactly one event per level with ``pool_size`` = frontier
+width — precisely the workload shape the GPU cost model expects. This
+class is the detector shell binding that policy to plain-QR
+preprocessing and the ``bfs.*`` obs vocabulary.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.gemm import (
-    FLOPS_PER_CMAC,
-    FLOPS_PER_NORM,
-    BatchedGemmEvaluator,
-    GemmEvaluator,
-)
-from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
-from repro.core.radius import NoiseScaledRadius, RadiusPolicy, babai_point
-from repro.detectors.base import BatchEvent, DecodeStats, DetectionResult, Detector
+from repro.core.radius import NoiseScaledRadius, RadiusPolicy
+from repro.core.traversal import BfsPolicy, TraversalPolicy
+from repro.detectors.engine import EngineDetector
 from repro.mimo.constellation import Constellation
-from repro.mimo.preprocessing import QRResult, effective_receive, qr_decompose
-from repro.obs.tracer import NULL_TRACER, current_tracer
-from repro.util.timing import Timer
-from repro.util.validation import check_matrix, check_positive_int, check_vector
+from repro.util.validation import check_positive_int
 
 
-class GemmBfsDecoder(Detector):
+class GemmBfsDecoder(EngineDetector):
     """Level-synchronous GEMM sphere decoder (the [1]/GPU strategy).
 
     Parameters
@@ -57,6 +48,13 @@ class GemmBfsDecoder(Detector):
     """
 
     name = "sphere-gemm-bfs"
+    trace_root = "bfs"
+    counter_fields = (
+        "nodes_expanded",
+        "nodes_pruned",
+        "leaves_reached",
+        "gemm_calls",
+    )
 
     def __init__(
         self,
@@ -74,208 +72,10 @@ class GemmBfsDecoder(Detector):
             else check_positive_int(max_frontier, "max_frontier")
         )
         self.record_trace = record_trace
-        self._qr: QRResult | None = None
-        self._channel: np.ndarray | None = None
+        self._qr = None
+        self._channel = None
         self._noise_var = 0.0
         self._prepared = False
-        # Ambient tracer snapshot, refreshed per detect() call.
-        self._tracer = NULL_TRACER
 
-    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
-        channel = check_matrix(channel, "channel")
-        if noise_var < 0:
-            raise ValueError(f"noise_var must be non-negative, got {noise_var}")
-        self._channel = channel
-        self._qr = qr_decompose(channel)
-        self._noise_var = float(noise_var)
-        self._prepared = True
-
-    def _sweep(
-        self,
-        n_tx: int,
-        radius_sq: float,
-        stats: DecodeStats,
-        tracer,
-    ):
-        """One full root-to-leaves BFS sweep under a fixed radius.
-
-        Search generator (see :mod:`repro.core.lockstep`): yields one
-        :class:`ExpandRequest` per level and receives the child PDs.
-        Returns ``(best_indices_by_level, best_metric)`` or
-        ``(None, inf)`` when the sphere is empty.
-        """
-        p = self.constellation.order
-        # Frontier state: (F, depth) root-first index paths + (F,) PDs.
-        paths = np.empty((1, 0), dtype=np.int64)
-        pds = np.zeros(1, dtype=float)
-        for level in range(n_tx - 1, -1, -1):
-            with tracer.span("bfs.level", level=level, frontier=paths.shape[0]):
-                child_pds = yield ExpandRequest(level, paths, pds)  # (F, P)
-            frontier = paths.shape[0]
-            stats.nodes_expanded += frontier
-            stats.nodes_generated += frontier * p
-            stats.gemm_calls += 1
-            depth = n_tx - 1 - level
-            if depth:
-                stats.gemm_flops += FLOPS_PER_CMAC * frontier * depth
-            stats.gemm_flops += FLOPS_PER_NORM * frontier * p
-            if self.record_trace:
-                stats.batches.append(
-                    BatchEvent(level=level, pool_size=frontier)
-                )
-            keep_n, keep_c = np.nonzero(child_pds < radius_sq)
-            stats.nodes_pruned += frontier * p - keep_n.size
-            if keep_n.size == 0:
-                return None, float("inf")
-            new_pds = child_pds[keep_n, keep_c]
-            if self.max_frontier is not None and keep_n.size > self.max_frontier:
-                # K-best truncation: keep the lowest-PD survivors.
-                top = np.argpartition(new_pds, self.max_frontier)[
-                    : self.max_frontier
-                ]
-                keep_n, keep_c, new_pds = keep_n[top], keep_c[top], new_pds[top]
-                stats.truncated += 1
-            paths = np.concatenate(
-                [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
-            )
-            pds = new_pds
-            stats.max_list_size = max(stats.max_list_size, paths.shape[0])
-        stats.leaves_reached += paths.shape[0]
-        best = int(np.argmin(pds))
-        stats.radius_updates += 1
-        stats.radius_trace.append(float(pds[best]))
-        # paths are root-first (level M-1 .. 0); flip to ascending level.
-        return paths[best, ::-1].copy(), float(pds[best])
-
-    def _solve_gen(self, r, ybar, noise_var, stats, tracer):
-        """Full solve (sweep + radius escalation) as a search generator.
-
-        Returns ``(indices_by_level, reduced_metric)``. Pass
-        ``NULL_TRACER`` when interleaving several generators under
-        lockstep batching (nested spans from different frames would
-        corrupt the span stack).
-        """
-        n_tx = int(r.shape[1])
-        init = self.radius_policy.initial(
-            r, ybar, self.constellation, float(noise_var)
-        )
-        radius_sq = float(init.radius_sq)
-        stats.radius_trace.append(radius_sq)
-        best, metric = yield from self._sweep(n_tx, radius_sq, stats, tracer)
-        while best is None and self.radius_policy.can_escalate():
-            radius_sq *= self.radius_policy.escalation_factor
-            stats.radius_trace.append(radius_sq)
-            best, metric = yield from self._sweep(n_tx, radius_sq, stats, tracer)
-        if best is None:
-            best, metric = babai_point(r, ybar, self.constellation)
-            stats.truncated += 1
-        return best, metric
-
-    def detect(self, received: np.ndarray) -> DetectionResult:
-        self._require_prepared()
-        received = check_vector(
-            received, "received", length=self._channel.shape[0]
-        )
-        tracer = self._tracer = current_tracer()
-        timer = Timer()
-        stats = DecodeStats()
-        with tracer.span("bfs.detect", detector=self.name):
-            with timer:
-                ybar = effective_receive(self._qr, received)
-                evaluator = GemmEvaluator(self._qr.r, ybar, self.constellation)
-                best, metric = drive_serial(
-                    self._solve_gen(
-                        self._qr.r, ybar, self._noise_var, stats, tracer
-                    ),
-                    evaluator,
-                )
-        if tracer.enabled:
-            tracer.count("bfs.nodes_expanded", stats.nodes_expanded)
-            tracer.count("bfs.nodes_pruned", stats.nodes_pruned)
-            tracer.count("bfs.leaves_reached", stats.leaves_reached)
-            tracer.count("bfs.gemm_calls", stats.gemm_calls)
-        stats.wall_time_s = timer.elapsed
-        indices = self._qr.unpermute(best)
-        symbols = self.constellation.map_indices(indices)
-        bits = self.constellation.indices_to_bits(indices)
-        residual = received - self._channel @ symbols
-        true_metric = float(np.real(np.vdot(residual, residual)))
-        return DetectionResult(
-            indices=indices,
-            symbols=symbols,
-            bits=bits,
-            metric=true_metric,
-            stats=stats,
-        )
-
-    def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
-        """Decode ``B`` received vectors with cross-frame fused GEMMs.
-
-        The BFS frontier sweeps of all frames run in lockstep
-        (:func:`~repro.core.lockstep.drive_lockstep`): same-level
-        frontiers stack into one :class:`BatchedGemmEvaluator` call, so
-        the per-level GEMMs grow ``B`` times taller — the workload shape
-        the GPU cost model favours. Decisions, metrics and per-frame
-        stats are bit-identical to per-row :meth:`detect`; only
-        ``wall_time_s`` differs (batch wall time split evenly).
-        """
-        self._require_prepared()
-        received = np.asarray(received)
-        if received.ndim != 2 or received.shape[1] != self._channel.shape[0]:
-            raise ValueError(
-                f"received must have shape (B, {self._channel.shape[0]}), "
-                f"got {received.shape}"
-            )
-        if received.shape[0] == 0:
-            return []
-        n_frames = received.shape[0]
-        tracer = current_tracer()
-        timer = Timer()
-        stats_list = [DecodeStats() for _ in range(n_frames)]
-        with tracer.span(
-            "bfs.decode_batch", detector=self.name, frames=n_frames
-        ):
-            with timer:
-                ybars = np.stack(
-                    [effective_receive(self._qr, row) for row in received]
-                )
-                evaluator = BatchedGemmEvaluator(
-                    self._qr.r, ybars, self.constellation
-                )
-                searches = [
-                    self._solve_gen(
-                        self._qr.r,
-                        ybars[f],
-                        self._noise_var,
-                        stats_list[f],
-                        NULL_TRACER,
-                    )
-                    for f in range(n_frames)
-                ]
-                outcomes = drive_lockstep(searches, evaluator)
-        if tracer.enabled:
-            tracer.count("bfs.batch.frames", n_frames)
-            tracer.count(
-                "bfs.batch.fused_gemm_calls", evaluator.fused_gemm_calls
-            )
-        results: list[DetectionResult] = []
-        per_frame_s = timer.elapsed / n_frames
-        for f in range(n_frames):
-            best, _metric = outcomes[f]
-            stats = stats_list[f]
-            stats.wall_time_s = per_frame_s
-            indices = self._qr.unpermute(best)
-            symbols = self.constellation.map_indices(indices)
-            bits = self.constellation.indices_to_bits(indices)
-            residual = received[f] - self._channel @ symbols
-            true_metric = float(np.real(np.vdot(residual, residual)))
-            results.append(
-                DetectionResult(
-                    indices=indices,
-                    symbols=symbols,
-                    bits=bits,
-                    metric=true_metric,
-                    stats=stats,
-                )
-            )
-        return results
+    def _policy(self) -> TraversalPolicy:
+        return BfsPolicy(max_frontier=self.max_frontier)

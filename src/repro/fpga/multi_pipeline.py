@@ -13,7 +13,7 @@ pipelines fit on the U280. This module models that deployment:
 
 Independent vectors are embarrassingly parallel across pipelines — no
 radius sharing needed — so unlike the multi-PE *single-vector* search
-(:mod:`repro.core.parallel`), replication scales throughput linearly
+(:mod:`repro.detectors.partitioned`), replication scales throughput linearly
 until resources run out.
 """
 

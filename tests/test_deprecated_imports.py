@@ -1,0 +1,58 @@
+"""Backward-compat shims for detector classes that moved out of core.
+
+``SphereDecoder`` and ``PartitionedSphereDecoder`` historically lived in
+``repro.core``; after the policy/backend split they are detectors
+(``repro.detectors.sphere`` / ``repro.detectors.partitioned``). The old
+import paths must keep resolving — to the *same* class objects — while
+emitting a ``DeprecationWarning`` that names the new home.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.detectors.partitioned import PartitionedSphereDecoder
+from repro.detectors.sphere import ORDERINGS, STRATEGIES, SphereDecoder
+
+OLD_PATHS = [
+    ("repro.core.sphere_decoder", "SphereDecoder", SphereDecoder),
+    ("repro.core.sphere_decoder", "STRATEGIES", STRATEGIES),
+    ("repro.core.sphere_decoder", "ORDERINGS", ORDERINGS),
+    ("repro.core.parallel", "PartitionedSphereDecoder", PartitionedSphereDecoder),
+    ("repro.core", "SphereDecoder", SphereDecoder),
+    ("repro.core", "PartitionedSphereDecoder", PartitionedSphereDecoder),
+]
+
+
+@pytest.mark.parametrize(
+    "module_name, attr, expected",
+    OLD_PATHS,
+    ids=[f"{m}.{a}" for m, a, _ in OLD_PATHS],
+)
+def test_old_path_resolves_and_warns(module_name, attr, expected):
+    module = importlib.import_module(module_name)
+    with pytest.warns(DeprecationWarning, match=attr):
+        resolved = getattr(module, attr)
+    assert resolved is expected
+
+
+def test_warning_names_the_new_home():
+    module = importlib.import_module("repro.core.sphere_decoder")
+    with pytest.warns(DeprecationWarning, match="repro.detectors.sphere"):
+        module.SphereDecoder
+
+
+def test_unknown_attribute_still_raises():
+    module = importlib.import_module("repro.core.sphere_decoder")
+    with pytest.raises(AttributeError):
+        module.NoSuchThing
+    core = importlib.import_module("repro.core")
+    with pytest.raises(AttributeError):
+        core.NoSuchThing
+
+
+def test_dir_advertises_moved_names():
+    module = importlib.import_module("repro.core.sphere_decoder")
+    assert "SphereDecoder" in dir(module)
