@@ -1054,6 +1054,8 @@ def smoke_experiment(
     )
     rows = []
     for point, trow in zip(workload.sweep.points, time_rows(workload)):
+        total_wall = sum(st.wall_time_s for st in point.frame_stats)
+        total_nodes = sum(st.nodes_expanded for st in point.frame_stats)
         rows.append(
             {
                 "snr_db": point.snr_db,
@@ -1062,6 +1064,11 @@ def smoke_experiment(
                 "fpga_opt_ms": trow["fpga_optimized_ms"],
                 "ber": point.ber,
                 "mean_nodes": point.mean_nodes_expanded(),
+                # Host traversal throughput — the regression gate treats
+                # this as a rate metric (lower than baseline = regression).
+                "mean_nodes_per_sec": (
+                    total_nodes / total_wall if total_wall > 0 else 0.0
+                ),
                 "frames": point.frames,
             }
         )
@@ -1075,6 +1082,7 @@ def smoke_experiment(
             "fpga_opt_ms",
             "ber",
             "mean_nodes",
+            "mean_nodes_per_sec",
             "frames",
         ],
         rows=rows,

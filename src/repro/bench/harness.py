@@ -195,6 +195,9 @@ def sweep_metrics(sweep: SweepResult) -> SeriesResult:
         nodes = [float(st.nodes_expanded) for st in point.frame_stats]
         w = summarize(wall_ms)
         n = summarize(nodes)
+        total_wall = sum(st.wall_time_s for st in point.frame_stats)
+        total_gemm = sum(st.gemm_time_s for st in point.frame_stats)
+        total_nodes = sum(st.nodes_expanded for st in point.frame_stats)
         rows.append(
             {
                 "snr_db": point.snr_db,
@@ -206,6 +209,15 @@ def sweep_metrics(sweep: SweepResult) -> SeriesResult:
                 "nodes_p50": n.p50,
                 "nodes_p95": n.p95,
                 "nodes_p99": n.p99,
+                # Traversal throughput and compute-boundedness: once PD
+                # evaluation is BLAS-3 the host should spend most of its
+                # time inside the GEMM, not in search bookkeeping.
+                "nodes_per_sec": (
+                    total_nodes / total_wall if total_wall > 0 else 0.0
+                ),
+                "gemm_share": (
+                    min(total_gemm / total_wall, 1.0) if total_wall > 0 else 0.0
+                ),
                 "ber": point.ber,
             }
         )
@@ -222,6 +234,8 @@ def sweep_metrics(sweep: SweepResult) -> SeriesResult:
             "nodes_p50",
             "nodes_p95",
             "nodes_p99",
+            "nodes_per_sec",
+            "gemm_share",
             "ber",
         ],
         rows=rows,

@@ -420,6 +420,14 @@ def _cmd_decode(args: argparse.Namespace) -> int:
         f"{stats.nodes_pruned} pruned, {stats.leaves_reached} leaves, "
         f"{stats.radius_updates} radius updates"
     )
+    if stats.wall_time_s > 0:
+        print(
+            "host          : "
+            f"{stats.nodes_per_sec:,.0f} nodes/s over "
+            f"{stats.wall_time_s * 1e3:.3f} ms wall "
+            f"(GEMM {stats.gemm_fraction:.0%}, "
+            f"overhead {stats.host_overhead_s * 1e3:.3f} ms)"
+        )
     order = system.constellation.order
     cpu_ms = CPUCostModel(n_rx=n_rx).decode_seconds(stats) * 1e3
     pipe = FPGAPipeline(

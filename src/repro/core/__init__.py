@@ -10,7 +10,8 @@ deprecation shim.
 
 import warnings
 
-from repro.core.gemm import GemmEvaluator
+from repro.core.gemm import ChannelKernel, GemmEvaluator
+from repro.core.nodepool import NodePool, extend_paths
 from repro.core.stats import BatchEvent, DecodeStats
 from repro.core.tree import SearchNode, path_symbols
 from repro.core.radius import (
@@ -48,6 +49,9 @@ _MOVED_DETECTORS = {
 
 __all__ = [
     "GemmEvaluator",
+    "ChannelKernel",
+    "NodePool",
+    "extend_paths",
     "BatchEvent",
     "DecodeStats",
     "SearchNode",

@@ -24,6 +24,8 @@ translate work into time.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.mimo.constellation import Constellation
@@ -50,6 +52,39 @@ def _stacked_gemv(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
     return np.einsum("bm,m->b", matrix, vector)
 
 
+class ChannelKernel:
+    """Per-channel precompute shared by every frame of a fading block.
+
+    Validates the triangular factor once and owns the per-level tables
+    both evaluators need: ``diag_points[k] = R[k, k] * points`` (the
+    "branching" enumeration as a lookup) and ``rows[k] = R[k, k+1:]``
+    (the interference operand of the level-``k`` GEMM).
+
+    R is constant across all frames of a block-fading channel, so the
+    detector shell builds one kernel at ``prepare`` time and every
+    subsequent ``detect`` / ``decode_batch`` call reuses it — previously
+    the O(M·P) table build, the ``astype`` copies and the
+    ``np.allclose(triu)`` scan ran again for every frame.
+    """
+
+    __slots__ = ("n_tx", "r", "constellation", "diag_points", "rows")
+
+    def __init__(self, r: np.ndarray, constellation: Constellation) -> None:
+        r = check_matrix(r, "r")
+        if r.shape[0] != r.shape[1]:
+            raise ValueError(f"r must be square, got {r.shape}")
+        if not np.allclose(r, np.triu(r)):
+            raise ValueError("r must be upper triangular")
+        self.n_tx = r.shape[0]
+        self.r = r.astype(np.complex128)
+        self.constellation = constellation
+        points = constellation.points
+        self.diag_points = np.asarray(
+            [self.r[k, k] * points for k in range(self.n_tx)]
+        )  # (M, P)
+        self.rows = [self.r[k, k + 1 :] for k in range(self.n_tx)]
+
+
 class GemmEvaluator:
     """Evaluates PD increments for pools of same-level nodes via GEMM.
 
@@ -61,6 +96,11 @@ class GemmEvaluator:
         ``(M,)`` rotated receive vector ``Q^H y``.
     constellation:
         The symbol alphabet (defines ``P`` children per node).
+    kernel:
+        Optional prebuilt :class:`ChannelKernel` for this channel; when
+        given, ``r``/``constellation`` are taken from it and the
+        per-frame validation and per-level precompute are skipped
+        entirely (the block-fading fast path).
     """
 
     def __init__(
@@ -68,28 +108,33 @@ class GemmEvaluator:
         r: np.ndarray,
         ybar: np.ndarray,
         constellation: Constellation,
+        *,
+        kernel: ChannelKernel | None = None,
     ) -> None:
-        r = check_matrix(r, "r")
-        if r.shape[0] != r.shape[1]:
-            raise ValueError(f"r must be square, got {r.shape}")
-        if not np.allclose(r, np.triu(r)):
-            raise ValueError("r must be upper triangular")
-        self.n_tx = r.shape[0]
+        if kernel is None:
+            kernel = ChannelKernel(r, constellation)
+        self.kernel = kernel
+        self.n_tx = kernel.n_tx
         self.ybar = check_vector(ybar, "ybar", length=self.n_tx).astype(
             np.complex128
         )
-        self.r = r.astype(np.complex128)
-        self.constellation = constellation
+        self.r = kernel.r
+        self.constellation = kernel.constellation
         # Per-level precomputation: diag term times each constellation
         # point — the "branching" enumeration is a table lookup.
-        points = constellation.points
-        self._diag_points = np.asarray(
-            [self.r[k, k] * points for k in range(self.n_tx)]
-        )  # (M, P)
-        self._rows = [self.r[k, k + 1 :] for k in range(self.n_tx)]
+        self._diag_points = kernel.diag_points
+        self._rows = kernel.rows
+        # Bound-method-free locals for the hot path (a property lookup
+        # per expansion is measurable at single-node pools).
+        self._points = kernel.constellation.points
+        self._order = kernel.constellation.order
         self.gemm_calls = 0
         self.gemm_flops = 0
         self.norm_flops = 0
+        #: Seconds spent inside :meth:`expand_unchecked` (the GEMM +
+        #: NORM arithmetic) — the denominator of the host-overhead
+        #: ratio in :class:`~repro.core.stats.DecodeStats`.
+        self.gemm_time_s = 0.0
 
     @property
     def order(self) -> int:
@@ -135,21 +180,54 @@ class GemmEvaluator:
             raise ValueError(
                 f"parent_pds must have shape ({pool},), got {parent_pds.shape}"
             )
-        row = self._rows[level]  # levels k+1 .. M-1 (ascending j)
+        return self.expand_unchecked(level, parent_indices, parent_pds)
+
+    def expand_unchecked(
+        self,
+        level: int,
+        parent_indices: np.ndarray,
+        parent_pds: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`expand` without argument validation — the engine path.
+
+        Trusts the caller completely: ``parent_indices`` must be a
+        ``(B, M-1-level)`` ``int64`` array of in-range point indices and
+        ``parent_pds`` a ``(B,)`` ``float64`` array. The traversal
+        policies construct exactly that from their
+        :class:`~repro.core.nodepool.NodePool`, so the lockstep drivers
+        call this directly; external callers should stay on
+        :meth:`expand` (``tests/test_gemm_evaluator.py`` proves both
+        paths agree bit-for-bit on valid input).
+        """
+        t0 = perf_counter()
+        depth = self.n_tx - 1 - level
+        pool = parent_indices.shape[0]
         if depth:
             # Path position i holds level M-1-i; row index j-(k+1) needs
             # level j ascending -> reverse the path columns.
-            symbols = self.constellation.points[parent_indices[:, ::-1]]  # (B, m)
-            shared = _stacked_gemv(symbols, row)  # (B, m) @ (m,) -> (B,)
+            symbols = self._points[parent_indices[:, ::-1]]  # (B, m)
+            # (B, m) @ (m,) -> (B,); rows[level] holds levels k+1 .. M-1.
+            shared = _stacked_gemv(symbols, self._rows[level])
             self.gemm_flops += FLOPS_PER_CMAC * pool * depth
+            # NORM step: broadcast over the P children.
+            error = (
+                self.ybar[level]
+                - shared[:, None]
+                - self._diag_points[level][None, :]
+            )
         else:
-            shared = np.zeros(pool, dtype=np.complex128)
+            # Root expansion: the shared term is exactly zero and
+            # ``x - (+0.0)`` is the identity bit-for-bit, so skip the
+            # zero vector and its broadcast subtraction entirely.
+            error = np.broadcast_to(
+                self.ybar[level] - self._diag_points[level], (pool, self._order)
+            )
         self.gemm_calls += 1
-        # NORM step: broadcast over the P children.
-        error = self.ybar[level] - shared[:, None] - self._diag_points[level][None, :]
         increments = error.real**2 + error.imag**2
-        self.norm_flops += FLOPS_PER_NORM * pool * self.order
-        return parent_pds[:, None] + increments
+        self.norm_flops += FLOPS_PER_NORM * pool * self._order
+        result = parent_pds[:, None] + increments
+        self.gemm_time_s += perf_counter() - t0
+        return result
 
     def leaf_metric(self, indices_by_level: np.ndarray) -> float:
         """Full reduced-domain metric ``||ybar - R s||^2`` of one leaf.
@@ -189,6 +267,9 @@ class BatchedGemmEvaluator:
         ``(F, M)`` rotated receive vectors, one row per frame.
     constellation:
         The symbol alphabet.
+    kernel:
+        Optional prebuilt :class:`ChannelKernel`, as in
+        :class:`GemmEvaluator`.
     """
 
     def __init__(
@@ -196,13 +277,13 @@ class BatchedGemmEvaluator:
         r: np.ndarray,
         ybars: np.ndarray,
         constellation: Constellation,
+        *,
+        kernel: ChannelKernel | None = None,
     ) -> None:
-        r = check_matrix(r, "r")
-        if r.shape[0] != r.shape[1]:
-            raise ValueError(f"r must be square, got {r.shape}")
-        if not np.allclose(r, np.triu(r)):
-            raise ValueError("r must be upper triangular")
-        self.n_tx = r.shape[0]
+        if kernel is None:
+            kernel = ChannelKernel(r, constellation)
+        self.kernel = kernel
+        self.n_tx = kernel.n_tx
         ybars = np.asarray(ybars)
         if ybars.ndim != 2 or ybars.shape[1] != self.n_tx:
             raise ValueError(
@@ -210,13 +291,12 @@ class BatchedGemmEvaluator:
             )
         self.n_frames = ybars.shape[0]
         self.ybars = ybars.astype(np.complex128)
-        self.r = r.astype(np.complex128)
-        self.constellation = constellation
-        points = constellation.points
-        self._diag_points = np.asarray(
-            [self.r[k, k] * points for k in range(self.n_tx)]
-        )  # (M, P)
-        self._rows = [self.r[k, k + 1 :] for k in range(self.n_tx)]
+        self.r = kernel.r
+        self.constellation = kernel.constellation
+        self._diag_points = kernel.diag_points
+        self._rows = kernel.rows
+        self._points = kernel.constellation.points
+        self._order = kernel.constellation.order
         #: Fused cross-frame GEMM calls actually issued (the batching
         #: win: compare against the sum of per-frame ``gemm_calls``).
         self.fused_gemm_calls = 0
@@ -224,6 +304,9 @@ class BatchedGemmEvaluator:
         self.rows_evaluated = 0
         self.gemm_flops = 0
         self.norm_flops = 0
+        #: Seconds spent inside :meth:`expand_unchecked` (fused GEMM +
+        #: NORM arithmetic across all frames).
+        self.gemm_time_s = 0.0
 
     @property
     def order(self) -> int:
@@ -266,20 +349,43 @@ class BatchedGemmEvaluator:
             raise ValueError(
                 f"frame_rows must index into {self.n_frames} frames"
             )
-        row = self._rows[level]
+        return self.expand_unchecked(level, parent_indices, parent_pds, frame_rows)
+
+    def expand_unchecked(
+        self,
+        level: int,
+        parent_indices: np.ndarray,
+        parent_pds: np.ndarray,
+        frame_rows: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`expand` without argument validation — the engine path.
+
+        Same contract as :meth:`GemmEvaluator.expand_unchecked`, plus
+        ``frame_rows`` must be a ``(B,)`` ``int64`` array of valid frame
+        indices (the lockstep driver constructs it).
+        """
+        t0 = perf_counter()
+        depth = self.n_tx - 1 - level
+        pool = parent_indices.shape[0]
+        ybar_rows = self.ybars[frame_rows, level]  # (B,)
         if depth:
-            symbols = self.constellation.points[parent_indices[:, ::-1]]
+            symbols = self._points[parent_indices[:, ::-1]]
             # One fused (B_total, m) @ (m,) product over all frames.
-            shared = _stacked_gemv(symbols, row)
+            shared = _stacked_gemv(symbols, self._rows[level])
             self.gemm_flops += FLOPS_PER_CMAC * pool * depth
+            error = (
+                ybar_rows[:, None]
+                - shared[:, None]
+                - self._diag_points[level][None, :]
+            )
         else:
-            shared = np.zeros(pool, dtype=np.complex128)
+            # Root expansion: subtracting the exactly-zero shared term
+            # is a bit-for-bit identity, so skip it.
+            error = ybar_rows[:, None] - self._diag_points[level][None, :]
         self.fused_gemm_calls += 1
         self.rows_evaluated += pool
-        ybar_rows = self.ybars[frame_rows, level]  # (B,)
-        error = (
-            ybar_rows[:, None] - shared[:, None] - self._diag_points[level][None, :]
-        )
         increments = error.real**2 + error.imag**2
-        self.norm_flops += FLOPS_PER_NORM * pool * self.order
-        return parent_pds[:, None] + increments
+        self.norm_flops += FLOPS_PER_NORM * pool * self._order
+        result = parent_pds[:, None] + increments
+        self.gemm_time_s += perf_counter() - t0
+        return result

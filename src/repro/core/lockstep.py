@@ -56,12 +56,17 @@ SearchGenerator = Generator[ExpandRequest, np.ndarray, object]
 def drive_serial(search: SearchGenerator, evaluator: GemmEvaluator):
     """Run one search generator to completion against one evaluator.
 
-    Returns the generator's return value.
+    Returns the generator's return value. Requests are evaluated on the
+    unchecked fast path (:meth:`GemmEvaluator.expand_unchecked`): the
+    traversal policies emit correctly-shaped ``int64``/``float64``
+    arrays by construction, so per-call re-validation would only tax
+    the hot loop. Hand-written generators must honour the same
+    contract (or be driven against :meth:`GemmEvaluator.expand`).
     """
     try:
         request = next(search)
         while True:
-            child_pds = evaluator.expand(
+            child_pds = evaluator.expand_unchecked(
                 request.level, request.parent_indices, request.parent_pds
             )
             request = search.send(child_pds)
@@ -124,7 +129,7 @@ def drive_lockstep(
                     for frame, req in group
                 ]
             )
-            child_pds = evaluator.expand(
+            child_pds = evaluator.expand_unchecked(
                 level, parent_indices, parent_pds, frame_rows
             )
             offset = 0

@@ -61,9 +61,39 @@ class DecodeStats:
     gemm_flops: int = 0
     max_list_size: int = field(default=0, metadata={"merge": "max"})
     wall_time_s: float = 0.0
+    #: Seconds spent inside the evaluator's GEMM + NORM arithmetic
+    #: (:meth:`repro.core.gemm.GemmEvaluator.expand_unchecked`); the
+    #: rest of ``wall_time_s`` is host-side search bookkeeping. Under
+    #: fused batch decoding the shared GEMM time is split evenly across
+    #: the batch's frames, mirroring ``wall_time_s``.
+    gemm_time_s: float = 0.0
     truncated: int = 0
     batches: list[BatchEvent] = field(default_factory=list)
     radius_trace: list[float] = field(default_factory=list)
+
+    @property
+    def nodes_per_sec(self) -> float:
+        """Traversal throughput: expanded nodes per wall-clock second.
+
+        The paper's host-efficiency figure of merit — once PD evaluation
+        is BLAS-3, this is bounded by search bookkeeping, not FLOPs.
+        Zero when no wall time was recorded.
+        """
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.nodes_expanded / self.wall_time_s
+
+    @property
+    def host_overhead_s(self) -> float:
+        """Wall time spent outside the GEMM/NORM arithmetic."""
+        return max(self.wall_time_s - self.gemm_time_s, 0.0)
+
+    @property
+    def gemm_fraction(self) -> float:
+        """Share of wall time inside the evaluator (1.0 = compute-bound)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return min(self.gemm_time_s / self.wall_time_s, 1.0)
 
     def merge(self, other: "DecodeStats") -> "DecodeStats":
         """Aggregate two stats records (e.g. across Monte Carlo frames)."""

@@ -38,6 +38,16 @@ are evaluated*. This module is that separation made concrete:
     :class:`~repro.core.stats.BatchEvent` trace the FPGA pipeline
     simulator replays.
 
+Frontier storage is the structure-of-arrays
+:class:`~repro.core.nodepool.NodePool`: nodes are rows of preallocated
+PD/seq/level vectors and one ``(capacity, M)`` path matrix, child
+admission is a single masked bulk append per expansion, and a pool's
+``(B, d)`` GEMM operand is a row block of the path matrix instead of a
+per-node ``fromiter`` rebuild. The best-first heap and the DFS stack
+hold scalar ``(pd, seq/row)`` entries ordered exactly like the legacy
+per-node tuples, so every decode remains bit-identical to the object
+model (``tests/test_nodepool.py`` checks against recorded outputs).
+
 Exactness of the best-first / DFS policies is property-tested against
 brute force in ``tests/test_sphere_decoder_exactness.py``; equivalence
 of the scalar and fused backends in ``tests/test_parallel_mc.py``.
@@ -58,9 +68,9 @@ from repro.core.gemm import (
     GemmEvaluator,
 )
 from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
+from repro.core.nodepool import NodePool, extend_paths
 from repro.core.radius import babai_point
 from repro.core.stats import BatchEvent, DecodeStats
-from repro.core.tree import SearchNode, path_to_level_indices, root_node
 from repro.obs.log import get_logger
 from repro.obs.tracer import NULL_TRACER
 from repro.util.validation import check_in, check_positive_int
@@ -150,51 +160,46 @@ class _PooledTreePolicy(TraversalPolicy):
         ``(incumbent, bound)`` unchanged when the sphere is empty.
         """
 
-    def _expand_pool(self, engine, pool, n_tx, stats, tracer):
-        """Request evaluation of a same-level node pool (one GEMM).
+    @staticmethod
+    def _account_expansion(engine, level, b, depth, order, stats, tracer):
+        """Book one pool expansion (``b`` nodes at ``level``) in ``stats``.
 
-        Generator: yields the :class:`ExpandRequest`, receives the
-        ``(B, P)`` child PDs, accounts the work in ``stats`` with the
-        exact FLOP formulas of :class:`GemmEvaluator`, and returns the
-        child PDs — so per-frame counters match the serial evaluator's
-        no matter which backend ran the GEMM.
+        Called right after the ``yield``-ed :class:`ExpandRequest` comes
+        back (the request's operands are slices of the
+        :class:`NodePool` path/PD arrays — no per-node rebuilds).
+        Counts work with the exact FLOP formulas of
+        :class:`GemmEvaluator`, so per-frame counters match the serial
+        evaluator's no matter which backend ran the GEMM. A plain
+        function, not a sub-generator: delegating through ``yield from``
+        here would allocate a generator per expansion, which is
+        measurable at single-node pools.
         """
-        level = pool[0].level
-        depth = n_tx - 1 - level
-        order = engine.constellation.order
-        parent_idx = np.fromiter(
-            (i for node in pool for i in node.path),
-            dtype=np.int64,
-            count=len(pool) * depth,
-        ).reshape(len(pool), depth)
-        parent_pds = np.fromiter(
-            (node.pd for node in pool), dtype=float, count=len(pool)
-        )
-        child_pds = yield ExpandRequest(level, parent_idx, parent_pds)
-        stats.nodes_expanded += len(pool)
-        stats.nodes_generated += len(pool) * order
+        stats.nodes_expanded += b
+        stats.nodes_generated += b * order
         stats.gemm_calls += 1
         if depth:
-            stats.gemm_flops += FLOPS_PER_CMAC * len(pool) * depth
-        stats.gemm_flops += FLOPS_PER_NORM * len(pool) * order
+            stats.gemm_flops += FLOPS_PER_CMAC * b * depth
+        stats.gemm_flops += FLOPS_PER_NORM * b * order
         if engine.record_trace:
-            stats.batches.append(BatchEvent(level=level, pool_size=len(pool)))
+            stats.batches.append(BatchEvent(level=level, pool_size=b))
         if tracer.enabled:
-            tracer.instant("sd.batch", level=level, pool=len(pool))
-        return child_pds
+            tracer.instant("sd.batch", level=level, pool=b)
 
     @staticmethod
-    def _accept_leaves(pool, child_pds, bound, incumbent, stats, n_tx):
-        """Fold a batch of leaf evaluations into the incumbent/bound."""
+    def _accept_leaves(pool, rows, child_pds, bound, incumbent, stats):
+        """Fold a batch of leaf evaluations into the incumbent/bound.
+
+        ``rows`` indexes the level-0 parents in the :class:`NodePool`.
+        """
         in_sphere = child_pds < bound
-        stats.leaves_reached += int(np.count_nonzero(in_sphere))
-        stats.nodes_pruned += int(in_sphere.size - np.count_nonzero(in_sphere))
+        n_in = int(np.count_nonzero(in_sphere))
+        stats.leaves_reached += n_in
+        stats.nodes_pruned += in_sphere.size - n_in
         flat = int(np.argmin(child_pds))
         n, c = divmod(flat, child_pds.shape[1])
         if child_pds[n, c] < bound:
             bound = float(child_pds[n, c])
-            path = pool[n].path + (c,)
-            incumbent = path_to_level_indices(path, n_tx)
+            incumbent = pool.leaf_indices(int(rows[n]), c)
             stats.radius_updates += 1
             stats.radius_trace.append(bound)
         return incumbent, bound
@@ -223,43 +228,60 @@ class BestFirstPolicy(_PooledTreePolicy):
         self.pool_size = check_positive_int(pool_size, "pool_size")
 
     def _search(self, engine, n_tx, bound, incumbent, stats, tracer):
-        seq = 1
-        heap: list[SearchNode] = [root_node(n_tx)]
+        pool = NodePool(n_tx)
+        root = pool.append_root()
+        # Scalar heap entries (pd, pool row): the pool numbers rows in
+        # admission order (``seq[i] == i``), so the row doubles as the
+        # legacy SearchNode sequence tie-breaker and ``(pd, row)``
+        # sorts exactly like the old ``(pd, seq)`` — pop order, and
+        # therefore every decode, is bit-identical.
+        heap: list[tuple[float, int]] = [(0.0, root)]
+        levels = pool.level
+        heappop, heappush = heapq.heappop, heapq.heappush
+        pool_size = self.pool_size
+        p = engine.constellation.order
         while heap:
-            if heap[0].pd >= bound:
+            if heap[0][0] >= bound:
                 break  # heap is PD-ordered: nothing left can improve
-            first = heapq.heappop(heap)
-            pool = [first]
+            first = heappop(heap)
+            level = int(levels[first[1]])
+            rows = [first[1]]
             while (
-                len(pool) < self.pool_size
+                len(rows) < pool_size
                 and heap
-                and heap[0].level == first.level
-                and heap[0].pd < bound
+                and levels[heap[0][1]] == level
+                and heap[0][0] < bound
             ):
-                pool.append(heapq.heappop(heap))
-            child_pds = yield from self._expand_pool(
-                engine, pool, n_tx, stats, tracer
+                rows.append(heappop(heap)[1])
+            rows_arr = np.asarray(rows, dtype=np.int64)
+            depth = n_tx - 1 - level
+            child_pds = yield ExpandRequest(
+                level,
+                pool.path_block(rows_arr, depth),
+                pool.pd_block(rows_arr),
             )
-            if first.level == 0:
+            self._account_expansion(
+                engine, level, len(rows), depth, p, stats, tracer
+            )
+            if level == 0:
                 incumbent, bound = self._accept_leaves(
-                    pool, child_pds, bound, incumbent, stats, n_tx
+                    pool, rows_arr, child_pds, bound, incumbent, stats
                 )
             else:
                 mask = child_pds < bound
-                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
-                next_level = first.level - 1
-                for i, node in enumerate(pool):
-                    for c in np.nonzero(mask[i])[0]:
-                        heapq.heappush(
-                            heap,
-                            SearchNode(
-                                pd=float(child_pds[i, c]),
-                                seq=seq,
-                                level=next_level,
-                                path=node.path + (int(c),),
-                            ),
-                        )
-                        seq += 1
+                # Row-major nonzero order == the legacy per-node /
+                # per-child push order, so bulk admission assigns the
+                # same sequence numbers the scalar loop did.
+                ii, cc = mask.nonzero()
+                stats.nodes_pruned += mask.size - ii.size
+                if ii.size:
+                    survivors = child_pds[ii, cc]
+                    new_rows = pool.append_children(
+                        rows_arr[ii], cc, survivors, level - 1
+                    )
+                    levels = pool.level  # growth may have replaced it
+                    for entry in zip(survivors.tolist(), new_rows.tolist()):
+                        heappush(heap, entry)
                 stats.max_list_size = max(stats.max_list_size, len(heap))
             if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
                 stats.truncated += 1
@@ -290,41 +312,50 @@ class DfsPolicy(_PooledTreePolicy):
         )
 
     def _search(self, engine, n_tx, bound, incumbent, stats, tracer):
-        seq = 1
-        stack: list[SearchNode] = [root_node(n_tx)]
+        pool = NodePool(n_tx)
+        root = pool.append_root()
+        # LIFO entries (pd, pool row): the pop-time prune needs only the
+        # PD scalar; everything else lives in the pool's arrays.
+        stack: list[tuple[float, int]] = [(0.0, root)]
+        p = engine.constellation.order
         while stack:
-            node = stack.pop()
-            if node.pd >= bound:
+            node_pd, row = stack.pop()
+            if node_pd >= bound:
                 # Generated inside an older, looser sphere; the radius has
                 # shrunk since — prune on pop.
                 stats.nodes_pruned += 1
                 continue
-            child_pds = yield from self._expand_pool(
-                engine, [node], n_tx, stats, tracer
+            level = int(pool.level[row])
+            rows_arr = np.asarray([row], dtype=np.int64)
+            depth = n_tx - 1 - level
+            child_pds = yield ExpandRequest(
+                level,
+                pool.path_block(rows_arr, depth),
+                pool.pd_block(rows_arr),
             )
-            if node.level == 0:
+            self._account_expansion(
+                engine, level, 1, depth, p, stats, tracer
+            )
+            if level == 0:
                 incumbent, bound = self._accept_leaves(
-                    [node], child_pds, bound, incumbent, stats, n_tx
+                    pool, rows_arr, child_pds, bound, incumbent, stats
                 )
             else:
                 pds = child_pds[0]
                 order = child_order(pds, self.child_ordering)
                 mask = pds < bound
-                stats.nodes_pruned += int(mask.size - np.count_nonzero(mask))
-                next_level = node.level - 1
                 # Push worst-first so the best child is on top of the LIFO
-                # (the sorted insertion of Fig. 3).
-                for c in order[::-1]:
-                    if mask[c]:
-                        stack.append(
-                            SearchNode(
-                                pd=float(pds[c]),
-                                seq=seq,
-                                level=next_level,
-                                path=node.path + (int(c),),
-                            )
-                        )
-                        seq += 1
+                # (the sorted insertion of Fig. 3): filter the reversed
+                # enumeration order by the admission mask in one step.
+                push = order[::-1]
+                push = push[mask[push]]
+                stats.nodes_pruned += mask.size - push.size
+                if push.size:
+                    survivors = pds[push]
+                    new_rows = pool.append_children(
+                        row, push, survivors, level - 1
+                    )
+                    stack.extend(zip(survivors.tolist(), new_rows.tolist()))
                 stats.max_list_size = max(stats.max_list_size, len(stack))
             if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
                 stats.truncated += 1
@@ -394,9 +425,7 @@ class BfsPolicy(TraversalPolicy):
                 ]
                 keep_n, keep_c, new_pds = keep_n[top], keep_c[top], new_pds[top]
                 stats.truncated += 1
-            paths = np.concatenate(
-                [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
-            )
+            paths = extend_paths(paths, keep_n, keep_c)
             pds = new_pds
             stats.max_list_size = max(stats.max_list_size, paths.shape[0])
         stats.leaves_reached += paths.shape[0]
@@ -458,9 +487,7 @@ class _SweepPolicy(TraversalPolicy):
             if engine.record_trace:
                 stats.batches.append(BatchEvent(level=level, pool_size=width))
             keep_n, keep_c, pds = self._select(level, n_tx, child_pds, stats)
-            paths = np.concatenate(
-                [paths[keep_n], keep_c[:, None].astype(np.int64)], axis=1
-            )
+            paths = extend_paths(paths, keep_n, keep_c)
             stats.max_list_size = max(stats.max_list_size, paths.shape[0])
         stats.leaves_reached += paths.shape[0]
         best = int(np.argmin(pds))
@@ -541,13 +568,18 @@ class ScalarGemvBackend:
 
     Drives a single frame's search generator to completion against a
     :class:`~repro.core.gemm.GemmEvaluator` — the CPU reference path.
+    Passing a prebuilt :class:`~repro.core.gemm.ChannelKernel` skips the
+    per-frame R validation and per-level precompute (block fading: R is
+    shared by every frame of a block).
     """
 
-    def run(self, engine, r, ybar, noise_var, stats, tracer):
-        evaluator = GemmEvaluator(r, ybar, engine.constellation)
-        return drive_serial(
+    def run(self, engine, r, ybar, noise_var, stats, tracer, *, kernel=None):
+        evaluator = GemmEvaluator(r, ybar, engine.constellation, kernel=kernel)
+        result = drive_serial(
             engine.solve_gen(r, ybar, noise_var, stats, tracer), evaluator
         )
+        stats.gemm_time_s += evaluator.gemm_time_s
+        return result
 
 
 class FusedGemmBackend:
@@ -566,14 +598,21 @@ class FusedGemmBackend:
     def __init__(self) -> None:
         self.fused_gemm_calls = 0
 
-    def run(self, engine, r, ybars, noise_var, stats_list):
-        evaluator = BatchedGemmEvaluator(r, ybars, engine.constellation)
+    def run(self, engine, r, ybars, noise_var, stats_list, *, kernel=None):
+        evaluator = BatchedGemmEvaluator(
+            r, ybars, engine.constellation, kernel=kernel
+        )
         searches = [
             engine.solve_gen(r, ybars[f], noise_var, stats_list[f], NULL_TRACER)
             for f in range(ybars.shape[0])
         ]
         outcomes = drive_lockstep(searches, evaluator)
         self.fused_gemm_calls = evaluator.fused_gemm_calls
+        # GEMM time inside a fused call is not separable per frame; split
+        # it evenly, mirroring decode_batch's wall-time attribution.
+        share = evaluator.gemm_time_s / max(len(stats_list), 1)
+        for stats in stats_list:
+            stats.gemm_time_s += share
         return outcomes
 
 
@@ -611,18 +650,25 @@ class TraversalEngine:
         """The policy's search generator for one frame (see lockstep)."""
         return self.policy.solve_gen(self, r, ybar, noise_var, stats, tracer)
 
-    def solve(self, r, ybar, noise_var, stats, tracer, backend=None):
-        """Solve one pre-triangularised frame; returns (indices, metric)."""
-        backend = backend or ScalarGemvBackend()
-        return backend.run(self, r, ybar, noise_var, stats, tracer)
+    def solve(self, r, ybar, noise_var, stats, tracer, backend=None, *, kernel=None):
+        """Solve one pre-triangularised frame; returns (indices, metric).
 
-    def solve_batch(self, r, ybars, noise_var, stats_list, backend=None):
+        ``kernel`` is an optional prebuilt
+        :class:`~repro.core.gemm.ChannelKernel` for ``r`` — pass it when
+        decoding many frames against one channel so the R validation and
+        per-level precompute run once per block, not once per frame.
+        """
+        backend = backend or ScalarGemvBackend()
+        return backend.run(self, r, ybar, noise_var, stats, tracer, kernel=kernel)
+
+    def solve_batch(self, r, ybars, noise_var, stats_list, backend=None, *, kernel=None):
         """Solve ``B`` frames with cross-frame fused GEMMs.
 
         Returns ``(outcomes, backend)`` where ``outcomes[f]`` is frame
         ``f``'s ``(indices, metric)`` — bit-identical to per-frame
         :meth:`solve` — and the backend exposes ``fused_gemm_calls``.
+        ``kernel`` as in :meth:`solve`.
         """
         backend = backend or FusedGemmBackend()
-        outcomes = backend.run(self, r, ybars, noise_var, stats_list)
+        outcomes = backend.run(self, r, ybars, noise_var, stats_list, kernel=kernel)
         return outcomes, backend

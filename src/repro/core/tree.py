@@ -9,6 +9,14 @@ Nodes are plain tuples ordered by partial distance so they can live
 directly in a ``heapq`` (Best-FS) or a list used as a LIFO stack
 (sorted-DFS, Fig. 3). A monotonically increasing sequence number breaks
 PD ties, which keeps ordering deterministic and avoids comparing paths.
+
+The traversal policies in :mod:`repro.core.traversal` no longer store
+their frontiers as ``SearchNode`` objects — they keep nodes as rows of
+a :class:`repro.core.nodepool.NodePool` (structure-of-arrays, bulk
+admission) and reproduce the same ``(pd, seq)`` ordering with scalar
+heap/stack entries. ``SearchNode`` remains the node representation for
+code that walks trees explicitly (the partitioned decoder's
+fixed-levels enumeration, tests, teaching examples).
 """
 
 from __future__ import annotations

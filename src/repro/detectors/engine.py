@@ -25,6 +25,7 @@ from contextlib import ExitStack
 
 import numpy as np
 
+from repro.core.gemm import ChannelKernel
 from repro.core.traversal import TraversalEngine, TraversalPolicy
 from repro.detectors.base import DecodeStats, DetectionResult, Detector
 from repro.mimo.preprocessing import (
@@ -97,6 +98,10 @@ class EngineDetector(Detector):
         self._qr: QRResult = (
             sorted_qr(channel) if self.ordering == "sqrd" else qr_decompose(channel)
         )
+        # One per-channel kernel for the whole fading block: R is shared
+        # by every frame, so triangularity validation and the per-level
+        # diag/row tables are computed here once instead of per frame.
+        self._kernel = ChannelKernel(self._qr.r, self.constellation)
         self._noise_var = float(noise_var)
         self._prepared = True
 
@@ -141,8 +146,17 @@ class EngineDetector(Detector):
         """
         stats = DecodeStats()
         tracer = current_tracer()
+        # Reuse the prepare-time channel kernel only when the caller is
+        # decoding against the prepared factor itself (detect does);
+        # external callers may pass a different R (e.g. the quantised-R
+        # ablation), which gets its own validated kernel.
+        kernel = (
+            self._kernel
+            if getattr(self, "_prepared", False) and r is self._qr.r
+            else None
+        )
         incumbent, bound = self._engine().solve(
-            r, ybar, noise_var, stats, tracer
+            r, ybar, noise_var, stats, tracer, kernel=kernel
         )
         if tracer.enabled:
             for name in self.counter_fields:
@@ -198,7 +212,8 @@ class EngineDetector(Detector):
                     [effective_receive(self._qr, row) for row in received]
                 )
                 outcomes, backend = self._engine().solve_batch(
-                    self._qr.r, ybars, self._noise_var, stats_list
+                    self._qr.r, ybars, self._noise_var, stats_list,
+                    kernel=self._kernel,
                 )
         if tracer.enabled:
             tracer.count(f"{self.trace_root}.batch.frames", n_frames)

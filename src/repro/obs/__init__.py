@@ -41,7 +41,12 @@ from repro.obs.export import (
 )
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
-from repro.obs.metrics import counter_totals, format_metrics, span_metrics
+from repro.obs.metrics import (
+    counter_totals,
+    format_metrics,
+    span_metrics,
+    traversal_rates,
+)
 from repro.obs.registry import (
     NULL_RECORDER,
     RunManifest,
@@ -83,6 +88,7 @@ __all__ = [
     "write_jsonl",
     "span_metrics",
     "counter_totals",
+    "traversal_rates",
     "format_metrics",
     "RunRegistry",
     "RunRecorder",

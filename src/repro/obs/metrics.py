@@ -22,6 +22,30 @@ def counter_totals(tracer: Tracer) -> dict[str, float]:
     return dict(tracer.counters)
 
 
+def traversal_rates(tracer: Tracer) -> dict[str, float]:
+    """Nodes-expanded-per-second by detector trace root.
+
+    Pairs each ``<root>.nodes_expanded`` counter with the total time
+    spent in that root's ``detect`` / ``decode_batch`` spans — the
+    host-throughput figure the SoA-frontier refactor optimises. Roots
+    whose spans carry no recorded time are omitted.
+    """
+    durations = tracer.span_durations()
+    rates: dict[str, float] = {}
+    for name, value in tracer.counters.items():
+        if not name.endswith(".nodes_expanded"):
+            continue
+        root = name[: -len(".nodes_expanded")]
+        wall = sum(
+            sum(durs)
+            for span, durs in durations.items()
+            if span in (f"{root}.detect", f"{root}.decode_batch")
+        )
+        if wall > 0:
+            rates[f"{root}.nodes_per_sec"] = value / wall
+    return rates
+
+
 def format_metrics(tracer: Tracer, *, title: str = "metrics") -> str:
     """Render spans (ms percentiles) and counters as an aligned table."""
     lines = [f"== {title} =="]
@@ -57,4 +81,11 @@ def format_metrics(tracer: Tracer, *, title: str = "metrics") -> str:
         for name, value in counters.items():
             shown = f"{int(value)}" if float(value).is_integer() else f"{value:.3f}"
             lines.append(f"  {name.ljust(width)}  {shown}")
+    rates = traversal_rates(tracer)
+    if rates:
+        width = max(len(name) for name in rates)
+        lines.append("")
+        lines.append("derived:")
+        for name, value in rates.items():
+            lines.append(f"  {name.ljust(width)}  {value:,.0f}")
     return "\n".join(lines)

@@ -19,6 +19,7 @@ class TestMetricClass:
         assert cr.metric_class("cpu_model_ms@12") == "model"
         assert cr.metric_class("fpga_opt_ms@8") == "model"
         assert cr.metric_class("mean_nodes@12") == "nodes"
+        assert cr.metric_class("mean_nodes_per_sec@8") == "rate"
         assert cr.metric_class("ber@8") == "ber"
 
     def test_unknown_prefix_is_uncompared(self):
@@ -76,6 +77,21 @@ class TestCompare:
         current = dict(BASE, **{"host_ms@8": 20.0})
         assert cr.compare(BASE, current, {"time": 2.0}) == []
 
+    def test_rate_collapse_is_flagged(self):
+        """Rate metrics regress downward: a throughput collapse fails."""
+        base = dict(BASE, **{"mean_nodes_per_sec@8": 100_000.0})
+        current = dict(base, **{"mean_nodes_per_sec@8": 30_000.0})  # 0.3x
+        violations = cr.compare(base, current)
+        assert [v["metric"] for v in violations] == ["mean_nodes_per_sec@8"]
+        assert "higher is better" in violations[0]["reason"]
+
+    def test_rate_improvement_and_jitter_pass(self):
+        base = dict(BASE, **{"mean_nodes_per_sec@8": 100_000.0})
+        faster = dict(base, **{"mean_nodes_per_sec@8": 250_000.0})
+        assert cr.compare(base, faster) == []
+        jitter = dict(base, **{"mean_nodes_per_sec@8": 50_000.0})  # at -50%
+        assert cr.compare(base, jitter) == []  # within the -60% floor
+
 
 class TestCollectMetrics:
     def test_deterministic_for_fixed_seed(self):
@@ -84,10 +100,13 @@ class TestCollectMetrics:
         b, _ = cr.collect_metrics(**kwargs)
         assert set(a) and set(a) == set(b)
         for name in a:
-            if cr.metric_class(name) != "time":
+            # time and rate are measured wall-clock quantities; all other
+            # classes must be bit-deterministic for a fixed seed.
+            if cr.metric_class(name) not in ("time", "rate"):
                 assert a[name] == b[name], name
         assert {n.split("@", 1)[0] for n in a} == {
-            "host_ms", "cpu_model_ms", "fpga_opt_ms", "ber", "mean_nodes"
+            "host_ms", "cpu_model_ms", "fpga_opt_ms", "ber", "mean_nodes",
+            "mean_nodes_per_sec",
         }
         assert series.rows
 
@@ -103,9 +122,11 @@ class TestMainEndToEnd:
         assert doc["schema"] == cr.SCHEMA
         assert doc["config"]["seed"] == 11
         # unmodified re-run at the same config passes the gate (host wall
-        # time jitters hugely at this micro scale, so relax `time` the way
-        # CI does; the deterministic classes stay at their defaults)
-        assert cr.main([*self.ARGS, "--baseline", str(baseline), "--tol-time", "20"]) == 0
+        # time and throughput jitter hugely at this micro scale, so relax
+        # `time`/`rate` the way CI does; the deterministic classes stay
+        # at their defaults)
+        assert cr.main([*self.ARGS, "--baseline", str(baseline),
+                        "--tol-time", "20", "--tol-rate", "0.95"]) == 0
         assert "no regression" in capsys.readouterr().out
 
     def test_regression_exits_1(self, tmp_path, capsys):

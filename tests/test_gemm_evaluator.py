@@ -182,3 +182,64 @@ def test_property_expand_matches_naive(n, order, seed):
         parent_full = 0.0
     expected = parent_pd + (full - parent_full)
     assert np.allclose(got, expected, rtol=1e-8, atol=1e-9)
+
+
+class TestUncheckedFastPath:
+    """The engine's hot path must agree with the validated public API."""
+
+    def test_expand_unchecked_bit_identical(self):
+        ev, r, ybar, const = make_evaluator(n=5)
+        rng = np.random.default_rng(3)
+        for depth in range(5):
+            level = 5 - 1 - depth
+            b = int(rng.integers(1, 6))
+            parents = rng.integers(0, const.order, size=(b, depth)).astype(
+                np.int64
+            )
+            pds = rng.uniform(0, 4, size=b)
+            checked = ev.expand(level, parents, pds)
+            unchecked = ev.expand_unchecked(level, parents, pds)
+            # Bit-identical, not just close: same code path after checks.
+            np.testing.assert_array_equal(checked, unchecked)
+
+    def test_expand_still_rejects_bad_input(self):
+        """Routing the engine through the fast path must not weaken
+        the public contract — ``expand`` keeps validating."""
+        ev, *_ = make_evaluator(n=4)
+        with pytest.raises(ValueError):
+            ev.expand(5, np.empty((1, 0), dtype=np.int64), np.zeros(1))
+        with pytest.raises(ValueError):
+            ev.expand(2, np.zeros((1, 3), dtype=np.int64), np.zeros(1))
+        with pytest.raises(ValueError):
+            ev.expand(3, np.empty((2, 0), dtype=np.int64), np.zeros(3))
+
+    def test_unchecked_accumulates_gemm_time(self):
+        ev, *_ = make_evaluator(n=4)
+        assert ev.gemm_time_s == 0.0
+        ev.expand_unchecked(3, np.empty((1, 0), dtype=np.int64), np.zeros(1))
+        after_one = ev.gemm_time_s
+        assert after_one > 0.0
+        ev.expand_unchecked(3, np.empty((1, 0), dtype=np.int64), np.zeros(1))
+        assert ev.gemm_time_s > after_one
+
+    def test_shared_kernel_reuse_is_bit_identical(self):
+        """A prepare-time ChannelKernel gives the same results as
+        per-frame construction (the per-channel cache tentpole)."""
+        from repro.core.gemm import ChannelKernel
+
+        _, r, ybar, const = make_evaluator(n=4)
+        kernel = ChannelKernel(r, const)
+        fresh = GemmEvaluator(r, ybar, const)
+        cached = GemmEvaluator(r, ybar, const, kernel=kernel)
+        parents = np.array([[1, 3]], dtype=np.int64)
+        pds = np.array([0.25])
+        np.testing.assert_array_equal(
+            fresh.expand(1, parents, pds), cached.expand(1, parents, pds)
+        )
+
+    def test_kernel_validates_triangularity(self):
+        from repro.core.gemm import ChannelKernel
+
+        const = Constellation.qam(4)
+        with pytest.raises(ValueError):
+            ChannelKernel(np.ones((3, 3)), const)

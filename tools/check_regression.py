@@ -12,13 +12,17 @@ class        metrics                                 default tolerance
 ``time``     ``host_ms@*`` (measured wall time)      +60 %
 ``model``    ``cpu_model_ms@*``, ``fpga_opt_ms@*``   +2 %
 ``nodes``    ``mean_nodes@*``                        +2 %
+``rate``     ``mean_nodes_per_sec@*`` (throughput)   -60 %
 ``ber``      ``ber@*``                               +0 (abs 1e-9)
 ===========  ======================================  ================
 
-Everything except ``host_ms`` is bit-deterministic for a fixed seed, so
+``rate`` metrics are *higher-is-better*: they regress when the current
+value falls **below** ``baseline * (1 - tol)`` (a throughput collapse),
+the mirror image of every other class. Everything except ``host_ms``
+and ``mean_nodes_per_sec`` is bit-deterministic for a fixed seed, so
 those classes catch *algorithmic* regressions machine-independently;
-the loose ``time`` class catches real slowdowns (an injected 2x is
-flagged) while absorbing run-to-run noise. Exit status: 0 = no
+the loose ``time``/``rate`` classes catch real slowdowns (an injected
+2x is flagged) while absorbing run-to-run noise. Exit status: 0 = no
 regression, 1 = regression(s), 2 = usage error.
 
 Usage:
@@ -49,7 +53,17 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
 #: Metric-class defaults: relative headroom before a higher-is-worse
 #: metric counts as a regression (``ber`` also gets an absolute floor
 #: so an exact-zero baseline stays comparable).
-DEFAULT_TOLERANCES = {"time": 0.60, "model": 0.02, "nodes": 0.02, "ber": 0.0}
+DEFAULT_TOLERANCES = {
+    "time": 0.60,
+    "model": 0.02,
+    "nodes": 0.02,
+    "rate": 0.60,
+    "ber": 0.0,
+}
+
+#: Classes where *larger* is better — regression = falling below
+#: ``baseline * (1 - tol)`` instead of exceeding ``baseline * (1 + tol)``.
+HIGHER_IS_BETTER = frozenset({"rate"})
 
 #: Absolute slack applied on top of the relative ``ber`` tolerance.
 BER_ABS_SLACK = 1e-9
@@ -60,6 +74,7 @@ METRIC_CLASSES = {
     "cpu_model_ms": "model",
     "fpga_opt_ms": "model",
     "mean_nodes": "nodes",
+    "mean_nodes_per_sec": "rate",
     "ber": "ber",
 }
 
@@ -89,7 +104,14 @@ def collect_metrics(
     metrics: dict[str, float] = {}
     for row in series.rows:
         snr = row["snr_db"]
-        for column in ("host_ms", "cpu_model_ms", "fpga_opt_ms", "ber", "mean_nodes"):
+        for column in (
+            "host_ms",
+            "cpu_model_ms",
+            "fpga_opt_ms",
+            "ber",
+            "mean_nodes",
+            "mean_nodes_per_sec",
+        ):
             value = row.get(column)
             if isinstance(value, (int, float)) and value == value:
                 metrics[f"{column}@{snr:g}"] = float(value)
@@ -122,6 +144,17 @@ def compare(
             )
             continue
         cur = current[name]
+        if cls in HIGHER_IS_BETTER:
+            limit = base * (1.0 - tols[cls])
+            if cur < limit:
+                ratio = cur / base if base else float("inf")
+                violations.append(
+                    {"metric": name, "baseline": base, "current": cur,
+                     "tolerance": tols[cls],
+                     "reason": f"{ratio:.2f}x baseline "
+                     f"(floor {1 - tols[cls]:.2f}x, higher is better)"}
+                )
+            continue
         limit = base * (1.0 + tols[cls])
         if cls == "ber":
             limit += BER_ABS_SLACK

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""cProfile the smoke experiment and write the profile as a CI artifact.
+
+Runs :func:`repro.bench.experiments.smoke_experiment` under
+:mod:`cProfile`, prints the top functions by cumulative and internal
+time, and writes two artifacts:
+
+* ``<out>.pstats`` — the binary profile, loadable with ``pstats`` or
+  ``snakeviz`` for interactive digging;
+* ``<out>.txt`` — the printed tables, readable straight from the CI
+  artifact listing.
+
+CI uploads both from every smoke job, so a "why did host_ms move?"
+investigation starts from a profile of the exact gated workload instead
+of a local reproduction. Usage::
+
+    PYTHONPATH=src python tools/profile_smoke.py [--out artifacts/smoke-profile]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+
+def profile_smoke(
+    *,
+    channels: int = 2,
+    frames_per_channel: int = 3,
+    seed: int = 2023,
+    top: int = 30,
+) -> tuple[cProfile.Profile, str]:
+    """Profile one smoke run; returns the profile and the printed tables."""
+    from repro.bench.experiments import smoke_experiment
+
+    profile = cProfile.Profile()
+    profile.enable()
+    smoke_experiment(
+        channels=channels, frames_per_channel=frames_per_channel, seed=seed
+    )
+    profile.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profile, stream=buf)
+    buf.write("== smoke experiment profile: top by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(top)
+    buf.write("\n== top by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(top)
+    return profile, buf.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="profile the smoke experiment; write .pstats + .txt artifacts"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("artifacts/smoke-profile"),
+        metavar="BASE",
+        help="output base path (writes BASE.pstats and BASE.txt)",
+    )
+    parser.add_argument("--channels", type=int, default=2)
+    parser.add_argument("--frames", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--top", type=int, default=30, help="rows per printed table"
+    )
+    args = parser.parse_args(argv)
+
+    profile, text = profile_smoke(
+        channels=args.channels,
+        frames_per_channel=args.frames,
+        seed=args.seed,
+        top=args.top,
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    pstats_path = args.out.with_suffix(".pstats")
+    txt_path = args.out.with_suffix(".txt")
+    profile.dump_stats(pstats_path)
+    txt_path.write_text(text)
+    print(text)
+    print(f"profile written to {pstats_path} (text report: {txt_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
