@@ -1,0 +1,265 @@
+"""Observability overhead gate: decode cost with telemetry on vs off.
+
+The contract (docs/observability.md): running the decoder under a fully
+enabled telemetry stack — ambient :class:`~repro.obs.Tracer`, ambient
+:class:`~repro.obs.MetricsRegistry` and a live
+:class:`~repro.obs.MetricsStreamWriter` — must cost at most a few
+percent over running with instrumentation off. CI enforces ``--check
+--max-overhead 0.05`` (5%) on the regression-gate workload shape.
+
+Methodology: the same frame set is decoded repeatedly. Each **cell**
+(one channel prepare, or one frame decode — tens of ms) is timed for
+both arms back-to-back, off and on adjacent in time, so sustained
+drift on shared runners (frequency scaling, steal time) hits both arms
+of a pair near-identically; pair order alternates per repeat so the
+cache-warming advantage of running second cancels across repeats. Each
+arm is then summarised as the sum of per-cell minima across repeats: a
+scheduler spike pollutes one small cell of one repeat instead of a
+whole arm, and the per-cell minimum is the estimate least polluted by
+noise — the instrumentation cost is a strict add-on to it. Arm-level
+interleaving (whole off pass, then whole on pass) is too coarse here:
+drift phases longer than a pass flip the measured sign entirely.
+
+Run directly (``python benchmarks/bench_obs_overhead.py``); this module
+deliberately defines no ``bench_*`` functions, so ``pytest benchmarks/``
+collects nothing from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _build_frames(n_tx, n_rx, mod, snr_db, channels, frames, seed):
+    from repro.mimo.system import MIMOSystem
+
+    system = MIMOSystem(n_tx, n_rx, mod)
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for _ in range(channels):
+        blocks.append(
+            [system.random_frame(snr_db, rng) for _ in range(frames)]
+        )
+    return system, blocks
+
+
+def measure_decode_seconds(decoder_factory, blocks) -> float:
+    """Wall seconds to decode every frame of every block once."""
+    return sum(measure_cell_seconds(decoder_factory, blocks))
+
+
+def measure_cell_seconds(decoder_factory, blocks) -> list[float]:
+    """Per-cell wall seconds: build+prepare per block, then per frame.
+
+    Returns ``channels * (1 + frames)`` cells in a fixed order, so
+    same-index cells across repeats time identical work and their
+    minimum is meaningful.
+    """
+    perf = time.perf_counter
+    cells = []
+    for block in blocks:
+        started = perf()
+        decoder = decoder_factory()
+        decoder.prepare(block[0].channel, noise_var=block[0].noise_var)
+        cells.append(perf() - started)
+        for frame in block:
+            started = perf()
+            decoder.detect(frame.received)
+            cells.append(perf() - started)
+    return cells
+
+
+def measure_paired_cells(decoder_factory, blocks, telemetry_ctx, *, on_first):
+    """Off/on cell times with the two arms adjacent in time per cell.
+
+    Each cell's plain and instrumented runs (the latter inside
+    ``telemetry_ctx()``) execute back-to-back, ``on_first`` choosing
+    which goes first. Returns ``(off_cells, on_cells)``, same-index
+    cells timing identical work.
+    """
+    perf = time.perf_counter
+    off_cells, on_cells = [], []
+
+    def prepare_cell():
+        started = perf()
+        decoder = decoder_factory()
+        decoder.prepare(block[0].channel, noise_var=block[0].noise_var)
+        return decoder, perf() - started
+
+    for block in blocks:
+        if on_first:
+            with telemetry_ctx():
+                on_dec, dt = prepare_cell()
+            on_cells.append(dt)
+            off_dec, dt = prepare_cell()
+            off_cells.append(dt)
+        else:
+            off_dec, dt = prepare_cell()
+            off_cells.append(dt)
+            with telemetry_ctx():
+                on_dec, dt = prepare_cell()
+            on_cells.append(dt)
+        for frame in block:
+            received = frame.received
+            if on_first:
+                with telemetry_ctx():
+                    started = perf()
+                    on_dec.detect(received)
+                    on_cells.append(perf() - started)
+                started = perf()
+                off_dec.detect(received)
+                off_cells.append(perf() - started)
+            else:
+                started = perf()
+                off_dec.detect(received)
+                off_cells.append(perf() - started)
+                with telemetry_ctx():
+                    started = perf()
+                    on_dec.detect(received)
+                    on_cells.append(perf() - started)
+    return off_cells, on_cells
+
+
+def measure_overhead(
+    *, channels=6, frames=10, n_tx=10, n_rx=10, mod="4qam",
+    snr_db=8.0, seed=2023, repeats=9, stream_interval_s=0.05,
+):
+    """Interleaved off/on decode timings; returns a result dict."""
+    from repro.bench.harness import canonical_decoder_factory
+    from repro.obs import (
+        MetricsRegistry,
+        MetricsStreamWriter,
+        Tracer,
+        use_metrics,
+        use_tracer,
+    )
+
+    system, blocks = _build_frames(
+        n_tx, n_rx, mod, snr_db, channels, frames, seed
+    )
+    factory = canonical_decoder_factory(system.constellation)
+
+    off_rows, on_rows = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        stream_path = Path(tmp) / "metrics.stream.jsonl"
+        # Warm both arms (JIT-free but caches/allocators settle).
+        measure_decode_seconds(factory, blocks)
+        for rep in range(repeats):
+            tracer = Tracer()
+            metrics = MetricsRegistry()
+            metrics.stream = MetricsStreamWriter(
+                stream_path, interval_s=stream_interval_s
+            )
+
+            @contextlib.contextmanager
+            def telemetry():
+                with use_tracer(tracer), use_metrics(metrics):
+                    yield
+
+            off_cells, on_cells = measure_paired_cells(
+                factory, blocks, telemetry, on_first=bool(rep % 2)
+            )
+            with telemetry():
+                metrics.tick(force=True)
+            off_rows.append(off_cells)
+            on_rows.append(on_cells)
+        lines_written = metrics.stream.lines_written
+        n_events = len(tracer.events)
+        n_series = len(metrics.snapshot().to_dict()["counters"])
+    # Sum of per-cell minima: each cell's cost estimated from its
+    # least-disturbed repeat, so one noise spike costs one cell.
+    off_s = sum(min(col) for col in zip(*off_rows))
+    on_s = sum(min(col) for col in zip(*on_rows))
+    off_times = [sum(row) for row in off_rows]
+    on_times = [sum(row) for row in on_rows]
+    return {
+        "off_s": off_s,
+        "on_s": on_s,
+        "overhead": (on_s - off_s) / off_s,
+        "off_times": off_times,
+        "on_times": on_times,
+        "frames": channels * frames,
+        "trace_events_per_rep": n_events,
+        "counter_series": n_series,
+        "stream_lines_last_rep": lines_written,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure decode overhead of full telemetry "
+        "(tracer + metrics + live stream)"
+    )
+    parser.add_argument("--channels", type=int, default=6)
+    parser.add_argument("--frames", type=int, default=10)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when overhead exceeds --max-overhead",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05, metavar="FRAC",
+        help="maximum tolerated relative overhead with --check "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--attempts", type=int, default=3, metavar="N",
+        help="with --check, re-measure up to N times and pass if any "
+        "attempt is within budget; the true overhead is stable, so only "
+        "a measurement disturbed by external load needs a second look "
+        "(default: 3)",
+    )
+    args = parser.parse_args(argv)
+
+    attempts = max(1, args.attempts) if args.check else 1
+    result = None
+    for attempt in range(attempts):
+        result = measure_overhead(
+            channels=args.channels,
+            frames=args.frames,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        print(
+            f"workload          : {result['frames']} frames, "
+            f"10x10 4-QAM @ 8 dB "
+            f"({args.repeats} interleaved repeats, per-cell minima)"
+        )
+        print(f"telemetry off     : {result['off_s'] * 1e3:8.1f} ms")
+        print(
+            f"telemetry on      : {result['on_s'] * 1e3:8.1f} ms  "
+            f"({result['trace_events_per_rep']} trace events, "
+            f"{result['counter_series']} counter series, "
+            f"{result['stream_lines_last_rep']} stream lines)"
+        )
+        print(f"overhead          : {result['overhead']:+8.2%}")
+        if not args.check or result["overhead"] <= args.max_overhead:
+            break
+        if attempt + 1 < attempts:
+            print(
+                f"attempt {attempt + 1}/{attempts} over budget; "
+                "re-measuring"
+            )
+    if args.check:
+        if result["overhead"] > args.max_overhead:
+            print(
+                f"FAIL: overhead {result['overhead']:.2%} exceeds the "
+                f"{args.max_overhead:.0%} budget "
+                f"({attempts} attempt(s))",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: within the {args.max_overhead:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

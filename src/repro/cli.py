@@ -29,6 +29,11 @@ Subcommands
     ``runs diff A B`` (per-SNR comparison tables) and ``runs report``
     (a self-contained markdown document). Record runs with
     ``experiment NAME --record``.
+``obs``
+    Live telemetry: ``obs tail RUN`` prints a run's metrics stream one
+    line per snapshot (``--follow`` keeps polling until the run
+    finishes) and ``obs top RUN`` renders a top-style table of the
+    latest snapshot (totals, rates, per-shard progress and lag).
 
 Global ``-v``/``-q`` flags raise/lower the ``repro`` logging channel's
 verbosity (see :mod:`repro.obs.log`). Argument and configuration errors
@@ -222,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument(
         "--jsonl", default=None, help="also write a JSONL event log here"
     )
+    trc.add_argument(
+        "--from-jsonl",
+        dest="from_jsonl",
+        default=None,
+        metavar="PATH",
+        help="re-render a saved JSONL event log as a Chrome trace "
+        "instead of decoding",
+    )
 
     st = sub.add_parser(
         "stats",
@@ -237,6 +250,49 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument(
         "--trace", default=None, metavar="PATH", help="also write a Chrome trace"
     )
+    st.add_argument(
+        "--from-jsonl",
+        dest="from_jsonl",
+        default=None,
+        metavar="PATH",
+        help="summarise a saved JSONL event log instead of running "
+        "an experiment",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="live telemetry: tail a run's metrics stream or show a "
+        "top-style snapshot",
+    )
+    obs.add_argument(
+        "--dir",
+        dest="runs_dir",
+        default="runs",
+        metavar="DIR",
+        help="run-registry root (default: runs/)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    tail = obs_sub.add_parser(
+        "tail", help="print a run's metrics stream, one line per snapshot"
+    )
+    tail.add_argument("run", help="run id, unique prefix, latest[~N], or path")
+    tail.add_argument(
+        "-f",
+        "--follow",
+        action="store_true",
+        help="keep following the stream until the run finishes",
+    )
+    tail.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval in follow mode (default: 0.5)",
+    )
+    top = obs_sub.add_parser(
+        "top", help="one top-style snapshot table of a run's latest metrics"
+    )
+    top.add_argument("run", help="run id, unique prefix, latest[~N], or path")
 
     runs = sub.add_parser(
         "runs",
@@ -331,20 +387,33 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "table1":
         kwargs = {}
     if args.record:
-        from repro.obs import RunRegistry, Tracer, use_tracer
+        from repro.obs import (
+            MetricsRegistry,
+            RunRegistry,
+            Tracer,
+            use_metrics,
+            use_tracer,
+        )
 
         recorder = RunRegistry(args.runs_dir).new_run(
             args.name, seed=kwargs.get("seed"), config=dict(kwargs)
         )
         tracer = Tracer()
+        metrics = MetricsRegistry()
+        metrics.stream = recorder.stream_writer()
         try:
-            with use_tracer(tracer):
+            with use_tracer(tracer), use_metrics(metrics):
                 result = fn(**kwargs)
         except BaseException:
+            metrics.tick(force=True)
+            recorder.record_metrics(tracer, metrics)
+            recorder.record_trace(tracer)
             recorder.finalize("failed")
             raise
+        metrics.tick(force=True)
         recorder.record_series(result)
-        recorder.record_metrics(tracer)
+        recorder.record_metrics(tracer, metrics)
+        recorder.record_trace(tracer)
         path = recorder.finalize()
         print(result.format())
         print(f"[obs] run recorded: {path}")
@@ -486,6 +555,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_jsonl,
     )
 
+    if args.from_jsonl:
+        from repro.obs import read_jsonl, tracer_from_events
+
+        tracer = tracer_from_events(read_jsonl(args.from_jsonl))
+        path = write_chrome_trace(tracer, args.out)
+        print(
+            f"Chrome trace written to {path} "
+            f"({len(tracer.events)} events from {args.from_jsonl})"
+        )
+        return 0
+
     n_tx, n_rx = args.mimo if args.mimo is not None else (args.size, args.size)
     system = MIMOSystem(n_tx, n_rx, args.mod)
     rng = np.random.default_rng(args.seed)
@@ -525,6 +605,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.bench.experiments import EXPERIMENTS
     from repro.obs import Tracer, format_metrics, use_tracer, write_chrome_trace
+
+    if args.from_jsonl:
+        from repro.obs import read_jsonl, tracer_from_events
+
+        tracer = tracer_from_events(read_jsonl(args.from_jsonl))
+        print(format_metrics(tracer, title=f"metrics: {args.from_jsonl}"))
+        if args.trace:
+            path = write_chrome_trace(tracer, args.trace)
+            print()
+            print(f"Chrome trace written to {path}")
+        return 0
 
     if args.name not in EXPERIMENTS:
         print(
@@ -598,6 +689,58 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.registry import MANIFEST_FILE, STREAM_FILE, RunRegistry
+    from repro.obs.stream import (
+        follow_stream,
+        format_stream_line,
+        format_top,
+        read_stream,
+    )
+
+    registry = RunRegistry(args.runs_dir)
+    run_dir = registry.resolve(args.run, include_unfinished=True)
+    stream_path = run_dir / STREAM_FILE
+
+    def run_finished() -> bool:
+        manifest = run_dir / MANIFEST_FILE
+        if not manifest.exists():
+            return False
+        try:
+            status = json.loads(manifest.read_text()).get("status")
+        except (OSError, ValueError):
+            return False
+        return status in ("complete", "failed")
+
+    if args.obs_command == "tail":
+        if not args.follow:
+            prev = None
+            for doc in read_stream(stream_path):
+                print(format_stream_line(doc, prev))
+                prev = doc
+            return 0
+        prev = None
+        try:
+            for doc in follow_stream(
+                stream_path, poll_s=args.poll, stop=run_finished
+            ):
+                print(format_stream_line(doc, prev), flush=True)
+                prev = doc
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if args.obs_command == "top":
+        docs = read_stream(stream_path)
+        print(format_top(docs, run=Path(run_dir).name))
+        return 0
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command}"
+    )  # pragma: no cover
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -615,6 +758,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -100,6 +100,99 @@ class TraversalPolicy(abc.ABC):
         """
 
 
+class LevelAccumulator:
+    """Per-level traversal totals, kept hot-path-cheap.
+
+    Three flat integer lists indexed by tree level: nodes expanded,
+    expansion (GEMM batch) count, and nodes pruned. Plain list-index
+    increments rather than metric instruments or a dict of rows because
+    the expansion sites run tens of thousands of times per frame; the
+    detector layer folds the totals into labelled counters once per
+    solve. Per-level *generated* is not tracked — it is exactly
+    ``nodes * constellation.order``.
+
+    :meth:`ensure` sizes the lists before a search (policies call it
+    once per solve with ``n_tx``); sizing never shrinks, so one
+    accumulator can span a whole decode batch.
+    """
+
+    __slots__ = ("nodes", "exps", "pruned")
+
+    def __init__(self) -> None:
+        self.nodes: list[int] = []
+        self.exps: list[int] = []
+        self.pruned: list[int] = []
+
+    def ensure(self, n_levels: int) -> None:
+        grow = n_levels - len(self.nodes)
+        if grow > 0:
+            self.nodes.extend([0] * grow)
+            self.exps.extend([0] * grow)
+            self.pruned.extend([0] * grow)
+
+
+def _build_expand_hook(acc, tracer):
+    """Fuse per-expansion telemetry into one flat prebound closure.
+
+    ``acc`` is the engine's optional :class:`LevelAccumulator` (pass
+    ``None`` when the policy reconstructs per-level totals vectorized at
+    the end of a search instead — see :attr:`DfsPolicy.vectorized_acc`);
+    ``tracer`` contributes ``sd.batch`` marks when enabled (via
+    :meth:`~repro.obs.Tracer.mark_bindings`). DFS expands single-node
+    pools, so this closure runs tens of thousands of times per frame —
+    everything is prebound, and single-node marks are sampled at the
+    tracer's ``mark_stride`` (pooled marks always record; exact counts
+    live in the metrics registry and ``DecodeStats``, marks are
+    timeline samples). Returns ``None`` when there is nothing to
+    record. Safe across :meth:`LevelAccumulator.ensure` growth because
+    ``ensure`` extends the lists in place.
+    """
+    bindings = tracer.mark_bindings()
+    if bindings is None:
+        if acc is None:
+            return None
+        nodes = acc.nodes
+        exps = acc.exps
+
+        def hook(level: int, b: int) -> None:
+            nodes[level] += b
+            exps[level] += 1
+
+        return hook
+    append, now, epoch, tid = bindings
+    stride = tracer.mark_stride
+    # Start one short of the stride so the first single-node mark of
+    # every solve records (a frame's trace is never entirely bare).
+    skip = stride - 1
+    if acc is None:
+
+        def hook(level: int, b: int) -> None:
+            nonlocal skip
+            if b == 1:
+                skip += 1
+                if skip < stride:
+                    return
+                skip = 0
+            append(("sd.batch", now() - epoch, tid, level, b))
+
+        return hook
+    nodes = acc.nodes
+    exps = acc.exps
+
+    def hook(level: int, b: int) -> None:
+        nonlocal skip
+        nodes[level] += b
+        exps[level] += 1
+        if b == 1:
+            skip += 1
+            if skip < stride:
+                return
+            skip = 0
+        append(("sd.batch", now() - epoch, tid, level, b))
+
+    return hook
+
+
 class _PooledTreePolicy(TraversalPolicy):
     """Shared solve shape of the leaf-first (best-FS / DFS) policies.
 
@@ -113,6 +206,12 @@ class _PooledTreePolicy(TraversalPolicy):
     #: Strategy label used in ``sd.solve`` span args and detector attrs.
     strategy: str
 
+    #: When True the policy's ``_search`` rebuilds the engine's
+    #: per-level accumulator rows itself (one vectorized pass at search
+    #: end) and the expand hook carries marks only. Worth it exactly
+    #: when expansions are single-node and extremely frequent (DFS).
+    vectorized_acc = False
+
     def __init__(self, *, max_nodes: int | None = None) -> None:
         self.max_nodes = (
             None if max_nodes is None else check_positive_int(max_nodes, "max_nodes")
@@ -120,6 +219,12 @@ class _PooledTreePolicy(TraversalPolicy):
 
     def solve_gen(self, engine, r, ybar, noise_var, stats, tracer):
         n_tx = int(r.shape[1])
+        acc = engine.level_acc
+        if acc is not None:
+            acc.ensure(n_tx)
+        engine.expand_hook = _build_expand_hook(
+            None if self.vectorized_acc else acc, tracer
+        )
         with tracer.span("sd.solve", strategy=self.strategy, n_tx=n_tx):
             init = engine.radius_policy.initial(
                 r, ybar, engine.constellation, float(noise_var)
@@ -161,7 +266,7 @@ class _PooledTreePolicy(TraversalPolicy):
         """
 
     @staticmethod
-    def _account_expansion(engine, level, b, depth, order, stats, tracer):
+    def _account_expansion(engine, level, b, depth, order, stats):
         """Book one pool expansion (``b`` nodes at ``level``) in ``stats``.
 
         Called right after the ``yield``-ed :class:`ExpandRequest` comes
@@ -182,19 +287,24 @@ class _PooledTreePolicy(TraversalPolicy):
         stats.gemm_flops += FLOPS_PER_NORM * b * order
         if engine.record_trace:
             stats.batches.append(BatchEvent(level=level, pool_size=b))
-        if tracer.enabled:
-            tracer.instant("sd.batch", level=level, pool=b)
+        hook = engine.expand_hook
+        if hook is not None:
+            hook(level, b)
 
     @staticmethod
-    def _accept_leaves(pool, rows, child_pds, bound, incumbent, stats):
+    def _accept_leaves(pool, rows, child_pds, bound, incumbent, stats, acc=None):
         """Fold a batch of leaf evaluations into the incumbent/bound.
 
-        ``rows`` indexes the level-0 parents in the :class:`NodePool`.
+        ``rows`` indexes the level-0 parents in the :class:`NodePool`;
+        ``acc`` is the engine's optional per-level accumulator (prunes
+        here are level-0 prunes).
         """
         in_sphere = child_pds < bound
         n_in = int(np.count_nonzero(in_sphere))
         stats.leaves_reached += n_in
         stats.nodes_pruned += in_sphere.size - n_in
+        if acc is not None and in_sphere.size != n_in:
+            acc.pruned[0] += in_sphere.size - n_in
         flat = int(np.argmin(child_pds))
         n, c = divmod(flat, child_pds.shape[1])
         if child_pds[n, c] < bound:
@@ -240,6 +350,7 @@ class BestFirstPolicy(_PooledTreePolicy):
         heappop, heappush = heapq.heappop, heapq.heappush
         pool_size = self.pool_size
         p = engine.constellation.order
+        acc = engine.level_acc
         while heap:
             if heap[0][0] >= bound:
                 break  # heap is PD-ordered: nothing left can improve
@@ -260,12 +371,10 @@ class BestFirstPolicy(_PooledTreePolicy):
                 pool.path_block(rows_arr, depth),
                 pool.pd_block(rows_arr),
             )
-            self._account_expansion(
-                engine, level, len(rows), depth, p, stats, tracer
-            )
+            self._account_expansion(engine, level, len(rows), depth, p, stats)
             if level == 0:
                 incumbent, bound = self._accept_leaves(
-                    pool, rows_arr, child_pds, bound, incumbent, stats
+                    pool, rows_arr, child_pds, bound, incumbent, stats, acc
                 )
             else:
                 mask = child_pds < bound
@@ -274,6 +383,8 @@ class BestFirstPolicy(_PooledTreePolicy):
                 # same sequence numbers the scalar loop did.
                 ii, cc = mask.nonzero()
                 stats.nodes_pruned += mask.size - ii.size
+                if acc is not None and mask.size != ii.size:
+                    acc.pruned[level] += mask.size - ii.size
                 if ii.size:
                     survivors = child_pds[ii, cc]
                     new_rows = pool.append_children(
@@ -302,6 +413,7 @@ class DfsPolicy(_PooledTreePolicy):
     """
 
     strategy = "dfs"
+    vectorized_acc = True
 
     def __init__(
         self, *, child_ordering: str = "sorted", max_nodes: int | None = None
@@ -318,12 +430,21 @@ class DfsPolicy(_PooledTreePolicy):
         # PD scalar; everything else lives in the pool's arrays.
         stack: list[tuple[float, int]] = [(0.0, root)]
         p = engine.constellation.order
+        acc = engine.level_acc
+        # Per-level accounting costs more than the search itself when
+        # done per node (pops outnumber expansions ~3:1): stash only the
+        # pop-pruned rows and rebuild every per-level row from the pool
+        # in one vectorized pass at the end (see _fold_levels).
+        pruned_rows: list[int] | None = [] if acc is not None else None
+        leaves_before = stats.leaves_reached
         while stack:
             node_pd, row = stack.pop()
             if node_pd >= bound:
                 # Generated inside an older, looser sphere; the radius has
                 # shrunk since — prune on pop.
                 stats.nodes_pruned += 1
+                if pruned_rows is not None:
+                    pruned_rows.append(row)
                 continue
             level = int(pool.level[row])
             rows_arr = np.asarray([row], dtype=np.int64)
@@ -333,9 +454,7 @@ class DfsPolicy(_PooledTreePolicy):
                 pool.path_block(rows_arr, depth),
                 pool.pd_block(rows_arr),
             )
-            self._account_expansion(
-                engine, level, 1, depth, p, stats, tracer
-            )
+            self._account_expansion(engine, level, 1, depth, p, stats)
             if level == 0:
                 incumbent, bound = self._accept_leaves(
                     pool, rows_arr, child_pds, bound, incumbent, stats
@@ -360,7 +479,60 @@ class DfsPolicy(_PooledTreePolicy):
             if self.max_nodes is not None and stats.nodes_expanded >= self.max_nodes:
                 stats.truncated += 1
                 break
+        if acc is not None:
+            self._fold_levels(
+                acc, pool, stack, pruned_rows, p, n_tx,
+                stats.leaves_reached - leaves_before,
+            )
         return incumbent, bound
+
+    @staticmethod
+    def _fold_levels(acc, pool, stack, pruned_rows, order, n_tx, leaves):
+        """Rebuild this search's per-level accumulator rows from the pool.
+
+        Every admitted row is exactly one of: pop-pruned
+        (``pruned_rows``), still on ``stack`` (node-cap truncation), or
+        expanded — so per-level expansion counts are three ``bincount``
+        calls, not a list increment per node. Derived rows follow:
+        expansions equal nodes (single-node pools), children admitted at
+        ``level - 1`` all come from expansions at ``level`` (the root is
+        at ``n_tx - 1``, never a child), and level-0 expansions send
+        their ``order`` children to leaf acceptance instead of the pool,
+        ``leaves`` of which survived. Totals match the per-expansion
+        accounting this replaces exactly.
+        """
+        lv = pool.level[: pool.size]
+        total = np.bincount(lv, minlength=n_tx)
+        unexpanded = np.zeros(n_tx, dtype=np.int64)
+        if pruned_rows:
+            pop_pruned = np.bincount(
+                lv[np.asarray(pruned_rows, dtype=np.int64)], minlength=n_tx
+            )
+            unexpanded += pop_pruned
+            pops = pop_pruned.tolist()
+        else:
+            pops = [0] * n_tx
+        if stack:
+            rows = np.fromiter(
+                (row for _pd, row in stack), dtype=np.int64, count=len(stack)
+            )
+            unexpanded += np.bincount(lv[rows], minlength=n_tx)
+        expanded = (total - unexpanded).tolist()
+        admitted = total.tolist()
+        nodes, exps, pruned = acc.nodes, acc.exps, acc.pruned
+        for level in range(n_tx):
+            e = expanded[level]
+            if e:
+                nodes[level] += e
+                exps[level] += e
+                survived = leaves if level == 0 else admitted[level - 1]
+                n_pruned = e * order - survived + pops[level]
+            else:
+                # Pop-prunes at a level can outlive its last expansion
+                # (the bound tightened after its nodes were admitted).
+                n_pruned = pops[level]
+            if n_pruned:
+                pruned[level] += n_pruned
 
 
 class BfsPolicy(TraversalPolicy):
@@ -415,6 +587,11 @@ class BfsPolicy(TraversalPolicy):
                 )
             keep_n, keep_c = np.nonzero(child_pds < radius_sq)
             stats.nodes_pruned += frontier * p - keep_n.size
+            acc = engine.level_acc
+            if acc is not None:
+                acc.nodes[level] += frontier
+                acc.exps[level] += 1
+                acc.pruned[level] += frontier * p - keep_n.size
             if keep_n.size == 0:
                 return None, float("inf")
             new_pds = child_pds[keep_n, keep_c]
@@ -437,6 +614,8 @@ class BfsPolicy(TraversalPolicy):
 
     def solve_gen(self, engine, r, ybar, noise_var, stats, tracer):
         n_tx = int(r.shape[1])
+        if engine.level_acc is not None:
+            engine.level_acc.ensure(n_tx)
         init = engine.radius_policy.initial(
             r, ybar, engine.constellation, float(noise_var)
         )
@@ -471,6 +650,8 @@ class _SweepPolicy(TraversalPolicy):
 
     def solve_gen(self, engine, r, ybar, noise_var, stats, tracer):
         n_tx = int(r.shape[1])
+        if engine.level_acc is not None:
+            engine.level_acc.ensure(n_tx)
         p = engine.constellation.order
         paths = np.empty((1, 0), dtype=np.int64)
         pds = np.zeros(1, dtype=float)
@@ -486,7 +667,13 @@ class _SweepPolicy(TraversalPolicy):
             stats.gemm_flops += FLOPS_PER_NORM * width * p
             if engine.record_trace:
                 stats.batches.append(BatchEvent(level=level, pool_size=width))
+            pruned_before = stats.nodes_pruned
             keep_n, keep_c, pds = self._select(level, n_tx, child_pds, stats)
+            acc = engine.level_acc
+            if acc is not None:
+                acc.nodes[level] += width
+                acc.exps[level] += 1
+                acc.pruned[level] += stats.nodes_pruned - pruned_before
             paths = extend_paths(paths, keep_n, keep_c)
             stats.max_list_size = max(stats.max_list_size, paths.shape[0])
         stats.leaves_reached += paths.shape[0]
@@ -631,6 +818,13 @@ class TraversalEngine:
         ignore it. ``None`` is only valid for the latter.
     record_trace:
         Keep the per-expansion :class:`BatchEvent` list in the stats.
+
+    When :attr:`level_acc` is set to a :class:`LevelAccumulator` (the
+    detector layer does this when a metrics registry is live), every
+    policy folds per-level traversal totals into it — nodes expanded,
+    expansion batches and nodes pruned per tree level. The detector
+    flushes it into labelled counters once per solve. ``None`` (the
+    default) costs one attribute read per expansion.
     """
 
     def __init__(
@@ -645,6 +839,12 @@ class TraversalEngine:
         self.policy = policy
         self.radius_policy = radius_policy
         self.record_trace = record_trace
+        #: Optional per-level traversal accumulator (see class docstring).
+        self.level_acc: LevelAccumulator | None = None
+        #: Fused per-expansion telemetry closure, rebuilt per solve by
+        #: the pooled policies (``None`` when both the accumulator and
+        #: the ambient tracer are off — the common case).
+        self.expand_hook = None
 
     def solve_gen(self, r, ybar, noise_var, stats, tracer):
         """The policy's search generator for one frame (see lockstep)."""

@@ -26,7 +26,11 @@ from contextlib import ExitStack
 import numpy as np
 
 from repro.core.gemm import ChannelKernel
-from repro.core.traversal import TraversalEngine, TraversalPolicy
+from repro.core.traversal import (
+    LevelAccumulator,
+    TraversalEngine,
+    TraversalPolicy,
+)
 from repro.detectors.base import DecodeStats, DetectionResult, Detector
 from repro.mimo.preprocessing import (
     QRResult,
@@ -34,9 +38,16 @@ from repro.mimo.preprocessing import (
     qr_decompose,
     sorted_qr,
 )
+from repro.obs.metrics import current_metrics, exponential_buckets
 from repro.obs.tracer import current_tracer
 from repro.util.timing import Timer
 from repro.util.validation import check_matrix, check_vector
+
+
+#: Buckets for the frontier-peak histogram: frontier sizes are node
+#: counts, so edges run 1, 2, 4, ... ~=1M rather than the default
+#: seconds-scaled buckets.
+FRONTIER_BUCKETS = exponential_buckets(1.0, 2.0, 21)
 
 
 class EngineDetector(Detector):
@@ -126,6 +137,12 @@ class EngineDetector(Detector):
                     self._qr.r, ybar, self._noise_var
                 )
         stats.wall_time_s = timer.elapsed
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.counter("detector.frames").inc(1, detector=self.name)
+            metrics.histogram("detector.decode_seconds").observe(
+                timer.elapsed, detector=self.name
+            )
         return self._fold_back(received, incumbent, stats)
 
     def solve(
@@ -146,6 +163,7 @@ class EngineDetector(Detector):
         """
         stats = DecodeStats()
         tracer = current_tracer()
+        metrics = current_metrics()
         # Reuse the prepare-time channel kernel only when the caller is
         # decoding against the prepared factor itself (detect does);
         # external callers may pass a different R (e.g. the quantised-R
@@ -155,7 +173,10 @@ class EngineDetector(Detector):
             if getattr(self, "_prepared", False) and r is self._qr.r
             else None
         )
-        incumbent, bound = self._engine().solve(
+        engine = self._engine()
+        if metrics.enabled:
+            engine.level_acc = LevelAccumulator()
+        incumbent, bound = engine.solve(
             r, ybar, noise_var, stats, tracer, kernel=kernel
         )
         if tracer.enabled:
@@ -163,6 +184,8 @@ class EngineDetector(Detector):
                 tracer.count(
                     f"{self.trace_root}.{name}", getattr(stats, name)
                 )
+        if metrics.enabled:
+            self._flush_traversal_metrics(metrics, engine.level_acc, [stats])
         return incumbent, bound, stats
 
     def decode_batch(self, received: np.ndarray) -> list[DetectionResult]:
@@ -211,10 +234,18 @@ class EngineDetector(Detector):
                 ybars = np.stack(
                     [effective_receive(self._qr, row) for row in received]
                 )
-                outcomes, backend = self._engine().solve_batch(
+                engine = self._engine()
+                metrics = current_metrics()
+                if metrics.enabled:
+                    engine.level_acc = LevelAccumulator()
+                outcomes, backend = engine.solve_batch(
                     self._qr.r, ybars, self._noise_var, stats_list,
                     kernel=self._kernel,
                 )
+        if metrics.enabled:
+            self._flush_traversal_metrics(
+                metrics, engine.level_acc, stats_list, batch_seconds=timer.elapsed
+            )
         if tracer.enabled:
             tracer.count(f"{self.trace_root}.batch.frames", n_frames)
             tracer.count(
@@ -236,6 +267,49 @@ class EngineDetector(Detector):
         return results
 
     # ------------------------------------------------------------------
+
+    def _flush_traversal_metrics(
+        self, metrics, acc, stats_list, *, batch_seconds: float | None = None
+    ) -> None:
+        """Fold one solve/batch's traversal accumulator into the registry.
+
+        ``acc`` is the engine's :class:`LevelAccumulator` collected on
+        the hot path; here — once per solve, off the hot path — it
+        becomes per-level labelled counters, plus the frontier-peak
+        histogram and (for batches) per-frame decode seconds. Per-level
+        *generated* is ``nodes * order`` (every expansion emits one
+        child per constellation point); prune *rate* per level is
+        derived at read time as ``pruned / generated``.
+        """
+        det = self.name
+        if acc is not None:
+            nodes = metrics.counter("traversal.nodes_expanded")
+            expansions = metrics.counter("traversal.expansions")
+            generated = metrics.counter("traversal.nodes_generated")
+            pruned = metrics.counter("traversal.nodes_pruned")
+            order = self.constellation.order
+            for level, n_exp in enumerate(acc.exps):
+                n_pruned = acc.pruned[level]
+                if not n_exp and not n_pruned:
+                    continue
+                lvl = str(level)
+                n_nodes = acc.nodes[level]
+                nodes.inc(n_nodes, detector=det, level=lvl)
+                expansions.inc(n_exp, detector=det, level=lvl)
+                generated.inc(n_nodes * order, detector=det, level=lvl)
+                if n_pruned:
+                    pruned.inc(n_pruned, detector=det, level=lvl)
+        frontier = metrics.histogram(
+            "traversal.frontier_peak", edges=FRONTIER_BUCKETS
+        )
+        for stats in stats_list:
+            frontier.observe(stats.max_list_size, detector=det)
+        if batch_seconds is not None:
+            n = len(stats_list)
+            metrics.counter("detector.frames").inc(n, detector=det)
+            metrics.histogram("detector.decode_seconds").observe(
+                batch_seconds / max(n, 1), detector=det
+            )
 
     def _fold_back(
         self,

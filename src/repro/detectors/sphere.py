@@ -37,10 +37,12 @@ CPU/GPU models consume the aggregate counters.
 
 When an ambient :class:`repro.obs.Tracer` is installed
 (:func:`repro.obs.use_tracer`), each decode additionally emits nested
-spans (``sd.detect`` > ``sd.solve`` > ``sd.search``), one ``sd.batch``
-instant per GEMM-batched expansion and node/GEMM counters. With no
-tracer installed the hot path pays one attribute read and a boolean
-check per batch — see ``docs/observability.md``.
+spans (``sd.detect`` > ``sd.solve`` > ``sd.search``), ``sd.batch``
+instants sampling the expansion timeline (pooled expansions always
+record; single-node expansions every ``mark_stride``-th — exact counts
+live in the metrics registry and ``DecodeStats``) and node/GEMM
+counters. With no tracer installed the hot path pays one attribute
+read and a boolean check per batch — see ``docs/observability.md``.
 """
 
 from __future__ import annotations

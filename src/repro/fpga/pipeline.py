@@ -30,6 +30,7 @@ from repro.fpga.device import AlveoU280, DeviceSpec
 from repro.fpga.gemm_engine import SystolicGemmEngine
 from repro.fpga.memory import hbm_stream_cycles
 from repro.fpga.prefetch import PrefetchUnit
+from repro.obs.metrics import current_metrics
 from repro.obs.tracer import current_tracer
 from repro.util.validation import check_positive_int
 
@@ -445,6 +446,21 @@ class FPGAPipeline:
             for stage, cycles in attributed.items():
                 tracer.count(f"fpga.cycles.{stage}", cycles)
             tracer.count("fpga.cycles.total", total)
+        metrics = current_metrics()
+        if metrics.enabled:
+            cfg = self.config.name
+            busy = metrics.counter("fpga.stage_busy_cycles")
+            occupancy = metrics.gauge("fpga.stage_occupancy")
+            for stage in PIPELINE_STAGES:
+                busy.inc(breakdown[stage], config=cfg, stage=stage)
+                if total:
+                    occupancy.set(
+                        breakdown[stage] / total, config=cfg, stage=stage
+                    )
+            stall = metrics.counter("fpga.stall_cycles")
+            for bucket in OVERHEAD_BUCKETS:
+                stall.inc(attributed[bucket], config=cfg, bucket=bucket)
+            metrics.counter("fpga.cycles_total").inc(total, config=cfg)
         return PipelineReport(
             config_name=self.config.name,
             freq_mhz=self.config.freq_mhz,

@@ -31,6 +31,7 @@ from repro.detectors.base import DecodeStats, Detector
 from repro.mimo.metrics import ErrorCounter
 from repro.mimo.system import MIMOSystem
 from repro.obs.log import get_logger
+from repro.obs.metrics import current_metrics
 from repro.obs.tracer import current_tracer
 from repro.util.timing import Timer
 from repro.util.validation import check_positive_int
@@ -166,7 +167,31 @@ def _run_block(
     if tracer.enabled:
         tracer.count("mc.frames", frames)
         tracer.count("mc.bit_errors", counter.bit_errors)
+    metrics = current_metrics()
+    if metrics.enabled:
+        _record_block_metrics(metrics, snr_db, frames, counter, stats, timer)
     return counter, stats, timer
+
+
+def _record_block_metrics(
+    metrics, snr_db, frames, counter, stats, timer
+) -> None:
+    """Fold one channel block's outcome into the labelled counters.
+
+    Runs in whichever process decoded the block (the worker, in sharded
+    mode — its registry drains back to the parent per block), and ticks
+    the registry's live stream at block cadence.
+    """
+    snr = format(snr_db, "g")
+    metrics.counter("mc.blocks").inc(1, snr=snr)
+    metrics.counter("mc.frames").inc(frames, snr=snr)
+    metrics.counter("mc.bits").inc(counter.bits, snr=snr)
+    metrics.counter("mc.bit_errors").inc(counter.bit_errors, snr=snr)
+    metrics.counter("mc.nodes_expanded").inc(
+        sum(st.nodes_expanded for st in stats), snr=snr
+    )
+    metrics.counter("mc.decode_seconds").inc(timer.elapsed, snr=snr)
+    metrics.tick()
 
 
 class MonteCarloEngine:
@@ -380,6 +405,10 @@ class MonteCarloEngine:
                 point.decode_time_s,
             )
             points.append(point)
+        # End-of-sweep flush so the live stream always carries the final
+        # totals even when the last block landed inside the throttle
+        # interval (no-op without an attached stream).
+        current_metrics().tick(force=True)
         probe = detector_factory()
         return SweepResult(
             detector_name=detector_name or probe.name,

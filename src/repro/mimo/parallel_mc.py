@@ -16,11 +16,22 @@ result **bit-identical** to the serial sweep for the same master seed:
   ``shard_id`` order — so concatenated per-frame stats, radius traces
   and error counters reproduce the serial frame order exactly.
   ``tests/test_parallel_mc.py`` enforces the equivalence.
-* Workers run untraced (contextvars do not cross processes); instead
-  they report per-block :class:`BlockProgress` messages over a manager
-  queue and the parent emits the same ``mc.heartbeat`` instants (plus a
-  ``workers`` field) the serial engine would, honouring
-  ``heartbeat_every``.
+* Telemetry crosses the process boundary explicitly: the parent's
+  observability state rides into each shard as a
+  :class:`~repro.obs.tracer.TraceContext` (contextvars themselves do
+  not cross processes). Workers rebuild a tracer against the parent's
+  clock epoch — stamping events with their OS pid — and a metrics
+  registry, and flush both through the same manager queue as
+  :class:`ShardTelemetry` messages after every block *and* from the
+  crash path, so a dying shard still ships its partial trace. The
+  parent absorbs them live: the merged Chrome trace renders one lane
+  per worker process, aligned with the parent's ``mc.heartbeat``
+  instants, and the parent registry's totals (and its attached metrics
+  stream) advance block by block. Workers also report per-block
+  :class:`BlockProgress`, from which the parent emits ``mc.heartbeat``
+  instants carrying the sourcing shard id and a per-shard-aware ETA
+  (the max of pool-throughput extrapolation and the slowest started
+  shard's own pace), honouring ``heartbeat_every``.
 
 Failure forensics: a worker that raises writes a full traceback to
 ``crash_dir`` (``REPRO_MC_CRASH_DIR`` or the engine's ``crash_dir``)
@@ -36,10 +47,10 @@ import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import Manager
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -47,7 +58,21 @@ from repro.detectors.base import DecodeStats, Detector
 from repro.mimo.metrics import ErrorCounter
 from repro.mimo.system import MIMOSystem
 from repro.obs.log import get_logger
-from repro.obs.tracer import current_tracer
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    current_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    TraceContext,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    reset_tracer,
+    set_tracer,
+)
 from repro.util.timing import Timer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -101,10 +126,30 @@ class ShardSpec:
     #: The exact per-block ``SeedSequence`` objects the serial loop would
     #: have used for blocks ``[block_start, block_stop)``.
     seed_seqs: tuple[np.random.SeedSequence, ...]
+    #: Parent observability state (trailing, defaulted: existing shard
+    #: construction and pickles stay valid). ``None`` = unobserved.
+    telemetry: TraceContext | None = None
 
     @property
     def n_blocks(self) -> int:
         return self.block_stop - self.block_start
+
+
+@dataclass(frozen=True)
+class ShardTelemetry:
+    """Telemetry flush a worker posts alongside its progress messages.
+
+    Carries the worker tracer's drained events (already stamped with the
+    worker pid, timed against the parent's epoch) and counter deltas,
+    plus the worker registry's drained metrics delta. Separate from
+    :class:`BlockProgress` so unobserved sweeps ship zero extra bytes.
+    """
+
+    shard_id: int
+    pid: int
+    events: tuple[TraceEvent, ...] = ()
+    counters: Mapping[str, float] | None = None
+    metrics: MetricsSnapshot | None = None
 
 
 @dataclass(frozen=True)
@@ -161,15 +206,58 @@ def _write_crash_log(crash_dir: str, spec: ShardSpec, exc: BaseException) -> Non
         pass
 
 
+def _flush_shard_telemetry(queue, spec: ShardSpec, tracer, metrics) -> None:
+    """Drain the worker's tracer/metrics and post one flush message.
+
+    Skips empty flushes; swallows queue failures (telemetry must never
+    mask the shard's result or its crash).
+    """
+    if queue is None or (tracer is None and metrics is None):
+        return
+    events: tuple[TraceEvent, ...] = ()
+    counters: dict[str, float] = {}
+    if tracer is not None:
+        drained, counters = tracer.drain()
+        events = tuple(drained)
+    snap = metrics.drain() if metrics is not None else None
+    if not events and not counters and (snap is None or snap.empty):
+        return
+    try:
+        queue.put(
+            ShardTelemetry(
+                shard_id=spec.shard_id,
+                pid=os.getpid(),
+                events=events,
+                counters=counters or None,
+                metrics=snap,
+            )
+        )
+    except Exception:  # pragma: no cover - manager teardown race
+        pass
+
+
 def _run_shard(spec: ShardSpec, config: _ShardConfig, queue) -> ShardOutcome:
     """Worker entry point: run one shard's blocks and report progress.
 
-    Runs in a separate process — untraced (the ambient tracer does not
-    cross the boundary); progress flows back through ``queue`` instead.
-    Any exception is written to ``config.crash_dir`` before propagating.
+    Runs in a separate process. When the spec carries a
+    :class:`~repro.obs.tracer.TraceContext`, a worker-local tracer
+    (parent epoch, this pid) and metrics registry are installed as the
+    ambient observability for the shard's blocks, and both are flushed
+    back through ``queue`` after every block — and from the crash path,
+    so a partial trace of a dying shard still reaches the parent. Any
+    exception is written to ``config.crash_dir`` before propagating.
     """
     from repro.mimo.montecarlo import _run_block
 
+    ctx = spec.telemetry
+    tracer = metrics = None
+    tracer_token = metrics_token = None
+    if ctx is not None and ctx.trace_enabled:
+        tracer = Tracer(epoch=ctx.epoch, pid=os.getpid())
+        tracer_token = set_tracer(tracer)
+    if ctx is not None and ctx.metrics_enabled:
+        metrics = MetricsRegistry()
+        metrics_token = set_metrics(metrics)
     try:
         outcome = ShardOutcome(
             shard_id=spec.shard_id,
@@ -206,11 +294,29 @@ def _run_shard(spec: ShardSpec, config: _ShardConfig, queue) -> ShardOutcome:
                         decode_time_s=timer.elapsed,
                     )
                 )
+            _flush_shard_telemetry(queue, spec, tracer, metrics)
         return outcome
     except BaseException as exc:
+        # Partial-trace flush first: the crash log and the re-raise must
+        # not lose whatever the shard observed before dying.
+        _flush_shard_telemetry(queue, spec, tracer, metrics)
         if config.crash_dir:
             _write_crash_log(config.crash_dir, spec, exc)
         raise
+    finally:
+        if metrics_token is not None:
+            reset_metrics(metrics_token)
+        if tracer_token is not None:
+            reset_tracer(tracer_token)
+
+
+@dataclass
+class _ShardProgress:
+    """Parent-side per-shard progress (feeds the ETA and the lag gauges)."""
+
+    blocks_total: int
+    blocks_done: int = 0
+    decode_time_s: float = 0.0
 
 
 @dataclass
@@ -225,10 +331,38 @@ class _PointProgress:
     bits: int = 0
     nodes_expanded: int = 0
     decode_time_s: float = 0.0
+    #: Per-shard progress for this point's shards (shard_id keyed).
+    shards: dict[int, _ShardProgress] = field(default_factory=dict)
 
     @property
     def ber(self) -> float:
         return self.bit_errors / self.bits if self.bits else float("nan")
+
+    def eta_s(self, elapsed: float) -> float:
+        """Remaining-wall estimate from **per-shard** progress.
+
+        The max of two estimates: pool-throughput extrapolation
+        (remaining blocks at the observed aggregate rate — tight when
+        shards progress evenly) and the slowest *started* shard's own
+        pace over its own remaining blocks (the straggler tail the
+        aggregate misses — one shard at 10 % done bounds the point's
+        finish no matter how fast the rest are going). NaN until the
+        first block lands.
+        """
+        if not self.blocks_done or elapsed <= 0:
+            return float("nan")
+        remaining = self.blocks_total - self.blocks_done
+        pool_eta = elapsed / self.blocks_done * remaining
+        tail_eta = 0.0
+        for shard in self.shards.values():
+            if shard.blocks_done and shard.blocks_done < shard.blocks_total:
+                shard_eta = (
+                    elapsed
+                    / shard.blocks_done
+                    * (shard.blocks_total - shard.blocks_done)
+                )
+                tail_eta = max(tail_eta, shard_eta)
+        return max(pool_eta, tail_eta)
 
 
 def _emit_heartbeat(
@@ -237,34 +371,32 @@ def _emit_heartbeat(
     *,
     workers: int,
     wall_started: float,
+    shard_id: int | None = None,
 ) -> None:
     """Parent-side ``mc.heartbeat`` with the serial engine's payload.
 
-    Same keys as :meth:`MonteCarloEngine._heartbeat` plus ``workers``;
-    the ETA divides wall time since the pool started by completed blocks,
-    so concurrent points share the clock (documented in
+    Same keys as :meth:`MonteCarloEngine._heartbeat` plus ``workers``
+    and ``shard`` (the shard whose block report triggered this re-emit);
+    the ETA comes from :meth:`_PointProgress.eta_s` — per-shard-aware,
+    so one straggling shard is reflected honestly (documented in
     ``docs/observability.md``).
     """
     if not tracer.enabled and not _log.isEnabledFor(logging.INFO):
         return
     elapsed = time.perf_counter() - wall_started
-    remaining = progress.blocks_total - progress.blocks_done
-    eta_s = (
-        elapsed / progress.blocks_done * remaining
-        if progress.blocks_done
-        else float("nan")
-    )
+    eta_s = progress.eta_s(elapsed)
     nodes_per_s = (
         progress.nodes_expanded / progress.decode_time_s
         if progress.decode_time_s
         else 0.0
     )
     _log.info(
-        "mc heartbeat %.1f dB: block %d/%d, %d frames, ber=%.3g, "
-        "%.0f nodes/s, eta %.1f s (%d workers)",
+        "mc heartbeat %.1f dB: block %d/%d (shard %s), %d frames, "
+        "ber=%.3g, %.0f nodes/s, eta %.1f s (%d workers)",
         progress.snr_db,
         progress.blocks_done,
         progress.blocks_total,
+        "?" if shard_id is None else shard_id,
         progress.frames,
         progress.ber,
         nodes_per_s,
@@ -281,6 +413,7 @@ def _emit_heartbeat(
         nodes_per_s=nodes_per_s,
         eta_s=eta_s,
         workers=workers,
+        shard=shard_id,
     )
 
 
@@ -344,6 +477,7 @@ def run_sweep_sharded(
             workers,
         )
     tracer = current_tracer()
+    metrics = current_metrics()
     shards = plan_shards(
         snr_list,
         engine.seed,
@@ -351,6 +485,11 @@ def run_sweep_sharded(
         workers=workers,
         chunk_blocks=engine.chunk_blocks,
     )
+    ctx = TraceContext.capture()
+    if ctx is not None:
+        # plan_shards stays a pure function of the seeding tree; the
+        # observability payload is attached afterwards.
+        shards = [replace(spec, telemetry=ctx) for spec in shards]
     config = _ShardConfig(
         system=engine.system,
         factory=detector_factory,
@@ -363,15 +502,30 @@ def run_sweep_sharded(
         i: _PointProgress(snr_db=snr_db, blocks_total=engine.channels)
         for i, snr_db in enumerate(snr_list)
     }
+    for spec in shards:
+        progress[spec.point_index].shards[spec.shard_id] = _ShardProgress(
+            blocks_total=spec.n_blocks
+        )
+    if metrics.enabled:
+        blocks_total_gauge = metrics.gauge("mc.shard.blocks_total")
+        for spec in shards:
+            blocks_total_gauge.set(spec.n_blocks, shard=str(spec.shard_id))
     outcomes: dict[int, ShardOutcome] = {}
     wall_started = time.perf_counter()
 
     def drain(queue) -> None:
         while True:
             try:
-                msg: BlockProgress = queue.get_nowait()
+                msg = queue.get_nowait()
             except Exception:  # queue.Empty via the manager proxy
                 return
+            if isinstance(msg, ShardTelemetry):
+                if tracer.enabled:
+                    tracer.absorb(msg.events, msg.counters)
+                if metrics.enabled and msg.metrics is not None:
+                    metrics.merge_snapshot(msg.metrics)
+                    metrics.tick()
+                continue
             p = progress[msg.point_index]
             p.blocks_done += 1
             p.frames += msg.frames
@@ -379,31 +533,49 @@ def run_sweep_sharded(
             p.bits += msg.bits
             p.nodes_expanded += msg.nodes_expanded
             p.decode_time_s += msg.decode_time_s
+            shard = p.shards.get(msg.shard_id)
+            if shard is not None:
+                shard.blocks_done += 1
+                shard.decode_time_s += msg.decode_time_s
+                if metrics.enabled:
+                    metrics.gauge("mc.shard.blocks_done").set(
+                        shard.blocks_done, shard=str(msg.shard_id)
+                    )
             if (
                 engine.heartbeat_every
                 and p.blocks_done % engine.heartbeat_every == 0
             ):
                 _emit_heartbeat(
-                    tracer, p, workers=workers, wall_started=wall_started
+                    tracer,
+                    p,
+                    workers=workers,
+                    wall_started=wall_started,
+                    shard_id=msg.shard_id,
                 )
 
     with Manager() as manager:
         queue = manager.Queue()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_run_shard, spec, config, queue): spec
-                for spec in shards
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(
-                    pending, timeout=0.1, return_when=FIRST_COMPLETED
-                )
-                drain(queue)
-                for future in done:
-                    outcome = future.result()  # re-raises worker crashes
-                    outcomes[outcome.shard_id] = outcome
-        drain(queue)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_shard, spec, config, queue): spec
+                    for spec in shards
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(
+                        pending, timeout=0.1, return_when=FIRST_COMPLETED
+                    )
+                    drain(queue)
+                    for future in done:
+                        outcome = future.result()  # re-raises worker crashes
+                        outcomes[outcome.shard_id] = outcome
+        finally:
+            # Also on the crash path: absorb whatever telemetry (incl. a
+            # dying shard's partial flush) reached the queue before the
+            # manager goes down, so failed runs keep their trace.
+            drain(queue)
+            metrics.tick(force=True)
 
     points: list[SnrPoint] = []
     for point_index, snr_db in enumerate(snr_list):

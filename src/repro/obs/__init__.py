@@ -1,6 +1,6 @@
 """repro.obs — structured tracing, metrics and diagnostics.
 
-Three cooperating pieces (see ``docs/observability.md``):
+Cooperating pieces (see ``docs/observability.md``):
 
 ``repro.obs.tracer``
     :class:`Tracer` / :class:`Span` / :class:`Counter` — a lightweight
@@ -8,10 +8,20 @@ Three cooperating pieces (see ``docs/observability.md``):
     near-zero overhead when disabled. The decoder, the detectors, the
     Monte Carlo engine and the FPGA pipeline simulator are all
     instrumented against the *ambient* tracer (``current_tracer()``).
-``repro.obs.export`` / ``repro.obs.metrics``
+    :class:`TraceContext` propagates the observed state into Monte
+    Carlo shard workers, whose buffers flow back over the progress
+    queue into one merged per-process-lane trace.
+``repro.obs.metrics``
+    The labelled metrics subsystem — :class:`MetricsRegistry` hands out
+    counters, gauges and exponential-bucket histograms against the
+    ambient registry (``current_metrics()``), snapshots merge exactly
+    across processes, and exporters render Prometheus text — plus the
+    original tracer percentile summaries.
+``repro.obs.export`` / ``repro.obs.stream``
     Exporters: Chrome ``trace_event`` JSON (``chrome://tracing`` /
-    Perfetto), a JSONL event log, and an aligned-text percentile
-    summary (p50/p95/p99) reused by the benchmark harness.
+    Perfetto) with one lane per worker process, a JSONL event log that
+    round-trips (``read_jsonl``), and the live metrics stream
+    (``metrics.stream.jsonl``) behind ``repro-sd obs tail`` / ``top``.
 ``repro.obs.log``
     ``logging``-based diagnostics channel with a single
     :func:`~repro.obs.log.configure` entry point; the CLI's ``-v``/
@@ -19,39 +29,62 @@ Three cooperating pieces (see ``docs/observability.md``):
 ``repro.obs.registry`` / ``repro.obs.report``
     Persistent run registry: every recorded harness / benchmark /
     ``repro-sd experiment`` invocation becomes a ``runs/<id>/``
-    directory (manifest + series + metrics + optional trace), and
-    ``repro-sd runs list|show|diff|report`` renders and compares them.
+    directory (manifest + series + metrics + stream + optional trace),
+    and ``repro-sd runs list|show|diff|report`` renders and compares
+    them.
 
 Quickstart::
 
-    from repro.obs import Tracer, use_tracer, write_chrome_trace
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 
-    tracer = Tracer()
-    with use_tracer(tracer):
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
         decoder.detect(received)
     write_chrome_trace(tracer, "decode.trace.json")
+    print(to_prometheus(metrics.snapshot()))
 """
 
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
     jsonl_lines,
+    read_jsonl,
+    tracer_from_events,
     write_chrome_trace,
     write_jsonl,
 )
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
     counter_totals,
+    current_metrics,
+    exponential_buckets,
     format_metrics,
+    reset_metrics,
+    set_metrics,
     span_metrics,
+    to_prometheus,
     traversal_rates,
+    use_metrics,
 )
 from repro.obs.registry import (
     NULL_RECORDER,
     RunManifest,
     RunRecorder,
     RunRegistry,
+)
+from repro.obs.stream import (
+    STREAM_FILE,
+    MetricsStreamWriter,
+    follow_stream,
+    format_stream_line,
+    format_top,
+    read_stream,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -60,6 +93,7 @@ from repro.obs.tracer import (
     PHASE_SPAN,
     Counter,
     Span,
+    TraceContext,
     TraceEvent,
     Tracer,
     current_tracer,
@@ -73,6 +107,7 @@ __all__ = [
     "Span",
     "Counter",
     "TraceEvent",
+    "TraceContext",
     "NULL_TRACER",
     "PHASE_SPAN",
     "PHASE_INSTANT",
@@ -81,11 +116,30 @@ __all__ = [
     "set_tracer",
     "reset_tracer",
     "use_tracer",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "HistogramData",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    "exponential_buckets",
+    "current_metrics",
+    "set_metrics",
+    "reset_metrics",
+    "use_metrics",
+    "to_prometheus",
     "chrome_trace",
     "chrome_trace_events",
     "jsonl_lines",
+    "read_jsonl",
+    "tracer_from_events",
     "write_chrome_trace",
     "write_jsonl",
+    "MetricsStreamWriter",
+    "STREAM_FILE",
+    "read_stream",
+    "follow_stream",
+    "format_stream_line",
+    "format_top",
     "span_metrics",
     "counter_totals",
     "traversal_rates",

@@ -6,8 +6,18 @@ complete events (``ph: "X"``), instants ``ph: "i"`` and counters
 ``ph: "C"``. Timestamps are microseconds from the tracer epoch and are
 emitted in monotonically non-decreasing order.
 
+Events absorbed from Monte Carlo shard workers carry their origin OS
+pid (see :class:`~repro.obs.tracer.TraceContext`); the exporter renders
+one process lane per origin — the parent as ``pid 1`` (``repro (main)``),
+each worker under its real pid with a ``shard worker`` process-name
+metadata row — so a merged sharded sweep reads as one timeline with a
+track per process.
+
 The JSONL log is one JSON object per recorded event, in emission order —
-convenient for ad-hoc ``jq``/pandas post-processing.
+convenient for ad-hoc ``jq``/pandas post-processing. It round-trips:
+:func:`read_jsonl` + :func:`tracer_from_events` rebuild a tracer good
+enough for ``repro-sd stats --from-jsonl`` and
+``repro-sd trace --from-jsonl``.
 """
 
 from __future__ import annotations
@@ -15,31 +25,76 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.obs.tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, Tracer
+from repro.obs.tracer import (
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    TraceEvent,
+    Tracer,
+)
 
-#: Synthetic process id used for all events (single-process tool).
+#: Synthetic process id for events recorded by the owning process
+#: (``TraceEvent.pid == 0``); worker events keep their real OS pid.
 TRACE_PID = 1
 
 
-def _tid_map(tracer: Tracer) -> dict[int, int]:
-    """Map OS thread idents to small stable ids (first seen = 1)."""
-    mapping: dict[int, int] = {}
+def _tid_map(tracer: Tracer) -> dict[tuple[int, int], int]:
+    """Map (origin pid, OS thread ident) to small per-process tids."""
+    mapping: dict[tuple[int, int], int] = {}
+    per_pid: dict[int, int] = {}
     for event in tracer.events:
-        if event.tid not in mapping:
-            mapping[event.tid] = len(mapping) + 1
+        key = (event.pid, event.tid)
+        if key not in mapping:
+            per_pid[event.pid] = per_pid.get(event.pid, 0) + 1
+            mapping[key] = per_pid[event.pid]
     return mapping
 
 
+def _process_metadata(tracer: Tracer) -> list[dict]:
+    """Chrome ``process_name``/``process_sort_index`` metadata rows —
+    one lane per origin process, parent first."""
+    pids: list[int] = []
+    for event in tracer.events:
+        if event.pid not in pids:
+            pids.append(event.pid)
+    rows: list[dict] = []
+    for order, pid in enumerate(sorted(pids, key=lambda p: (p != 0, p))):
+        lane = TRACE_PID if pid == 0 else pid
+        name = "repro (main)" if pid == 0 else f"shard worker {pid}"
+        rows.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": lane,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+        rows.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": lane,
+                "tid": 0,
+                "ts": 0,
+                "args": {"sort_index": order},
+            }
+        )
+    return rows
+
+
 def chrome_trace_events(tracer: Tracer) -> list[dict]:
-    """The tracer's events as Chrome ``trace_event`` dicts, ts-sorted."""
+    """The tracer's events as Chrome ``trace_event`` dicts, ts-sorted,
+    prefixed with per-process metadata rows."""
     tids = _tid_map(tracer)
     rows: list[dict] = []
     for event in tracer.events:
         base = {
             "name": event.name,
             "ts": round(event.ts * 1e6, 3),
-            "pid": TRACE_PID,
-            "tid": tids.get(event.tid, 0),
+            "pid": TRACE_PID if event.pid == 0 else event.pid,
+            "tid": tids.get((event.pid, event.tid), 0),
         }
         if event.phase == PHASE_SPAN:
             base["ph"] = "X"
@@ -58,7 +113,7 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
             raise ValueError(f"unknown event phase {event.phase!r}")
         rows.append(base)
     rows.sort(key=lambda r: r["ts"])
-    return rows
+    return _process_metadata(tracer) + rows
 
 
 def chrome_trace(tracer: Tracer) -> dict:
@@ -94,6 +149,8 @@ def jsonl_lines(tracer: Tracer) -> list[str]:
             row["value"] = event.value
         if event.args:
             row["args"] = dict(event.args)
+        if event.pid:
+            row["pid"] = event.pid
         lines.append(json.dumps(row))
     return lines
 
@@ -105,3 +162,79 @@ def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
     text = "\n".join(jsonl_lines(tracer))
     path.write_text(text + "\n" if text else "")
     return path
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Parse a JSONL event log back into :class:`TraceEvent` rows.
+
+    Strict: raises :class:`FileNotFoundError` for a missing file and
+    :class:`ValueError` (with the line number) for an empty log, a
+    malformed line — including the truncated final line a killed writer
+    leaves behind — or a row missing the required fields. The CLI error
+    contract maps both to exit 2.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no JSONL event log at {path}")
+    events: list[TraceEvent] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: malformed JSONL line {lineno}: {exc.msg} "
+                    "(truncated write?)"
+                ) from exc
+            if not isinstance(row, dict) or "phase" not in row or "name" not in row:
+                raise ValueError(
+                    f"{path}: JSONL line {lineno} is not a trace event"
+                )
+            if row["phase"] not in (PHASE_SPAN, PHASE_INSTANT, PHASE_COUNTER):
+                raise ValueError(
+                    f"{path}: JSONL line {lineno} has unknown phase "
+                    f"{row['phase']!r}"
+                )
+            try:
+                events.append(
+                    TraceEvent(
+                        phase=row["phase"],
+                        name=row["name"],
+                        ts=float(row.get("ts", 0.0)),
+                        dur=float(row.get("dur", 0.0)),
+                        depth=int(row.get("depth", 0)),
+                        value=float(row.get("value", 0.0)),
+                        args=row.get("args"),
+                        pid=int(row.get("pid", 0)),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}: JSONL line {lineno} has bad field types: {exc}"
+                ) from exc
+    if not events:
+        raise ValueError(f"{path}: JSONL event log is empty")
+    return events
+
+
+def tracer_from_events(events: list[TraceEvent]) -> Tracer:
+    """A disabled-for-recording tracer wrapping pre-recorded events.
+
+    Good enough for every read-side consumer (``stats``, ``trace``,
+    exporters): spans, counters and instants are replayed verbatim;
+    counter totals are reconstructed from each origin process's last
+    running-total event, summed across origins (each worker counts its
+    own running total, so the per-origin maxima are the shard totals).
+    """
+    tracer = Tracer(enabled=True, epoch=0.0)
+    tracer._events = list(events)
+    last: dict[tuple[int, str], float] = {}
+    for event in events:
+        if event.phase == PHASE_COUNTER:
+            last[(event.pid, event.name)] = event.value
+    for (_pid, name), value in last.items():
+        tracer.counters[name] = tracer.counters.get(name, 0.0) + value
+    return tracer

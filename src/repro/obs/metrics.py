@@ -1,13 +1,46 @@
-"""Aligned-text metrics summary over a tracer's spans and counters.
+"""Metrics: labelled counters / gauges / histograms plus the legacy
+tracer-summary helpers.
 
-Reuses :func:`repro.util.timing.summarize` so the percentile
-definitions match the benchmark harness exactly.
+Two complementary surfaces live here:
+
+* The original **tracer summaries** (:func:`span_metrics`,
+  :func:`counter_totals`, :func:`traversal_rates`,
+  :func:`format_metrics`) — post-hoc percentile tables over a
+  :class:`~repro.obs.tracer.Tracer`'s recorded spans and counters.
+* The **metrics registry** — a first-class, live subsystem:
+  :class:`MetricsRegistry` hands out labelled counter / gauge /
+  exponential-bucket-histogram instruments, snapshots merge exactly
+  across processes (the same contract as
+  :meth:`repro.util.timing.Timer.merge` — order-independent, exact
+  aggregates), and exporters render Prometheus text or JSON documents.
+  The ambient-instance pattern mirrors the tracer:
+  :func:`current_metrics` returns :data:`NULL_METRICS` (every method a
+  no-op) unless :func:`use_metrics` installed a live registry, so
+  instrumented code pays one attribute check when observability is off.
+
+Label values are kept as strings in snapshots so JSON round trips are
+exact; series keys render Prometheus-style: ``mc.frames{snr=8}``.
+
+Cardinality is guarded: a registry admits at most ``max_series``
+distinct (name, labels) series and raises :class:`ValueError` beyond
+that — an instrumentation bug (e.g. a per-frame label) should fail
+loudly rather than silently eat memory.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
 from repro.obs.tracer import Tracer
 from repro.util.timing import TimingSummary, summarize
+
+# ---------------------------------------------------------------------------
+# Tracer-summary helpers (post-hoc view over recorded spans/counters)
+# ---------------------------------------------------------------------------
 
 
 def span_metrics(tracer: Tracer) -> dict[str, TimingSummary]:
@@ -89,3 +122,657 @@ def format_metrics(tracer: Tracer, *, title: str = "metrics") -> str:
         for name, value in rates.items():
             lines.append(f"  {name.ljust(width)}  {value:,.0f}")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Series keys
+# ---------------------------------------------------------------------------
+
+#: Internal label key: sorted ``(label, value)`` pairs, values stringified.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonical hashable key for one label set (values stringified)."""
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((k, v),) = labels.items()
+        return ((k, v if type(v) is str else _label_str(v)),)
+    if len(labels) == 2:
+        # The per-solve flush loops hit this shape (detector, level)
+        # tens of times per frame; pairwise compare beats building a
+        # generator + sorted() for it.
+        (k1, v1), (k2, v2) = labels.items()
+        a = (k1, v1 if type(v1) is str else _label_str(v1))
+        b = (k2, v2 if type(v2) is str else _label_str(v2))
+        return (a, b) if k1 <= k2 else (b, a)
+    return tuple(
+        sorted((k, v if type(v) is str else _label_str(v)) for k, v in labels.items())
+    )
+
+
+def _label_str(value: Any) -> str:
+    """Stable string form for a label value (``8.0`` renders as ``8``)."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, (int, float)):
+        return format(value, "g")
+    return str(value)
+
+
+def format_series_key(name: str, key: LabelKey) -> str:
+    """Prometheus-style flat key: ``mc.frames{snr=8,shard=0}``."""
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+def parse_series_key(flat: str) -> tuple[str, LabelKey]:
+    """Inverse of :func:`format_series_key` (raises ValueError)."""
+    if "{" not in flat:
+        return flat, ()
+    if not flat.endswith("}"):
+        raise ValueError(f"malformed series key {flat!r}")
+    name, _, inner = flat[:-1].partition("{")
+    pairs = []
+    for part in inner.split(","):
+        k, sep, v = part.partition("=")
+        if not sep or not k:
+            raise ValueError(f"malformed series key {flat!r}")
+        pairs.append((k, v))
+    return name, tuple(sorted(pairs))
+
+
+# ---------------------------------------------------------------------------
+# Histogram buckets
+# ---------------------------------------------------------------------------
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> tuple[float, ...]:
+    """``count`` exponentially spaced upper bounds from ``start``.
+
+    ``exponential_buckets(1e-6, 2, 4)`` → ``(1e-6, 2e-6, 4e-6, 8e-6)``;
+    observations above the last edge land in the implicit overflow
+    bucket. Geometric spacing keeps relative quantile error bounded by
+    ``factor`` across any dynamic range, which is what latency-style
+    metrics need.
+    """
+    if start <= 0:
+        raise ValueError("bucket start must be positive")
+    if factor <= 1.0:
+        raise ValueError("bucket growth factor must exceed 1")
+    if count < 1:
+        raise ValueError("need at least one bucket edge")
+    edges = []
+    edge = float(start)
+    for _ in range(count):
+        edges.append(edge)
+        edge *= factor
+    return tuple(edges)
+
+
+#: Default edges: 1 µs .. ~33 s in powers of two — covers everything
+#: from a single expansion batch to a whole sweep.
+DEFAULT_BUCKETS = exponential_buckets(1e-6, 2.0, 26)
+
+
+@dataclass
+class HistogramData:
+    """One histogram series: exponential buckets plus exact aggregates.
+
+    ``counts`` has ``len(edges) + 1`` slots — the last is the overflow
+    bucket for observations above the largest edge. Bucket semantics
+    are Prometheus ``le``: an observation lands in the first bucket
+    whose upper edge is >= the value. ``count``/``sum``/``min``/``max``
+    are exact regardless of bucket resolution, mirroring
+    :class:`~repro.util.timing.Timer`'s exact-aggregate guarantee.
+    """
+
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "HistogramData") -> "HistogramData":
+        """Exact, order-independent merge (bucket-wise addition)."""
+        if self.edges != other.edges:
+            raise ValueError(
+                "cannot merge histograms with different bucket edges"
+            )
+        return HistogramData(
+            edges=self.edges,
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+            count=self.count + other.count,
+            sum=self.sum + other.sum,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q``-quantile (0..1).
+
+        Resolution is one bucket; exact ``min``/``max`` clamp the ends.
+        Returns NaN for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return float("nan")
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target and c:
+                if i >= len(self.edges):
+                    return self.max
+                return min(self.edges[i], self.max)
+        return self.max
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "HistogramData":
+        return cls(
+            edges=tuple(doc["edges"]),
+            counts=list(doc["counts"]),
+            count=int(doc["count"]),
+            sum=float(doc["sum"]),
+            min=float("inf") if doc.get("min") is None else float(doc["min"]),
+            max=float("-inf") if doc.get("max") is None else float(doc["max"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MetricsSnapshot:
+    """A point-in-time (or delta) copy of a registry's series.
+
+    ``merge`` is associative and commutative — counters and histograms
+    add exactly; gauges keep the latest observation by timestamp (ties
+    broken by value, so the operation stays order-independent). That is
+    the same contract :meth:`Timer.merge` provides, and it is what lets
+    shard deltas arrive in any interleaving and still produce the exact
+    totals the serial run would have.
+    """
+
+    t: float = 0.0
+    counters: dict[tuple[str, LabelKey], float] = field(default_factory=dict)
+    gauges: dict[tuple[str, LabelKey], tuple[float, float]] = field(
+        default_factory=dict
+    )
+    histograms: dict[tuple[str, LabelKey], HistogramData] = field(
+        default_factory=dict
+    )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        out = MetricsSnapshot(t=max(self.t, other.t))
+        out.counters = dict(self.counters)
+        for key, value in other.counters.items():
+            out.counters[key] = out.counters.get(key, 0.0) + value
+        out.gauges = dict(self.gauges)
+        for key, (value, ts) in other.gauges.items():
+            mine = out.gauges.get(key)
+            if mine is None or (ts, value) > (mine[1], mine[0]):
+                out.gauges[key] = (value, ts)
+        out.histograms = dict(self.histograms)
+        for key, hist in other.histograms.items():
+            mine = out.histograms.get(key)
+            out.histograms[key] = hist if mine is None else mine.merge(hist)
+        return out
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across all of its label sets."""
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def gauge_series(self, name: str) -> dict[LabelKey, float]:
+        """Current value of one gauge per label set."""
+        return {key: v for (n, key), (v, _) in self.gauges.items() if n == name}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready document (flat Prometheus-style series keys)."""
+        return {
+            "t": self.t,
+            "counters": {
+                format_series_key(n, k): v for (n, k), v in self.counters.items()
+            },
+            "gauges": {
+                format_series_key(n, k): [v, ts]
+                for (n, k), (v, ts) in self.gauges.items()
+            },
+            "histograms": {
+                format_series_key(n, k): h.to_dict()
+                for (n, k), h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "MetricsSnapshot":
+        snap = cls(t=float(doc.get("t", 0.0)))
+        for flat, value in (doc.get("counters") or {}).items():
+            snap.counters[parse_series_key(flat)] = float(value)
+        for flat, (value, ts) in (doc.get("gauges") or {}).items():
+            snap.gauges[parse_series_key(flat)] = (float(value), float(ts))
+        for flat, h in (doc.get("histograms") or {}).items():
+            snap.histograms[parse_series_key(flat)] = HistogramData.from_dict(h)
+        return snap
+
+
+def to_prometheus(snapshot: MetricsSnapshot, *, prefix: str = "repro_") -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Metric names swap ``.`` for ``_`` and gain ``prefix``; histograms
+    emit cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``,
+    exactly as a Prometheus client library would.
+    """
+
+    def prom_name(name: str) -> str:
+        return prefix + name.replace(".", "_").replace("-", "_")
+
+    def labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+        pairs = key + extra
+        if not pairs:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+        return "{" + inner + "}"
+
+    lines: list[str] = []
+    seen_counters: set[str] = set()
+    for (name, key), value in sorted(snapshot.counters.items()):
+        pname = prom_name(name)
+        if pname not in seen_counters:
+            lines.append(f"# TYPE {pname} counter")
+            seen_counters.add(pname)
+        lines.append(f"{pname}{labels(key)} {value:g}")
+    seen_gauges: set[str] = set()
+    for (name, key), (value, _ts) in sorted(snapshot.gauges.items()):
+        pname = prom_name(name)
+        if pname not in seen_gauges:
+            lines.append(f"# TYPE {pname} gauge")
+            seen_gauges.add(pname)
+        lines.append(f"{pname}{labels(key)} {value:g}")
+    seen_hists: set[str] = set()
+    for (name, key), hist in sorted(snapshot.histograms.items()):
+        pname = prom_name(name)
+        if pname not in seen_hists:
+            lines.append(f"# TYPE {pname} histogram")
+            seen_hists.add(pname)
+        cum = 0
+        for edge, c in zip(hist.edges, hist.counts):
+            cum += c
+            lines.append(
+                f"{pname}_bucket{labels(key, (('le', format(edge, 'g')),))} {cum}"
+            )
+        lines.append(f"{pname}_bucket{labels(key, (('le', '+Inf'),))} {hist.count}")
+        lines.append(f"{pname}_sum{labels(key)} {hist.sum:g}")
+        lines.append(f"{pname}_count{labels(key)} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        return None
+
+    def set(self, value: float, **labels: Any) -> None:
+        return None
+
+    def observe(self, value: float, **labels: Any) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class CounterHandle:
+    """Monotonically increasing, labelled counter."""
+
+    __slots__ = ("name", "_registry", "_series")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self._series
+        if key in series:
+            series[key] += value
+        else:
+            self._registry._admit(self.name, key)
+            series[key] = float(value)
+
+
+class GaugeHandle:
+    """Last-observation-wins, labelled gauge (timestamped for merges)."""
+
+    __slots__ = ("name", "_registry", "_series")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._series: dict[LabelKey, tuple[float, float]] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        if key not in self._series:
+            self._registry._admit(self.name, key)
+        self._series[key] = (float(value), self._registry._now())
+
+
+class HistogramHandle:
+    """Labelled exponential-bucket histogram."""
+
+    __slots__ = ("name", "edges", "_registry", "_series")
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        edges: tuple[float, ...],
+    ) -> None:
+        self.name = name
+        self.edges = edges
+        self._registry = registry
+        self._series: dict[LabelKey, HistogramData] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        hist = self._series.get(key)
+        if hist is None:
+            self._registry._admit(self.name, key)
+            hist = self._series[key] = HistogramData(edges=self.edges)
+        hist.observe(value)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Series-count ceiling; far above legitimate use (detector × SNR ×
+#: level × shard for a large sweep is a few thousand) but low enough to
+#: catch a per-frame label before it eats the heap.
+DEFAULT_MAX_SERIES = 50_000
+
+
+class MetricsRegistry:
+    """Get-or-create home for counters, gauges and histograms.
+
+    Mirrors the tracer's enabled/ambient design: a disabled registry
+    (``NULL_METRICS``) hands out a shared no-op instrument, so
+    instrumented code never branches beyond ``metrics.enabled`` or the
+    no-op call itself. Instrument handles are cheap to re-request but
+    hot paths should hold onto them.
+
+    ``stream`` may be set to a
+    :class:`~repro.obs.stream.MetricsStreamWriter` (anything with
+    ``maybe_write(registry)`` / ``write(registry)``); :meth:`tick`
+    forwards to it, which is how live snapshots reach
+    ``runs/<id>/metrics.stream.jsonl`` without the engine knowing about
+    files.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        max_series: int = DEFAULT_MAX_SERIES,
+        clock=None,
+    ) -> None:
+        self.enabled = enabled
+        self.max_series = max_series
+        self._clock = clock
+        self._counters: dict[str, CounterHandle] = {}
+        self._gauges: dict[str, GaugeHandle] = {}
+        self._histograms: dict[str, HistogramHandle] = {}
+        self._n_series = 0
+        #: Optional live-snapshot sink (see :meth:`tick`).
+        self.stream = None
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now()
+        import time
+
+        return time.time()
+
+    def _admit(self, name: str, key: LabelKey) -> None:
+        self._n_series += 1
+        if self._n_series > self.max_series:
+            raise ValueError(
+                f"metrics registry exceeded max_series={self.max_series} "
+                f"admitting {format_series_key(name, key)!r}; "
+                "a label with unbounded cardinality is almost certainly "
+                "being used (frame index, timestamp, ...)"
+            )
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str):
+        """The named counter (shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        handle = self._counters.get(name)
+        if handle is None:
+            self._check_unique(name, self._counters)
+            handle = self._counters[name] = CounterHandle(name, self)
+        return handle
+
+    def gauge(self, name: str):
+        """The named gauge (shared no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        handle = self._gauges.get(name)
+        if handle is None:
+            self._check_unique(name, self._gauges)
+            handle = self._gauges[name] = GaugeHandle(name, self)
+        return handle
+
+    def histogram(self, name: str, *, edges: tuple[float, ...] | None = None):
+        """The named histogram (shared no-op when disabled).
+
+        ``edges`` applies on first creation only; re-requesting with
+        different edges raises (silently diverging buckets would make
+        merges impossible).
+        """
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        handle = self._histograms.get(name)
+        if handle is None:
+            self._check_unique(name, self._histograms)
+            handle = self._histograms[name] = HistogramHandle(
+                name, self, tuple(edges) if edges is not None else DEFAULT_BUCKETS
+            )
+        elif edges is not None and tuple(edges) != handle.edges:
+            raise ValueError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return handle
+
+    def _check_unique(self, name: str, own: dict) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {kind}"
+                )
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A deep point-in-time copy of every series."""
+        snap = MetricsSnapshot(t=self._now())
+        for name, c in self._counters.items():
+            for key, value in c._series.items():
+                snap.counters[(name, key)] = value
+        for name, g in self._gauges.items():
+            for key, pair in g._series.items():
+                snap.gauges[(name, key)] = pair
+        for name, h in self._histograms.items():
+            for key, hist in h._series.items():
+                snap.histograms[(name, key)] = HistogramData(
+                    edges=hist.edges,
+                    counts=list(hist.counts),
+                    count=hist.count,
+                    sum=hist.sum,
+                    min=hist.min,
+                    max=hist.max,
+                )
+        return snap
+
+    def drain(self) -> MetricsSnapshot:
+        """Snapshot every series, then clear them (delta semantics).
+
+        The worker-side flush: repeated drains ship disjoint deltas, so
+        the parent's :meth:`merge_snapshot` reconstructs exact totals no
+        matter how many flushes each shard makes. Gauges are shipped
+        as-is (their merge is latest-wins, so re-shipping is harmless).
+        """
+        snap = self.snapshot()
+        for c in self._counters.values():
+            c._series.clear()
+        for g in self._gauges.values():
+            g._series.clear()
+        for h in self._histograms.values():
+            h._series.clear()
+        self._n_series = 0
+        return snap
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a (delta) snapshot into the live series — the parent-side
+        half of :meth:`drain`."""
+        if not self.enabled:
+            return
+        for (name, key), value in snap.counters.items():
+            series = self.counter(name)._series
+            if key in series:
+                series[key] += value
+            else:
+                self._admit(name, key)
+                series[key] = value
+        for (name, key), (value, ts) in snap.gauges.items():
+            series = self.gauge(name)._series
+            mine = series.get(key)
+            if mine is None:
+                self._admit(name, key)
+                series[key] = (value, ts)
+            elif (ts, value) > (mine[1], mine[0]):
+                series[key] = (value, ts)
+        for (name, key), hist in snap.histograms.items():
+            handle = self.histogram(name, edges=hist.edges)
+            mine = handle._series.get(key)
+            if mine is None:
+                self._admit(name, key)
+                handle._series[key] = HistogramData(
+                    edges=hist.edges,
+                    counts=list(hist.counts),
+                    count=hist.count,
+                    sum=hist.sum,
+                    min=hist.min,
+                    max=hist.max,
+                )
+            else:
+                handle._series[key] = mine.merge(hist)
+
+    def clear(self) -> None:
+        """Drop every instrument and series."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._n_series = 0
+
+    # -- live stream ----------------------------------------------------
+
+    def tick(self, *, force: bool = False) -> None:
+        """Offer the attached stream writer a chance to snapshot.
+
+        Call at natural cadence points (block boundaries, queue drains).
+        No-op without a stream; ``force`` flushes regardless of the
+        writer's interval throttle (end-of-run).
+        """
+        stream = self.stream
+        if stream is None or not self.enabled:
+            return
+        if force:
+            stream.write(self)
+        else:
+            stream.maybe_write(self)
+
+
+#: Canonical disabled registry, the ``current_metrics()`` default.
+NULL_METRICS = MetricsRegistry(enabled=False)
+
+_CURRENT_METRICS: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_obs_metrics", default=NULL_METRICS
+)
+
+
+def current_metrics() -> MetricsRegistry:
+    """The registry installed for this execution context (never None)."""
+    return _CURRENT_METRICS.get()
+
+
+def set_metrics(registry: MetricsRegistry):
+    """Install ``registry`` for this context; returns a reset token."""
+    return _CURRENT_METRICS.set(registry)
+
+
+def reset_metrics(token) -> None:
+    """Undo a :func:`set_metrics` with its token."""
+    _CURRENT_METRICS.reset(token)
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the ambient metrics sink for a ``with`` block."""
+    token = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        reset_metrics(token)

@@ -15,7 +15,11 @@ against any other run later:
     time, BER, frame and node counts per SNR point.
 ``metrics.json``
     Span percentile summaries (p50/p95/p99) and final counter values
-    from the run's tracer.
+    from the run's tracer, plus — when a metrics registry was active —
+    the final labelled counter/gauge/histogram snapshot.
+``metrics.stream.jsonl``
+    Live snapshot stream appended *while the run executes* (see
+    :mod:`repro.obs.stream`); ``repro-sd obs tail``/``top`` replay it.
 ``trace.json``
     Optionally, the full Chrome ``trace_event`` document.
 
@@ -41,7 +45,9 @@ from typing import Any, Mapping
 
 from repro.obs.export import chrome_trace
 from repro.obs.log import get_logger
-from repro.obs.metrics import counter_totals, span_metrics
+from repro.obs.metrics import MetricsRegistry, counter_totals, span_metrics
+from repro.obs.stream import STREAM_FILE as _STREAM_FILE
+from repro.obs.stream import MetricsStreamWriter
 from repro.obs.tracer import Tracer
 
 _log = get_logger(__name__)
@@ -58,6 +64,8 @@ SERIES_FILE = "series.json"
 SWEEP_FILE = "sweep.json"
 METRICS_FILE = "metrics.json"
 TRACE_FILE = "trace.json"
+#: Live metrics stream (written during the run; see repro.obs.stream).
+STREAM_FILE = _STREAM_FILE
 
 
 def _git_sha() -> str | None:
@@ -210,11 +218,39 @@ class RunRecorder:
             return
         self._write(SWEEP_FILE, sweep_to_dict(sweep))
 
-    def record_metrics(self, tracer: Tracer) -> None:
-        """Record the tracer's span/counter summary as ``metrics.json``."""
+    def record_metrics(
+        self, tracer: Tracer, metrics: MetricsRegistry | None = None
+    ) -> None:
+        """Record the tracer's span/counter summary as ``metrics.json``.
+
+        When an enabled :class:`MetricsRegistry` is also given, its
+        final snapshot lands under an ``instruments`` key (flat
+        Prometheus-style series names).
+        """
         if not self.enabled:
             return
-        self._write(METRICS_FILE, metrics_to_dict(tracer))
+        doc = metrics_to_dict(tracer)
+        if metrics is not None and metrics.enabled:
+            doc["instruments"] = metrics.snapshot().to_dict()
+        self._write(METRICS_FILE, doc)
+
+    def stream_writer(
+        self, *, interval_s: float | None = None
+    ) -> MetricsStreamWriter | None:
+        """A live-snapshot writer appending to this run's
+        ``metrics.stream.jsonl`` (None for a disabled recorder).
+
+        Attach it to a registry (``metrics.stream = ...``) so engine
+        ``tick()`` calls land here; the run directory is created eagerly
+        so ``obs tail --follow`` can resolve the run before the first
+        other artifact is written.
+        """
+        if not self.enabled:
+            return None
+        assert self.path is not None
+        self.path.mkdir(parents=True, exist_ok=True)
+        kwargs = {} if interval_s is None else {"interval_s": interval_s}
+        return MetricsStreamWriter(self.path / STREAM_FILE, **kwargs)
 
     def record_trace(self, tracer: Tracer) -> None:
         """Record the full Chrome trace document as ``trace.json``."""
@@ -279,27 +315,38 @@ class RunRegistry:
         assert self.root is not None
         return RunRecorder(self.root / run_id, manifest)
 
-    def run_dirs(self) -> list[Path]:
-        """All finalized run directories, oldest first (id-sorted)."""
+    def run_dirs(self, *, include_unfinished: bool = False) -> list[Path]:
+        """All finalized run directories, oldest first (id-sorted).
+
+        ``include_unfinished`` also lists directories whose manifest has
+        not landed yet (a run still executing, or one that crashed
+        before ``finalize``) — what ``obs tail --follow`` needs to
+        attach to a live run.
+        """
         if self.root is None or not self.root.is_dir():
             return []
         return sorted(
             p
             for p in self.root.iterdir()
-            if p.is_dir() and (p / MANIFEST_FILE).is_file()
+            if p.is_dir()
+            and (include_unfinished or (p / MANIFEST_FILE).is_file())
         )
 
-    def resolve(self, token: str) -> Path:
+    def resolve(self, token: str, *, include_unfinished: bool = False) -> Path:
         """Resolve a user-supplied run reference to a directory.
 
         Accepts an exact run id, a unique id prefix, ``latest`` /
         ``latest~N`` (N runs before the newest), or a filesystem path.
-        Raises :class:`KeyError` with a one-line message otherwise.
+        ``include_unfinished`` extends every form to manifest-less
+        (live/crashed) run directories. Raises :class:`KeyError` with a
+        one-line message otherwise.
         """
         as_path = Path(token)
-        if as_path.is_dir() and (as_path / MANIFEST_FILE).is_file():
+        if as_path.is_dir() and (
+            include_unfinished or (as_path / MANIFEST_FILE).is_file()
+        ):
             return as_path
-        runs = self.run_dirs()
+        runs = self.run_dirs(include_unfinished=include_unfinished)
         if token == "latest" or token.startswith("latest~"):
             back = 0
             if "~" in token:

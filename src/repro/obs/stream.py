@@ -1,0 +1,303 @@
+"""Live metrics stream: periodic registry snapshots as append-only JSONL.
+
+One line per snapshot, each a :meth:`MetricsSnapshot.to_dict` document
+plus a wall-clock ``t`` — written by :class:`MetricsStreamWriter` into
+``runs/<id>/metrics.stream.jsonl`` while a recorded run executes, and
+replayed afterwards (or *during*, in follow mode) by
+``repro-sd obs tail`` / ``repro-sd obs top``.
+
+Snapshots are **cumulative**, not deltas: each line is the full state of
+the registry at that instant, so a reader can start anywhere, rates come
+from differencing consecutive lines, and a truncated tail (the writer
+died mid-line) costs one sample, not the run. :func:`read_stream` is the
+strict reader (one-line :class:`ValueError` on an empty or malformed
+stream — the CLI error contract turns that into exit 2);
+:func:`follow_stream` is the tolerant ``tail -f`` loop that treats a
+partial last line as "not flushed yet" and keeps polling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.obs.metrics import MetricsSnapshot
+
+#: Stream file name inside a run directory.
+STREAM_FILE = "metrics.stream.jsonl"
+
+#: Default minimum seconds between snapshots.
+DEFAULT_INTERVAL_S = 1.0
+
+
+class MetricsStreamWriter:
+    """Appends throttled registry snapshots to a JSONL file.
+
+    ``maybe_write`` (the :meth:`MetricsRegistry.tick` path) enforces a
+    minimum interval between lines so per-block ticking stays cheap —
+    one clock read and a comparison when inside the interval. ``write``
+    bypasses the throttle for end-of-run flushes. Each line is written
+    with a single appending ``write`` call so concurrent readers never
+    see interleaved fragments, only (at worst) a partial final line.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = Path(path)
+        self.interval_s = interval_s
+        self._clock = clock
+        self._last_write: float | None = None
+        self.lines_written = 0
+
+    def maybe_write(self, registry) -> bool:
+        """Snapshot if the interval elapsed; returns True if written."""
+        now = self._clock()
+        if (
+            self._last_write is not None
+            and now - self._last_write < self.interval_s
+        ):
+            return False
+        self.write(registry)
+        return True
+
+    def write(self, registry) -> None:
+        """Append one snapshot line unconditionally."""
+        snap = registry.snapshot()
+        self._last_write = self._clock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(snap.to_dict()) + "\n"
+        with self.path.open("a") as fh:
+            fh.write(line)
+        self.lines_written += 1
+
+
+def read_stream(path: str | Path) -> list[dict[str, Any]]:
+    """All snapshot documents of a stream file, strictly validated.
+
+    Raises :class:`FileNotFoundError` when the file is missing and
+    :class:`ValueError` (with the offending line number) when it is
+    empty or any line is malformed — the CLI maps both to exit 2.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no metrics stream at {path}")
+    snapshots: list[dict[str, Any]] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: malformed stream line {lineno}: {exc.msg} "
+                    "(truncated write?)"
+                ) from exc
+            if not isinstance(doc, dict):
+                raise ValueError(
+                    f"{path}: stream line {lineno} is not a snapshot object"
+                )
+            snapshots.append(doc)
+    if not snapshots:
+        raise ValueError(f"{path}: metrics stream is empty")
+    return snapshots
+
+
+def follow_stream(
+    path: str | Path,
+    *,
+    poll_s: float = 0.5,
+    stop: Callable[[], bool] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[dict[str, Any]]:
+    """Yield snapshots as they are appended (``tail -f`` semantics).
+
+    Tolerant by design: a partial last line is treated as "still being
+    written" and retried on the next poll; a malformed *complete* line
+    is skipped (the stream is advisory while live). Returns once
+    ``stop()`` is true and the file has been drained. The file not
+    existing yet is fine — the writer may not have flushed.
+    """
+    path = Path(path)
+    offset = 0
+    pending = ""
+    while True:
+        chunk = ""
+        if path.is_file():
+            with path.open() as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+        if chunk:
+            pending += chunk
+            while "\n" in pending:
+                line, pending = pending.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(doc, dict):
+                    yield doc
+            continue  # drain fully before considering a stop
+        if stop is not None and stop():
+            return
+        sleep(poll_s)
+
+
+# ---------------------------------------------------------------------------
+# Renderers (obs tail / obs top)
+# ---------------------------------------------------------------------------
+
+
+def _counter_total(doc: dict[str, Any], name: str) -> float:
+    """Sum one counter across label sets in a snapshot document."""
+    prefix = name + "{"
+    return sum(
+        v
+        for k, v in (doc.get("counters") or {}).items()
+        if k == name or k.startswith(prefix)
+    )
+
+
+def _gauge_series(doc: dict[str, Any], name: str) -> dict[str, float]:
+    """``label-suffix -> value`` for one gauge in a snapshot document."""
+    out: dict[str, float] = {}
+    prefix = name + "{"
+    for k, pair in (doc.get("gauges") or {}).items():
+        if k == name:
+            out[""] = float(pair[0])
+        elif k.startswith(prefix):
+            out[k[len(prefix) : -1]] = float(pair[0])
+    return out
+
+
+def _human(n: float) -> str:
+    """Compact count: 950 -> '950', 12_340 -> '12.3k', 4.2e6 -> '4.2M'."""
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(n) >= cut:
+            return f"{n / cut:.1f}{suffix}"
+    return f"{n:g}"
+
+
+def _shard_fractions(doc: dict[str, Any]) -> dict[str, float]:
+    """Per-shard completion fraction from the shard progress gauges."""
+    total = _gauge_series(doc, "mc.shard.blocks_total")
+    done = _gauge_series(doc, "mc.shard.blocks_done")
+    out: dict[str, float] = {}
+    for label, t in total.items():
+        if t > 0:
+            out[label] = min(done.get(label, 0.0) / t, 1.0)
+    return out
+
+
+def format_stream_line(
+    doc: dict[str, Any], prev: dict[str, Any] | None = None
+) -> str:
+    """One human-readable line per snapshot (``obs tail``).
+
+    Rates are differenced against the previous snapshot when given;
+    totals come from the (cumulative) snapshot itself.
+    """
+    t = float(doc.get("t", 0.0))
+    frames = _counter_total(doc, "mc.frames")
+    nodes = _counter_total(doc, "mc.nodes_expanded")
+    bits = _counter_total(doc, "mc.bits")
+    errors = _counter_total(doc, "mc.bit_errors")
+    parts = [time.strftime("%H:%M:%S", time.localtime(t)) if t else "--:--:--"]
+    if prev is not None:
+        dt = t - float(prev.get("t", 0.0))
+        if dt > 0:
+            fps = (frames - _counter_total(prev, "mc.frames")) / dt
+            nps = (nodes - _counter_total(prev, "mc.nodes_expanded")) / dt
+            parts.append(f"{fps:6.1f} fr/s")
+            parts.append(f"{_human(nps):>7}n/s")
+    parts.append(f"frames {_human(frames):>7}")
+    parts.append(f"nodes {_human(nodes):>7}")
+    if bits > 0:
+        parts.append(f"ber {errors / bits:.3g}")
+    fractions = _shard_fractions(doc)
+    if fractions:
+        finished = sum(1 for f in fractions.values() if f >= 1.0)
+        parts.append(f"shards {finished}/{len(fractions)}")
+    return "  ".join(parts)
+
+
+def format_top(docs: list[dict[str, Any]], *, run: str = "") -> str:
+    """Terminal snapshot table (``obs top``): totals, rates, shard lag.
+
+    Uses the last snapshot for totals and the last two for rates. Shard
+    lag is blocks behind the leading shard, from the progress gauges.
+    """
+    if not docs:
+        return "(no snapshots)"
+    cur = docs[-1]
+    prev = docs[-2] if len(docs) > 1 else None
+    t = float(cur.get("t", 0.0))
+    frames = _counter_total(cur, "mc.frames")
+    nodes = _counter_total(cur, "mc.nodes_expanded")
+    bits = _counter_total(cur, "mc.bits")
+    errors = _counter_total(cur, "mc.bit_errors")
+    decode_s = _counter_total(cur, "mc.decode_seconds")
+
+    lines = []
+    title = f"run {run}" if run else "metrics"
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(t)) if t else "?"
+    lines.append(f"== {title} · {len(docs)} snapshot(s) · last {stamp} ==")
+    fps = nps = None
+    if prev is not None:
+        dt = t - float(prev.get("t", 0.0))
+        if dt > 0:
+            fps = (frames - _counter_total(prev, "mc.frames")) / dt
+            nps = (nodes - _counter_total(prev, "mc.nodes_expanded")) / dt
+    rows = [
+        ("frames", _human(frames), f"{fps:.1f}/s" if fps is not None else "-"),
+        ("nodes", _human(nodes), f"{_human(nps)}/s" if nps is not None else "-"),
+        (
+            "ber",
+            f"{errors / bits:.3g}" if bits else "-",
+            f"{_human(errors)} err / {_human(bits)} bits" if bits else "",
+        ),
+        (
+            "decode",
+            f"{decode_s:.2f}s",
+            f"{frames / decode_s:.1f} fr/s avg" if decode_s > 0 else "",
+        ),
+    ]
+    w0 = max(len(r[0]) for r in rows)
+    w1 = max(len(r[1]) for r in rows)
+    for name, value, extra in rows:
+        line = f"  {name.ljust(w0)}  {value.rjust(w1)}"
+        if extra:
+            line += f"  {extra}"
+        lines.append(line)
+
+    total = _gauge_series(cur, "mc.shard.blocks_total")
+    done = _gauge_series(cur, "mc.shard.blocks_done")
+    if total:
+        lines.append("")
+        lines.append("  shard      done/total   lag")
+        leader = max(
+            (done.get(lbl, 0.0) / t_ for lbl, t_ in total.items() if t_ > 0),
+            default=0.0,
+        )
+        for label in sorted(total, key=lambda s: (len(s), s)):
+            t_ = total[label]
+            d = done.get(label, 0.0)
+            frac = d / t_ if t_ > 0 else 0.0
+            lag = (leader - frac) * t_ if t_ > 0 else 0.0
+            shard = label.split("=", 1)[1] if "=" in label else label or "?"
+            lines.append(
+                f"  {shard:>5}  {int(d):>6}/{int(t_):<6}  {lag:5.1f} blocks"
+            )
+    return "\n".join(lines)

@@ -7,6 +7,13 @@ Design constraints (see ``docs/observability.md``):
   guards per-batch emission with ``tracer.enabled`` or uses the no-op
   span the disabled tracer hands out. No string formatting, no dict
   building, no clock reads happen on the disabled path.
+* **Cheap when enabled, too.** Per-expansion hot paths use
+  :meth:`Tracer.mark`, which appends a raw tuple (one clock read, no
+  event object, no args dict) and defers :class:`TraceEvent`
+  materialisation to the first inspection — the difference between a
+  few hundred nanoseconds and a few microseconds per expansion, which
+  is what keeps fully-enabled telemetry under the ≤5 % decode-overhead
+  budget enforced by ``benchmarks/bench_obs_overhead.py``.
 * **Nesting via contextvars.** Span depth lives in a
   :class:`contextvars.ContextVar`, so nesting is correct across
   threads and ``asyncio`` tasks without locks on the hot path.
@@ -14,6 +21,15 @@ Design constraints (see ``docs/observability.md``):
   :class:`TraceEvent` rows; :mod:`repro.obs.export` turns them into
   Chrome ``trace_event`` JSON or a JSONL log, and
   :mod:`repro.obs.metrics` into a percentile summary.
+* **Cross-process propagation.** A :class:`TraceContext` captured in
+  the parent ships the *enabled* flags and the parent's clock epoch to
+  Monte Carlo shard workers (it rides in
+  :class:`~repro.mimo.parallel_mc.ShardSpec`). Workers build their own
+  tracer against that epoch (``perf_counter`` is CLOCK_MONOTONIC on
+  Linux — system-wide, so timestamps stay comparable), stamp events
+  with their OS pid, and :meth:`Tracer.drain` / :meth:`Tracer.absorb`
+  move the buffers back through the existing progress queue. The
+  merged trace renders one lane per worker process.
 
 Usage::
 
@@ -29,11 +45,15 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import perf_counter as _perf_counter
 from contextvars import ContextVar
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, NamedTuple
 
 from repro.util.timing import WallClock
+from repro.util.validation import check_positive_int
+
+_get_ident = threading.get_ident
 
 #: Event phases, mirroring the Chrome trace_event vocabulary.
 PHASE_SPAN = "span"
@@ -41,13 +61,16 @@ PHASE_INSTANT = "instant"
 PHASE_COUNTER = "counter"
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One recorded event (a completed span, an instant, or a count).
 
     ``ts`` and ``dur`` are seconds relative to the tracer's epoch (its
     construction, or the last :meth:`Tracer.clear`). ``depth`` is the
-    span-nesting depth at emission; ``tid`` the OS thread ident.
+    span-nesting depth at emission; ``tid`` the OS thread ident;
+    ``pid`` the *origin process* (0 = the process that owns the tracer,
+    a real OS pid for events absorbed from shard workers). A
+    ``NamedTuple`` rather than a frozen dataclass: events are built on
+    hot paths and tuple construction is several times cheaper.
     """
 
     phase: str
@@ -58,6 +81,7 @@ class TraceEvent:
     tid: int = 0
     value: float = 0.0
     args: Mapping[str, Any] | None = None
+    pid: int = 0
 
 
 class Span:
@@ -82,11 +106,12 @@ class Span:
         return self
 
     def __exit__(self, *exc: object) -> None:
-        end = self._tracer._now()
+        tracer = self._tracer
+        end = tracer._now()
         depth = _DEPTH.get()
         _DEPTH.reset(self._token)
         start = self._start if self._start is not None else end
-        self._tracer._record(
+        tracer._record(
             TraceEvent(
                 phase=PHASE_SPAN,
                 name=self.name,
@@ -95,6 +120,7 @@ class Span:
                 depth=depth,
                 tid=threading.get_ident(),
                 args=self.args,
+                pid=tracer.pid,
             )
         )
 
@@ -145,22 +171,86 @@ class Tracer:
         when nothing was installed.
     clock:
         Injectable monotonic clock (deterministic tests).
+    epoch:
+        Absolute clock reading to measure timestamps from. ``None``
+        (default) takes the clock's *now*; shard workers pass the
+        parent's epoch (via :class:`TraceContext`) so their events land
+        on the parent's timeline.
+    pid:
+        Origin-process stamp for every event this tracer records.
+        ``0`` means "the owning process" (the exporter maps it to the
+        primary lane); workers pass ``os.getpid()``.
+    mark_stride:
+        Sampling stride for *single-node* expansion marks. DFS expands
+        one node per GEMM batch, emitting hundreds of ``sd.batch``
+        instants per frame; recording every one costs more decode time
+        than the whole rest of the stack and produces unreadable
+        traces. Hot paths that honour the stride (the traversal expand
+        hook) record every ``mark_stride``-th single-node mark and
+        every pooled (``pool > 1``) mark. Exact expansion counts are
+        unaffected — they live in the metrics registry and in
+        ``DecodeStats``; marks are timeline *samples*. ``1`` records
+        everything.
     """
 
-    def __init__(self, *, enabled: bool = True, clock: WallClock | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        clock: WallClock | None = None,
+        epoch: float | None = None,
+        pid: int = 0,
+        mark_stride: int = 16,
+    ) -> None:
         self.enabled = enabled
+        self.mark_stride = check_positive_int(mark_stride, "mark_stride")
         self._clock = clock or WallClock()
-        self._epoch = self._clock.now()
-        self.events: list[TraceEvent] = []
+        # One bound call per mark(): the default WallClock is a pure
+        # perf_counter wrapper, so the hot path skips the wrapper frame.
+        self._mark_now = _perf_counter if clock is None else self._clock.now
+        self._epoch = self._clock.now() if epoch is None else float(epoch)
+        self.pid = pid
+        self._events: list[TraceEvent] = []
+        #: Deferred :meth:`mark` rows: ``(name, ts, tid, level, pool)``.
+        self._marks: list[tuple[str, float, int, int, int]] = []
         self.counters: dict[str, float] = {}
+        #: Counter totals already shipped by :meth:`drain`.
+        self._drained_counters: dict[str, float] = {}
 
     # -- recording ------------------------------------------------------
 
     def _now(self) -> float:
         return self._clock.now() - self._epoch
 
+    def _materialize(self) -> None:
+        """Turn deferred :meth:`mark` rows into real instant events."""
+        marks, self._marks = self._marks, []
+        append = self._events.append
+        pid = self.pid
+        for name, ts, tid, level, pool in marks:
+            append(
+                TraceEvent(
+                    phase=PHASE_INSTANT,
+                    name=name,
+                    ts=ts,
+                    tid=tid,
+                    args={"level": level, "pool": pool},
+                    pid=pid,
+                )
+            )
+
     def _record(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        # Deliberately does NOT materialise pending marks: span exits
+        # land inside the decode hot loop, and the exporters ts-sort
+        # anyway, so mark conversion can wait for the first inspection.
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All recorded events, in emission order (marks materialised)."""
+        if self._marks:
+            self._materialize()
+        return self._events
 
     def span(self, name: str, **args: Any):
         """A context manager timing one named region.
@@ -185,8 +275,42 @@ class Tracer:
                 depth=_DEPTH.get(),
                 tid=threading.get_ident(),
                 args=args or None,
+                pid=self.pid,
             )
         )
+
+    def mark(self, name: str, level: int, pool: int) -> None:
+        """Deferred instant for per-expansion hot paths.
+
+        Semantically ``instant(name, level=..., pool=...)`` but built
+        from one raw tuple append — no kwargs dict, no event object, no
+        depth lookup — and materialised lazily. The traversal engine
+        calls this once per GEMM batch (tens of thousands of times per
+        sweep); the full ``instant`` path there is what used to push
+        enabled-tracer overhead past the CI budget.
+        """
+        if not self.enabled:
+            return
+        self._marks.append(
+            (name, self._mark_now() - self._epoch, _get_ident(), level, pool)
+        )
+
+    def mark_bindings(self):
+        """Raw pieces of the :meth:`mark` fast path, or ``None`` when off.
+
+        Returns ``(append, now, epoch, tid)`` — the mark-buffer append,
+        the mark clock, the epoch offset and the *calling thread's*
+        ident — so a hot-path caller can fuse
+        ``append((name, now() - epoch, tid, level, pool))`` into its own
+        prebound closure: every per-call attribute lookup and the extra
+        call frame of :meth:`mark` paid once per solve instead of tens
+        of thousands of times per sweep. Rebind per solve (a
+        :meth:`clear` swaps the buffer, and the thread ident is frozen
+        at binding time).
+        """
+        if not self.enabled:
+            return None
+        return self._marks.append, self._mark_now, self._epoch, _get_ident()
 
     def count(self, name: str, value: float = 1.0) -> None:
         """Accumulate a named counter and record the running total."""
@@ -201,12 +325,59 @@ class Tracer:
                 ts=self._now(),
                 tid=threading.get_ident(),
                 value=total,
+                pid=self.pid,
             )
         )
 
     def counter(self, name: str) -> Counter:
         """A bound :class:`Counter` handle for repeated increments."""
         return Counter(self, name)
+
+    # -- cross-process propagation --------------------------------------
+
+    def drain(self) -> tuple[list[TraceEvent], dict[str, float]]:
+        """Pop buffered events plus counter *deltas* since the last drain.
+
+        The worker-side half of shard telemetry: called after every
+        channel block (and from the crash path, so a dying shard still
+        ships its partial trace), the returned pair is small enough to
+        ride the existing Manager progress queue. Counter deltas — not
+        totals — keep parent-side :meth:`absorb` merges exact no matter
+        how many flushes a shard makes.
+        """
+        if self._marks:
+            self._materialize()
+        events, self._events = self._events, []
+        deltas: dict[str, float] = {}
+        for name, total in self.counters.items():
+            delta = total - self._drained_counters.get(name, 0.0)
+            if delta:
+                deltas[name] = delta
+            self._drained_counters[name] = total
+        return events, deltas
+
+    def absorb(
+        self,
+        events: Iterable[TraceEvent],
+        counters: Mapping[str, float] | None = None,
+    ) -> None:
+        """Fold a worker's drained events and counter deltas into this
+        tracer.
+
+        Events are appended as-is (they already carry the worker's
+        ``pid`` stamp and share this tracer's epoch — see
+        :class:`TraceContext`); counter deltas add into this tracer's
+        totals *without* re-emitting counter events, since the worker's
+        own counter events are in ``events`` and render on its lane.
+        """
+        if not self.enabled:
+            return
+        if self._marks:
+            self._materialize()
+        self._events.extend(events)
+        if counters:
+            for name, delta in counters.items():
+                self.counters[name] = self.counters.get(name, 0.0) + delta
 
     # -- inspection ------------------------------------------------------
 
@@ -228,8 +399,10 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all recorded events/counters and restart the epoch."""
-        self.events = []
+        self._events = []
+        self._marks = []
         self.counters = {}
+        self._drained_counters = {}
         self._epoch = self._clock.now()
 
 
@@ -263,3 +436,48 @@ def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
         yield tracer
     finally:
         reset_tracer(token)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Telemetry propagation record carried across process boundaries.
+
+    Contextvars don't cross processes, so the parent captures *what is
+    observed* (trace / metrics enabled) plus its tracer's absolute
+    clock epoch, and ships this frozen record inside every
+    :class:`~repro.mimo.parallel_mc.ShardSpec`. Workers rebuild a
+    :class:`Tracer` (same epoch, own pid) and a
+    :class:`~repro.obs.metrics.MetricsRegistry` from it, so their
+    events land directly on the parent's timeline and their metric
+    snapshots merge exactly.
+
+    ``time.perf_counter`` is CLOCK_MONOTONIC on Linux (and QPC on
+    Windows) — a system-wide clock, so a shared epoch yields aligned
+    cross-process timestamps. On platforms where it is per-process the
+    lanes still render; only their relative offset is approximate.
+    """
+
+    trace_enabled: bool = False
+    metrics_enabled: bool = False
+    #: Parent tracer's absolute ``perf_counter`` epoch.
+    epoch: float = 0.0
+
+    @classmethod
+    def capture(cls) -> "TraceContext | None":
+        """The ambient observability state, or None when nothing is on."""
+        from repro.obs.metrics import current_metrics
+
+        tracer = current_tracer()
+        metrics = current_metrics()
+        if not tracer.enabled and not metrics.enabled:
+            return None
+        return cls(
+            trace_enabled=tracer.enabled,
+            metrics_enabled=metrics.enabled,
+            epoch=tracer._epoch if tracer.enabled else 0.0,
+        )
+
+    @property
+    def observed(self) -> bool:
+        """Whether anything at all is being collected."""
+        return self.trace_enabled or self.metrics_enabled

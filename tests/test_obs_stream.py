@@ -1,0 +1,208 @@
+"""The live metrics stream: throttled writer, readers, and renderers.
+
+The stream is the contract between a recorded run and ``obs tail`` /
+``obs top``: cumulative snapshot lines, a strict reader for finished
+runs (exit 2 on empty/truncated), and a tolerant ``tail -f`` follower
+that treats a partial last line as "not flushed yet".
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import (
+    MetricsStreamWriter,
+    follow_stream,
+    format_stream_line,
+    format_top,
+    read_stream,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestWriter:
+    def test_maybe_write_throttles_by_interval(self, tmp_path):
+        clock = FakeClock()
+        w = MetricsStreamWriter(
+            tmp_path / "s.jsonl", interval_s=1.0, clock=clock
+        )
+        m = MetricsRegistry()
+        m.counter("mc.frames").inc(1)
+        assert w.maybe_write(m)  # first write is always due
+        clock.t = 0.4
+        assert not w.maybe_write(m)
+        clock.t = 0.9
+        assert not w.maybe_write(m)
+        clock.t = 1.1
+        assert w.maybe_write(m)
+        assert w.lines_written == 2
+
+    def test_write_bypasses_throttle_and_appends_snapshots(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "nested" / "s.jsonl"  # parent dir is created
+        w = MetricsStreamWriter(path, interval_s=60.0, clock=clock)
+        m = MetricsRegistry()
+        m.counter("mc.frames").inc(3, snr="8")
+        w.write(m)
+        m.counter("mc.frames").inc(2, snr="8")
+        w.write(m)
+        docs = read_stream(path)
+        # Cumulative, not deltas: the second line holds the running total.
+        assert docs[0]["counters"]["mc.frames{snr=8}"] == 3
+        assert docs[1]["counters"]["mc.frames{snr=8}"] == 5
+
+
+class TestReadStream:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no metrics stream"):
+            read_stream(tmp_path / "absent.jsonl")
+
+    def test_empty_stream_raises_value_error(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_stream(path)
+
+    def test_truncated_line_names_the_line_number(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"t": 1.0}) + "\n" + '{"t": 2.0, "cou')
+        with pytest.raises(ValueError, match="line 2"):
+            read_stream(path)
+
+    def test_non_object_line_is_rejected(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not a snapshot"):
+            read_stream(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"t": 1.0}\n\n{"t": 2.0}\n')
+        assert [d["t"] for d in read_stream(path)] == [1.0, 2.0]
+
+
+class TestFollowStream:
+    def test_yields_lines_appended_between_polls(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"t": 1}\n')
+        polls = {"n": 0}
+
+        def sleep(_):
+            polls["n"] += 1
+            if polls["n"] == 1:
+                with path.open("a") as fh:
+                    fh.write('{"t": 2}\n')
+
+        docs = list(
+            follow_stream(path, stop=lambda: polls["n"] >= 2, sleep=sleep)
+        )
+        assert [d["t"] for d in docs] == [1, 2]
+
+    def test_partial_last_line_waits_for_the_writer(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        full = '{"t": 7}'
+        path.write_text(full[:4])  # writer died mid-line... or not yet done
+        polls = {"n": 0}
+
+        def sleep(_):
+            polls["n"] += 1
+            with path.open("a") as fh:
+                fh.write(full[4:] + "\n")
+
+        docs = list(
+            follow_stream(path, stop=lambda: polls["n"] >= 1, sleep=sleep)
+        )
+        assert docs == [{"t": 7}]
+
+    def test_file_may_not_exist_yet(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        polls = {"n": 0}
+
+        def sleep(_):
+            polls["n"] += 1
+            path.write_text('{"t": 3}\n')
+
+        docs = list(
+            follow_stream(path, stop=lambda: polls["n"] >= 1, sleep=sleep)
+        )
+        assert docs == [{"t": 3}]
+
+    def test_malformed_complete_line_is_skipped_while_live(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('not json\n{"t": 4}\n')
+        docs = list(follow_stream(path, stop=lambda: True, sleep=lambda _: None))
+        assert docs == [{"t": 4}]
+
+
+def _doc(t, frames, nodes, *, bits=0, errors=0, decode_s=0.0, shards=None):
+    counters = {
+        "mc.frames{snr=8}": frames,
+        "mc.nodes_expanded": nodes,
+    }
+    if bits:
+        counters["mc.bits"] = bits
+        counters["mc.bit_errors"] = errors
+    if decode_s:
+        counters["mc.decode_seconds"] = decode_s
+    gauges = {}
+    for sid, (done, total) in (shards or {}).items():
+        gauges[f"mc.shard.blocks_done{{shard={sid}}}"] = [done, t]
+        gauges[f"mc.shard.blocks_total{{shard={sid}}}"] = [total, t]
+    return {"t": t, "counters": counters, "gauges": gauges}
+
+
+class TestRenderers:
+    def test_stream_line_shows_totals_and_rates(self):
+        prev = _doc(100.0, frames=100, nodes=10_000)
+        cur = _doc(102.0, frames=300, nodes=60_000, bits=1200, errors=6)
+        line = format_stream_line(cur, prev)
+        assert "100.0 fr/s" in line  # (300-100)/2s
+        assert "25.0k" in line  # (60000-10000)/2 nodes/s, humanised
+        assert "frames" in line and "300" in line
+        assert "ber 0.005" in line
+
+    def test_stream_line_without_prev_has_no_rates(self):
+        line = format_stream_line(_doc(5.0, frames=10, nodes=100))
+        assert "fr/s" not in line
+
+    def test_stream_line_counts_finished_shards(self):
+        doc = _doc(
+            1.0, frames=1, nodes=1, shards={"0": (10, 10), "1": (4, 10)}
+        )
+        assert "shards 1/2" in format_stream_line(doc)
+
+    def test_top_renders_totals_rates_and_shard_lag(self):
+        docs = [
+            _doc(10.0, frames=100, nodes=10_000),
+            _doc(
+                12.0,
+                frames=300,
+                nodes=60_000,
+                bits=1200,
+                errors=6,
+                decode_s=4.0,
+                shards={"0": (10, 10), "1": (5, 10)},
+            ),
+        ]
+        out = format_top(docs, run="2026-08-08T00-00-00")
+        assert "run 2026-08-08T00-00-00" in out
+        assert "2 snapshot(s)" in out
+        assert "100.0/s" in out  # frame rate from the last two lines
+        assert "0.005" in out  # ber
+        assert "75.0 fr/s avg" in out  # 300 frames / 4.0 decode-s
+        # Shard 1 trails the leader by 5 of its 10 blocks.
+        assert "5.0 blocks" in out
+        assert "0.0 blocks" in out
+
+    def test_top_with_no_snapshots(self):
+        assert format_top([]) == "(no snapshots)"

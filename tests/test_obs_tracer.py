@@ -161,6 +161,58 @@ class TestAmbientTracer:
         assert current_tracer() is NULL_TRACER
 
 
+class TestMarkSampling:
+    def test_mark_bindings_none_when_disabled(self):
+        assert Tracer(enabled=False).mark_bindings() is None
+
+    def test_mark_bindings_append_lands_as_instant(self):
+        tracer = Tracer(clock=FakeClock())
+        append, now, epoch, tid = tracer.mark_bindings()
+        append(("sd.batch", now() - epoch, tid, 3, 8))
+        (event,) = tracer.events
+        assert event.phase == PHASE_INSTANT
+        assert event.name == "sd.batch"
+        assert event.args == {"level": 3, "pool": 8}
+        assert event.tid == tid
+
+    def test_mark_stride_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(mark_stride=0)
+        with pytest.raises(TypeError):
+            Tracer(mark_stride=2.5)
+
+    def test_dfs_marks_stride_sampled(self):
+        """stride=1 records one mark per expansion; stride=s samples
+        every s-th (first always records), never losing exact counts."""
+        from repro.detectors.sphere import SphereDecoder
+        from repro.mimo.system import MIMOSystem
+
+        system = MIMOSystem(6, 6, "4qam")
+        frame = system.random_frame(8.0, np.random.default_rng(3))
+
+        def decode(stride):
+            decoder = SphereDecoder(system.constellation, strategy="dfs")
+            decoder.prepare(frame.channel, noise_var=frame.noise_var)
+            with use_tracer(Tracer(mark_stride=stride)) as tracer:
+                result = decoder.detect(frame.received)
+            marks = [
+                e
+                for e in tracer.events
+                if e.phase == PHASE_INSTANT and e.name == "sd.batch"
+            ]
+            return marks, result.stats
+
+        full, stats = decode(1)
+        assert len(full) == stats.gemm_calls  # every expansion marked
+        assert stats.gemm_calls > 16
+        sampled, stats2 = decode(16)
+        # DFS expands single nodes, one solve per detect: exactly
+        # ceil(n / stride) marks survive sampling.
+        assert len(sampled) == -(-stats.gemm_calls // 16)
+        # Sampling never perturbs the search or its exact statistics.
+        assert stats2.nodes_expanded == stats.nodes_expanded
+
+
 class TestDecoderIntegration:
     def make_frame(self, seed=0):
         from repro.mimo.system import MIMOSystem

@@ -173,13 +173,15 @@ class TestHeartbeatUnderSharding:
             _engine(workers=2, heartbeat_every=1).run(SdFactory(4), [8.0])
         beats = [e for e in tracer.events if e.name == "mc.heartbeat"]
         assert len(beats) == 6  # one per channel block
+        shard_ids = {s.shard_id for s in plan_shards([8.0], 0, 6, workers=2)}
         for beat in beats:
             assert set(beat.args) == {
                 "snr_db", "blocks_done", "blocks_total", "frames",
-                "ber", "nodes_per_s", "eta_s", "workers",
+                "ber", "nodes_per_s", "eta_s", "workers", "shard",
             }
             assert beat.args["workers"] == 2
             assert beat.args["blocks_total"] == 6
+            assert beat.args["shard"] in shard_ids
         assert sorted(b.args["blocks_done"] for b in beats) == [1, 2, 3, 4, 5, 6]
 
     def test_heartbeat_every_thinning(self):

@@ -251,22 +251,32 @@ def main(argv=None) -> int:
         "frames_per_channel": args.frames,
         "seed": args.seed,
     }
-    from repro.obs import RunRegistry, Tracer, use_tracer
+    from repro.obs import (
+        MetricsRegistry,
+        RunRegistry,
+        Tracer,
+        use_metrics,
+        use_tracer,
+    )
 
     recorder = RunRegistry(args.runs_dir).new_run(
         "smoke", seed=args.seed, config=config
     )
     tracer = Tracer(enabled=recorder.enabled)
-    with use_tracer(tracer):
+    metrics = MetricsRegistry(enabled=recorder.enabled)
+    metrics.stream = recorder.stream_writer()
+    with use_tracer(tracer), use_metrics(metrics):
         current, series = collect_metrics(
             channels=args.channels,
             frames_per_channel=args.frames,
             seed=args.seed,
             workers=args.workers,
         )
+    metrics.tick(force=True)
     print(series.format())
     recorder.record_series(series)
-    recorder.record_metrics(tracer)
+    recorder.record_metrics(tracer, metrics)
+    recorder.record_trace(tracer)
     recorder.finalize()
 
     if args.trajectory is not None:
