@@ -15,10 +15,18 @@ individual bench modules:
 ``--obs-runs DIR``
     Record each bench into the persistent run registry under ``DIR``:
     one ``runs``-style directory per bench with manifest, span/counter
-    metrics and the full Chrome trace. Compare recordings later with
-    ``repro-sd runs diff`` (see ``docs/observability.md``).
+    metrics, the full Chrome trace and the span profile
+    (``profile.json``). Compare recordings later with
+    ``repro-sd runs diff`` / ``repro-sd profile diff`` (see
+    ``docs/observability.md``).
+``--obs-flame DIR``
+    Export per-bench flamegraphs: ``DIR/<bench>.collapsed.txt``
+    (collapsed-stack, ``flamegraph.pl`` input) and
+    ``DIR/<bench>.speedscope.json`` (drag onto
+    https://www.speedscope.app) built from the span call-tree's
+    self-times.
 
-All three are implemented by :func:`repro.bench.harness.observe_bench`.
+All four are implemented by :func:`repro.bench.harness.observe_bench`.
 """
 
 from __future__ import annotations
@@ -47,8 +55,16 @@ def pytest_addoption(parser):
         action="store",
         default=None,
         metavar="DIR",
-        help="record each bench (manifest + metrics + trace) into the "
-        "run registry under DIR",
+        help="record each bench (manifest + metrics + trace + span "
+        "profile) into the run registry under DIR",
+    )
+    group.addoption(
+        "--obs-flame",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="write per-bench flamegraphs (collapsed-stack + speedscope "
+        "JSON) under DIR",
     )
 
 
@@ -60,12 +76,17 @@ def _bench_observability(request, capsys):
     trace = request.config.getoption("--obs-trace")
     metrics = request.config.getoption("--metrics")
     runs_dir = request.config.getoption("--obs-runs")
-    if trace is None and not metrics and runs_dir is None:
+    flame = request.config.getoption("--obs-flame")
+    if trace is None and not metrics and runs_dir is None and flame is None:
         yield
         return
     # Print even without `-s`, matching the bench tables themselves.
     with capsys.disabled():
         with observe_bench(
-            request.node.name, trace=trace, metrics=metrics, runs_dir=runs_dir
+            request.node.name,
+            trace=trace,
+            metrics=metrics,
+            runs_dir=runs_dir,
+            flame=flame,
         ):
             yield

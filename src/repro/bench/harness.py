@@ -263,6 +263,7 @@ def observe_bench(
     trace: str | Path | None = None,
     metrics: bool = False,
     runs_dir: str | Path | None = None,
+    flame: str | Path | None = None,
     seed: int | None = None,
     config: dict | None = None,
 ) -> Iterator[Tracer | None]:
@@ -272,12 +273,14 @@ def observe_bench(
     when any output was requested (otherwise a no-op that yields
     ``None``). On exit writes the Chrome trace to
     :func:`resolve_trace_path`, prints the aligned metrics summary,
-    and/or records a registry run (manifest + metrics + trace) under
-    ``runs_dir``. ``benchmarks/conftest.py`` wires this behind every
-    ``bench_*.py`` via the ``--obs-trace``/``--metrics``/``--obs-runs``
-    pytest options.
+    writes flamegraph exports (``flame`` is a directory receiving
+    ``<name>.collapsed.txt`` + ``<name>.speedscope.json``), and/or
+    records a registry run (manifest + metrics + trace + span profile)
+    under ``runs_dir``. ``benchmarks/conftest.py`` wires this behind
+    every ``bench_*.py`` via the ``--obs-trace``/``--metrics``/
+    ``--obs-runs``/``--obs-flame`` pytest options.
     """
-    if trace is None and not metrics and runs_dir is None:
+    if trace is None and not metrics and runs_dir is None and flame is None:
         yield None
         return
     tracer = Tracer()
@@ -291,9 +294,24 @@ def observe_bench(
         raise
     finally:
         export_observations(tracer, name, trace=trace, metrics=metrics)
+        if flame is not None:
+            from repro.obs.profile import (
+                build_profile_tree,
+                write_collapsed,
+                write_speedscope,
+            )
+
+            tree = build_profile_tree(tracer.events)
+            base = Path(flame)
+            collapsed = write_collapsed(tree, base / f"{name}.collapsed.txt")
+            speedscope = write_speedscope(
+                tree, base / f"{name}.speedscope.json", name=name
+            )
+            print(f"[obs] flamegraphs written: {collapsed}, {speedscope}")
         if recorder.enabled:
             recorder.record_metrics(tracer)
             recorder.record_trace(tracer)
+            recorder.record_profile(tracer)
             path = recorder.finalize(status)
             print(f"[obs] run recorded: {path}")
 

@@ -24,6 +24,15 @@ Subcommands
 ``stats``
     Replay an experiment under the tracer and print the metrics
     summary (span percentiles + counters).
+``profile``
+    Performance attribution (see ``docs/observability.md`` §7):
+    ``profile run`` executes an experiment under the tracer with
+    cProfile scoped to spans and prints the self/total-time call-tree
+    plus per-span function hotspots (optionally recording the run and
+    writing flamegraph artifacts); ``profile flame`` exports a
+    recorded run's tree as collapsed-stack / speedscope flamegraphs;
+    ``profile diff A B`` ranks per-span Δself-time between two
+    recorded runs so a perf regression names its culprit span.
 ``runs``
     Inspect the persistent run registry: ``runs list``, ``runs show``,
     ``runs diff A B`` (per-SNR comparison tables) and ``runs report``
@@ -258,6 +267,122 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarise a saved JSONL event log instead of running "
         "an experiment",
     )
+    st.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the span/counter summary as machine-readable "
+        "JSON to PATH ('-' for stdout), mirroring bench_kernels.py "
+        "--json",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="performance attribution: span self-time trees, "
+        "flamegraphs and run-to-run perf diffs",
+    )
+    prof.add_argument(
+        "--dir",
+        dest="runs_dir",
+        default="runs",
+        metavar="DIR",
+        help="run-registry root (default: runs/)",
+    )
+    prof_sub = prof.add_subparsers(dest="profile_command", required=True)
+    prun = prof_sub.add_parser(
+        "run",
+        help="run an experiment under span-scoped cProfile and print "
+        "the self/total-time attribution",
+    )
+    prun.add_argument(
+        "name", nargs="?", default="smoke", help="experiment id (see `list`)"
+    )
+    prun.add_argument("--channels", type=int, default=None)
+    prun.add_argument("--frames", type=int, default=None)
+    prun.add_argument("--seed", type=int, default=2023)
+    prun.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="functions per span in the hotspot tables (default: 10)",
+    )
+    prun.add_argument(
+        "--out",
+        default=None,
+        metavar="BASE",
+        help="write BASE.profile.json, BASE.collapsed.txt and "
+        "BASE.speedscope.json",
+    )
+    prun.add_argument(
+        "--record",
+        action="store_true",
+        help="persist the profiled run (manifest, series, metrics, "
+        "trace, profile) to the run registry",
+    )
+    prun.add_argument(
+        "--by",
+        action="append",
+        default=None,
+        metavar="ARG",
+        help="split the attribution by a span argument (repeatable): "
+        "--by snr_db gives per-SNR subtrees (mc.point[snr_db=8]), "
+        "--by level per-BFS-level ones",
+    )
+    pflame = prof_sub.add_parser(
+        "flame",
+        help="export a recorded run's span tree as flamegraph files",
+    )
+    pflame.add_argument("run", help="run id, unique prefix, latest[~N], or path")
+    pflame.add_argument(
+        "--out",
+        default=None,
+        metavar="BASE",
+        help="output base path (default: artifacts/flame/<run id>); "
+        "writes BASE.collapsed.txt and/or BASE.speedscope.json",
+    )
+    pflame.add_argument(
+        "--format",
+        choices=("collapsed", "speedscope", "both"),
+        default="both",
+        help="which flamegraph format(s) to write (default: both)",
+    )
+    pdiff = prof_sub.add_parser(
+        "diff",
+        help="ranked per-span Δself-time between two recorded runs",
+    )
+    pdiff.add_argument("run_a", help="base run (id, prefix, latest[~N], path)")
+    pdiff.add_argument("run_b", help="compared run")
+    pdiff.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N largest movements",
+    )
+    pdiff.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any span regressed beyond the thresholds "
+        "(CI self-diff gate)",
+    )
+    pdiff.add_argument(
+        "--min-delta-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="with --check: ignore regressions smaller than MS "
+        "milliseconds (default: 0)",
+    )
+    pdiff.add_argument(
+        "--min-pct",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="with --check: ignore regressions below PCT%% of the base "
+        "run's wall (default: 0)",
+    )
 
     obs = sub.add_parser(
         "obs",
@@ -408,12 +533,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             metrics.tick(force=True)
             recorder.record_metrics(tracer, metrics)
             recorder.record_trace(tracer)
+            recorder.record_profile(tracer)
             recorder.finalize("failed")
             raise
         metrics.tick(force=True)
         recorder.record_series(result)
         recorder.record_metrics(tracer, metrics)
         recorder.record_trace(tracer)
+        recorder.record_profile(tracer)
         path = recorder.finalize()
         print(result.format())
         print(f"[obs] run recorded: {path}")
@@ -602,6 +729,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_json(tracer, source: str) -> dict:
+    """Machine-readable span/counter summary (`stats --json`).
+
+    Mirrors ``benchmarks/bench_kernels.py --json``: a single JSON
+    document another tool can diff or plot — per-span count/total/
+    percentiles in seconds, final counter values, and derived
+    nodes-per-second rates.
+    """
+    from repro.obs import traversal_rates
+    from repro.obs.registry import metrics_to_dict
+
+    doc: dict = {"schema": 1, "source": source}
+    doc.update(metrics_to_dict(tracer))
+    doc["rates"] = traversal_rates(tracer)
+    return doc
+
+
+def _emit_stats_json(tracer, source: str, target: str) -> None:
+    import json as _json
+    from pathlib import Path
+
+    doc = _stats_json(tracer, source)
+    if target == "-":
+        print(_json.dumps(doc, indent=1))
+        return
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_json.dumps(doc, indent=1) + "\n")
+    print(f"JSON summary written to {path}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.bench.experiments import EXPERIMENTS
     from repro.obs import Tracer, format_metrics, use_tracer, write_chrome_trace
@@ -610,7 +768,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         from repro.obs import read_jsonl, tracer_from_events
 
         tracer = tracer_from_events(read_jsonl(args.from_jsonl))
-        print(format_metrics(tracer, title=f"metrics: {args.from_jsonl}"))
+        if args.json_out == "-":
+            _emit_stats_json(tracer, args.from_jsonl, args.json_out)
+        else:
+            print(format_metrics(tracer, title=f"metrics: {args.from_jsonl}"))
+            if args.json_out:
+                _emit_stats_json(tracer, args.from_jsonl, args.json_out)
         if args.trace:
             path = write_chrome_trace(tracer, args.trace)
             print()
@@ -634,9 +797,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     tracer = Tracer()
     with use_tracer(tracer):
         result = fn(**kwargs)
-    print(result.format())
-    print()
-    print(format_metrics(tracer, title=f"metrics: {args.name}"))
+    if args.json_out == "-":
+        _emit_stats_json(tracer, args.name, args.json_out)
+    else:
+        print(result.format())
+        print()
+        print(format_metrics(tracer, title=f"metrics: {args.name}"))
+        if args.json_out:
+            _emit_stats_json(tracer, args.name, args.json_out)
     if args.trace:
         from repro.bench.harness import resolve_trace_path
 
@@ -646,6 +814,117 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(f"Chrome trace written to {path}")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.profile import (
+        diff_profiles,
+        format_profile,
+        format_profile_diff,
+        load_profile,
+        profile_experiment,
+        write_collapsed,
+        write_speedscope,
+    )
+
+    if args.profile_command == "run":
+        result = profile_experiment(
+            args.name,
+            channels=args.channels,
+            frames_per_channel=args.frames,
+            seed=args.seed,
+            functions_top=args.top,
+            label_args=tuple(args.by or ()),
+        )
+        tree = result.tree
+        print(
+            format_profile(
+                tree, title=f"profile: {args.name}", functions_top=args.top
+            )
+        )
+        if args.out:
+            base = Path(args.out)
+            base.parent.mkdir(parents=True, exist_ok=True)
+            profile_path = base.with_suffix(".profile.json")
+            profile_path.write_text(_json_dumps(tree.to_dict()))
+            collapsed = write_collapsed(tree, base.with_suffix(".collapsed.txt"))
+            speedscope = write_speedscope(
+                tree, base.with_suffix(".speedscope.json"), name=args.name
+            )
+            print()
+            print(f"profile artifacts: {profile_path}, {collapsed}, {speedscope}")
+        if args.record:
+            from repro.obs import RunRegistry
+
+            recorder = RunRegistry(args.runs_dir).new_run(
+                args.name,
+                seed=args.seed,
+                config={"channels": args.channels, "frames": args.frames,
+                        "profiled": True},
+            )
+            if result.series is not None and hasattr(result.series, "columns"):
+                recorder.record_series(result.series)
+            recorder.record_metrics(result.tracer)
+            recorder.record_trace(result.tracer)
+            recorder.record_profile(tree)
+            path = recorder.finalize()
+            print(f"[obs] run recorded: {path}")
+        return 0
+
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(args.runs_dir)
+    if args.profile_command == "flame":
+        run_dir = registry.resolve(args.run)
+        tree = load_profile(run_dir)
+        base = Path(args.out) if args.out else Path("artifacts/flame") / run_dir.name
+        written = []
+        if args.format in ("collapsed", "both"):
+            written.append(write_collapsed(tree, base.with_suffix(".collapsed.txt")))
+        if args.format in ("speedscope", "both"):
+            written.append(
+                write_speedscope(
+                    tree, base.with_suffix(".speedscope.json"), name=run_dir.name
+                )
+            )
+        for path in written:
+            print(f"flamegraph written: {path}")
+        return 0
+    if args.profile_command == "diff":
+        dir_a = registry.resolve(args.run_a)
+        dir_b = registry.resolve(args.run_b)
+        diff = diff_profiles(load_profile(dir_a), load_profile(dir_b))
+        print(
+            format_profile_diff(
+                diff,
+                top=args.top,
+                title=f"profile diff {dir_a.name} -> {dir_b.name}",
+            )
+        )
+        if args.check:
+            regressed = diff.regressions(
+                min_delta_s=args.min_delta_ms * 1e-3, min_pct=args.min_pct
+            )
+            if regressed:
+                print(
+                    f"CHECK FAILED: {len(regressed)} span(s) regressed "
+                    "beyond thresholds",
+                    file=sys.stderr,
+                )
+                return 1
+            print("check OK: no span regressed beyond thresholds")
+        return 0
+    raise AssertionError(
+        f"unhandled profile command {args.profile_command}"
+    )  # pragma: no cover
+
+
+def _json_dumps(doc: dict) -> str:
+    import json
+
+    return json.dumps(doc, indent=1)
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -756,6 +1035,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "runs":
         return _cmd_runs(args)
     if args.command == "obs":

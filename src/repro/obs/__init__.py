@@ -26,6 +26,12 @@ Cooperating pieces (see ``docs/observability.md``):
     ``logging``-based diagnostics channel with a single
     :func:`~repro.obs.log.configure` entry point; the CLI's ``-v``/
     ``-q`` flags map onto it.
+``repro.obs.profile``
+    Performance attribution: fold a tracer's spans into a call-tree
+    with **self vs total time**, scope :mod:`cProfile` to spans
+    (:class:`SpanProfiler`), export collapsed-stack / speedscope
+    flamegraphs, and diff two recorded runs' per-span self-times
+    (``repro-sd profile run|flame|diff``).
 ``repro.obs.registry`` / ``repro.obs.report``
     Persistent run registry: every recorded harness / benchmark /
     ``repro-sd experiment`` invocation becomes a ``runs/<id>/``
@@ -47,6 +53,7 @@ Quickstart::
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
+    events_from_chrome,
     jsonl_lines,
     read_jsonl,
     tracer_from_events,
@@ -71,6 +78,25 @@ from repro.obs.metrics import (
     to_prometheus,
     traversal_rates,
     use_metrics,
+)
+from repro.obs.profile import (
+    ProfileDiff,
+    ProfileNode,
+    ProfileTree,
+    SpanProfiler,
+    build_profile_tree,
+    collapsed_stack_lines,
+    diff_profiles,
+    format_profile,
+    format_profile_diff,
+    load_profile,
+    parse_collapsed,
+    profile_callable,
+    profile_experiment,
+    self_by_name,
+    speedscope_document,
+    write_collapsed,
+    write_speedscope,
 )
 from repro.obs.registry import (
     NULL_RECORDER,
@@ -144,6 +170,24 @@ __all__ = [
     "counter_totals",
     "traversal_rates",
     "format_metrics",
+    "events_from_chrome",
+    "ProfileNode",
+    "ProfileTree",
+    "ProfileDiff",
+    "SpanProfiler",
+    "build_profile_tree",
+    "self_by_name",
+    "collapsed_stack_lines",
+    "parse_collapsed",
+    "speedscope_document",
+    "write_collapsed",
+    "write_speedscope",
+    "diff_profiles",
+    "format_profile",
+    "format_profile_diff",
+    "load_profile",
+    "profile_callable",
+    "profile_experiment",
     "RunRegistry",
     "RunRecorder",
     "RunManifest",

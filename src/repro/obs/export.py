@@ -220,6 +220,62 @@ def read_jsonl(path: str | Path) -> list[TraceEvent]:
     return events
 
 
+def events_from_chrome(doc: dict) -> list[TraceEvent]:
+    """Parse a Chrome ``trace_event`` document back into trace events.
+
+    The inverse of :func:`chrome_trace` for the phases the tracer emits:
+    complete spans (``ph: "X"``), instants (``"i"``) and counters
+    (``"C"``). Metadata rows (``"M"``) and unknown phases are skipped.
+    Timestamps come back in seconds; the exporter's synthetic main-lane
+    pid (:data:`TRACE_PID`) maps back to ``0``. This is what lets
+    ``repro-sd profile`` rebuild a span tree from a recorded run's
+    ``trace.json``. Raises :class:`ValueError` when the document has no
+    ``traceEvents`` list or no convertible events.
+    """
+    rows = doc.get("traceEvents")
+    if not isinstance(rows, list):
+        raise ValueError("not a Chrome trace document (no traceEvents list)")
+    events: list[TraceEvent] = []
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        ph = row.get("ph")
+        if ph not in ("X", "i", "C"):
+            continue
+        pid = int(row.get("pid", TRACE_PID))
+        base = {
+            "name": str(row.get("name", "")),
+            "ts": float(row.get("ts", 0.0)) / 1e6,
+            "tid": int(row.get("tid", 0)),
+            "pid": 0 if pid == TRACE_PID else pid,
+        }
+        if ph == "X":
+            events.append(
+                TraceEvent(
+                    phase=PHASE_SPAN,
+                    dur=float(row.get("dur", 0.0)) / 1e6,
+                    args=row.get("args"),
+                    **base,
+                )
+            )
+        elif ph == "i":
+            events.append(
+                TraceEvent(phase=PHASE_INSTANT, args=row.get("args"), **base)
+            )
+        else:
+            args = row.get("args") or {}
+            events.append(
+                TraceEvent(
+                    phase=PHASE_COUNTER,
+                    value=float(args.get(base["name"], 0.0)),
+                    **base,
+                )
+            )
+    if not events:
+        raise ValueError("Chrome trace document holds no convertible events")
+    return events
+
+
 def tracer_from_events(events: list[TraceEvent]) -> Tracer:
     """A disabled-for-recording tracer wrapping pre-recorded events.
 

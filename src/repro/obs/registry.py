@@ -64,6 +64,9 @@ SERIES_FILE = "series.json"
 SWEEP_FILE = "sweep.json"
 METRICS_FILE = "metrics.json"
 TRACE_FILE = "trace.json"
+#: Span call-tree with self/total times + function hotspots
+#: (see repro.obs.profile; rendered by `runs show` and `profile diff`).
+PROFILE_FILE = "profile.json"
 #: Live metrics stream (written during the run; see repro.obs.stream).
 STREAM_FILE = _STREAM_FILE
 
@@ -120,6 +123,9 @@ class RunManifest:
     config: dict[str, Any] = field(default_factory=dict)
     environment: dict[str, Any] = field(default_factory=dict)
     elapsed_s: float | None = None
+    #: Artifact file names the recorder wrote (stamped at finalize), so
+    #: readers can see what a run holds without listing its directory.
+    artifacts: list[str] = field(default_factory=list)
     schema: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
@@ -200,11 +206,13 @@ class RunRecorder:
         self.path = path
         self.manifest = manifest
         self._started = time.perf_counter()
+        self._artifacts: set[str] = set()
 
     def _write(self, name: str, payload: Mapping[str, Any]) -> None:
         assert self.path is not None
         self.path.mkdir(parents=True, exist_ok=True)
         (self.path / name).write_text(json.dumps(payload, indent=1))
+        self._artifacts.add(name)
 
     def record_series(self, series) -> None:
         """Record a :class:`SeriesResult` table as ``series.json``."""
@@ -258,6 +266,25 @@ class RunRecorder:
             return
         self._write(TRACE_FILE, chrome_trace(tracer))
 
+    def record_profile(self, tree_or_tracer) -> None:
+        """Record a span call-tree as ``profile.json``.
+
+        Accepts a ready :class:`~repro.obs.profile.ProfileTree` (duck-
+        typed on ``to_dict``) or a tracer whose span events are folded
+        into one on the spot — every recorded run can carry its own
+        perf attribution for ``repro-sd profile diff`` at no extra
+        runtime cost (the fold is a read-side pass over the buffer).
+        """
+        if not self.enabled:
+            return
+        if isinstance(tree_or_tracer, Tracer):
+            from repro.obs.profile import build_profile_tree
+
+            tree = build_profile_tree(tree_or_tracer.events)
+        else:
+            tree = tree_or_tracer
+        self._write(PROFILE_FILE, tree.to_dict())
+
     def finalize(self, status: str = "complete") -> Path | None:
         """Stamp the manifest (status + elapsed time); returns the run
         directory, or None for a disabled recorder."""
@@ -266,6 +293,9 @@ class RunRecorder:
         assert self.manifest is not None and self.path is not None
         self.manifest.status = status
         self.manifest.elapsed_s = time.perf_counter() - self._started
+        if (self.path / STREAM_FILE).is_file():
+            self._artifacts.add(STREAM_FILE)
+        self.manifest.artifacts = sorted(self._artifacts)
         self._write(MANIFEST_FILE, self.manifest.to_dict())
         _log.info("recorded run %s -> %s", self.manifest.run_id, self.path)
         return self.path

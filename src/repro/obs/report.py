@@ -18,6 +18,7 @@ from typing import Any, Iterable
 from repro.obs.registry import (
     MANIFEST_FILE,
     METRICS_FILE,
+    PROFILE_FILE,
     SERIES_FILE,
     SWEEP_FILE,
 )
@@ -32,6 +33,7 @@ class RunData:
     series: dict[str, Any] | None = None
     sweep: dict[str, Any] | None = None
     metrics: dict[str, Any] | None = None
+    profile: dict[str, Any] | None = None
 
     @property
     def run_id(self) -> str:
@@ -53,6 +55,7 @@ def load_run(path: str | Path) -> RunData:
         (SERIES_FILE, "series"),
         (SWEEP_FILE, "sweep"),
         (METRICS_FILE, "metrics"),
+        (PROFILE_FILE, "profile"),
     ):
         artifact = path / name
         if artifact.is_file():
@@ -197,7 +200,50 @@ def format_run(run: RunData, *, markdown: bool = False) -> str:
                 markdown=markdown,
             )
         )
+    hotspots = _hotspot_rows(run)
+    if hotspots:
+        lines.append("")
+        title = "hotspots (span self-time)"
+        lines.append(f"### {title}" if markdown else f"-- {title} --")
+        lines.append(
+            format_table(
+                ["span", "count", "total_ms", "self_ms", "self_pct"],
+                hotspots,
+                markdown=markdown,
+            )
+        )
     return "\n".join(lines)
+
+
+#: Rows shown in the per-run hotspot table (top spans by self-time).
+HOTSPOT_ROWS = 8
+
+
+def _hotspot_rows(run: RunData, *, top: int = HOTSPOT_ROWS) -> list[dict]:
+    """Top tree paths by self-time from the run's ``profile.json``.
+
+    The attribution view next to BER/latency: self-times sum to the
+    span-covered wall, so ``self_pct`` reads as "share of the run's
+    instrumented time". Empty when the run recorded no profile.
+    """
+    if run.profile is None:
+        return []
+    from repro.obs.profile import PATH_SEP, ProfileTree
+
+    tree = ProfileTree.from_dict(run.profile)
+    wall = tree.wall_s or 1.0
+    rows = [
+        {
+            "span": PATH_SEP.join(path),
+            "count": node.count,
+            "total_ms": 1e3 * node.total_s,
+            "self_ms": 1e3 * node.self_s,
+            "self_pct": 100.0 * node.self_s / wall,
+        }
+        for path, node in tree.walk()
+    ]
+    rows.sort(key=lambda r: r["self_ms"], reverse=True)
+    return rows[:top]
 
 
 # ----------------------------------------------------------------------

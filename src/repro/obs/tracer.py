@@ -101,6 +101,9 @@ class Span:
         self._token = None
 
     def __enter__(self) -> "Span":
+        hook = self._tracer.on_span_enter
+        if hook is not None:
+            hook(self.name)
         self._token = _DEPTH.set(_DEPTH.get() + 1)
         self._start = self._tracer._now()
         return self
@@ -108,6 +111,9 @@ class Span:
     def __exit__(self, *exc: object) -> None:
         tracer = self._tracer
         end = tracer._now()
+        hook = tracer.on_span_exit
+        if hook is not None:
+            hook(self.name)
         depth = _DEPTH.get()
         _DEPTH.reset(self._token)
         start = self._start if self._start is not None else end
@@ -204,6 +210,14 @@ class Tracer:
     ) -> None:
         self.enabled = enabled
         self.mark_stride = check_positive_int(mark_stride, "mark_stride")
+        #: Optional callables invoked with the span *name* at every span
+        #: boundary (enter fires before the start timestamp is taken,
+        #: exit after the end timestamp — hook cost never lands inside
+        #: the span it brackets). ``repro.obs.profile.SpanProfiler``
+        #: attaches here to scope cProfile capture to tracer spans; the
+        #: cost when unset is one attribute load + None check per span.
+        self.on_span_enter = None
+        self.on_span_exit = None
         self._clock = clock or WallClock()
         # One bound call per mark(): the default WallClock is a pure
         # perf_counter wrapper, so the hot path skips the wrapper frame.

@@ -174,3 +174,76 @@ class TestMainEndToEnd:
         assert len(dirs) == 1
         assert (dirs[0] / "series.json").is_file()
         assert (dirs[0] / "metrics.json").is_file()
+        assert (dirs[0] / "profile.json").is_file()
+        manifest = json.loads((dirs[0] / "manifest.json").read_text())
+        assert "profile.json" in manifest["artifacts"]
+
+
+class TestAttributionHint:
+    """The best-effort span-attribution hint under a failed gate."""
+
+    ARGS = ["--channels", "1", "--frames", "2", "--seed", "11"]
+
+    def _force_failure(self, baseline):
+        """Halve every baseline metric so the next run looks 2x slower."""
+        doc = json.loads(baseline.read_text())
+        for name in doc["metrics"]:
+            doc["metrics"][name] *= 0.5
+        # keep rate metrics from masking: they regress downward, and the
+        # halved baseline makes the current run look *faster* there
+        baseline.write_text(json.dumps(doc))
+
+    def test_hint_diffs_against_previous_recorded_run(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        runs = tmp_path / "runs"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update",
+                 "--runs-dir", str(runs)])
+        self._force_failure(baseline)
+        code = cr.main([*self.ARGS, "--baseline", str(baseline),
+                        "--runs-dir", str(runs)])
+        assert code == 1  # hint never changes the exit code
+        out = capsys.readouterr().out
+        assert "attribution hint (span self-time vs run " in out
+        # at most 3 spans, each with an absolute delta in ms
+        hint_lines = out.split("attribution hint", 1)[1].splitlines()[1:]
+        assert 1 <= len(hint_lines) <= 3
+        assert all("ms" in line for line in hint_lines)
+
+    def test_hint_falls_back_without_prior_run(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update"])
+        self._force_failure(baseline)
+        runs = tmp_path / "fresh-runs"  # no prior recording in here
+        code = cr.main([*self.ARGS, "--baseline", str(baseline),
+                        "--runs-dir", str(runs)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "attribution hint (top spans by self-time, no prior run)" in out
+
+    def test_no_hint_without_runs_dir(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update"])
+        self._force_failure(baseline)
+        assert cr.main([*self.ARGS, "--baseline", str(baseline)]) == 1
+        assert "attribution hint" not in capsys.readouterr().out
+
+    def test_hint_failure_is_swallowed(self, tmp_path, capsys, monkeypatch):
+        """A broken hint path must not turn exit 1 into a traceback."""
+        baseline = tmp_path / "baseline.json"
+        runs = tmp_path / "runs"
+        cr.main([*self.ARGS, "--baseline", str(baseline), "--update",
+                 "--runs-dir", str(runs)])
+        self._force_failure(baseline)
+        import repro.obs.profile as profile_mod
+
+        def _boom(*a, **k):
+            raise RuntimeError("synthetic hint failure")
+
+        # diff_profiles is used only by the hint (record_profile still
+        # needs the real tree builder on the recording path)
+        monkeypatch.setattr(profile_mod, "diff_profiles", _boom)
+        monkeypatch.setattr(profile_mod, "self_by_name", _boom)
+        code = cr.main([*self.ARGS, "--baseline", str(baseline),
+                        "--runs-dir", str(runs)])
+        assert code == 1
+        assert "attribution hint" not in capsys.readouterr().out

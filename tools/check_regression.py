@@ -180,6 +180,75 @@ def _git_sha() -> str | None:
     return sha()
 
 
+def print_attribution_hint(runs_dir, tracer, run_path) -> None:
+    """Best-effort perf attribution printed under a failed gate.
+
+    With ``--runs-dir`` the fresh smoke run recorded a trace, so a
+    *regressed* gate can name the spans whose self-time grew the most
+    against the previous recorded smoke run in the same registry (or,
+    for a first recording, simply the biggest self-time spans). Purely
+    advisory: any failure here is swallowed and the gate's exit code
+    never changes.
+    """
+    try:
+        from repro.obs.profile import (
+            build_profile_tree,
+            diff_profiles,
+            load_profile,
+        )
+        from repro.obs.registry import MANIFEST_FILE, RunRegistry
+
+        current = build_profile_tree(tracer.events)
+        if not current.roots:
+            return
+        previous = None
+        for run_dir in reversed(RunRegistry(runs_dir).run_dirs()):
+            if run_path is not None and run_dir == Path(run_path):
+                continue
+            try:
+                manifest = json.loads((run_dir / MANIFEST_FILE).read_text())
+                if manifest.get("experiment") != "smoke":
+                    continue
+                previous = (run_dir.name, load_profile(run_dir))
+                break
+            except (OSError, ValueError, KeyError):
+                continue
+        if previous is not None:
+            name, base_tree = previous
+            rows = [
+                r
+                for r in diff_profiles(base_tree, current).rows
+                if r.delta_s > 0
+            ][:3]
+            if not rows:
+                return
+            print(f"attribution hint (span self-time vs run {name}):")
+            for r in rows:
+                pct = (
+                    f" ({100.0 * r.delta_s / base_tree.wall_s:+.1f}% of wall)"
+                    if base_tree.wall_s
+                    else ""
+                )
+                print(
+                    f"  {r.span}: {r.self_a_s * 1e3:.3f} -> "
+                    f"{r.self_b_s * 1e3:.3f} ms "
+                    f"[{r.delta_s * 1e3:+.3f} ms]{pct}"
+                )
+        else:
+            from repro.obs.profile import self_by_name
+
+            flat = sorted(
+                self_by_name(current).items(),
+                key=lambda kv: kv[1]["self_s"],
+                reverse=True,
+            )[:3]
+            print("attribution hint (top spans by self-time, no prior run):")
+            for span, row in flat:
+                print(f"  {span}: {row['self_s'] * 1e3:.3f} ms self")
+    except Exception:  # noqa: BLE001 - advisory output must never gate
+        pass
+
+
 def write_baseline(
     path: Path, metrics: dict[str, float], config: dict
 ) -> None:
@@ -277,7 +346,8 @@ def main(argv=None) -> int:
     recorder.record_series(series)
     recorder.record_metrics(tracer, metrics)
     recorder.record_trace(tracer)
-    recorder.finalize()
+    recorder.record_profile(tracer)
+    run_path = recorder.finalize()
 
     if args.trajectory is not None:
         append_trajectory(args.trajectory, current)
@@ -315,6 +385,8 @@ def main(argv=None) -> int:
                 f"  {v['metric']}: baseline={v['baseline']} "
                 f"current={v['current']} ({v['reason']})"
             )
+        if recorder.enabled:
+            print_attribution_hint(args.runs_dir, tracer, run_path)
         return 1
     print(f"\nno regression: {len(current)} metric(s) within tolerance")
     return 0

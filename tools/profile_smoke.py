@@ -1,18 +1,28 @@
 #!/usr/bin/env python
 """cProfile the smoke experiment and write the profile as a CI artifact.
 
-Runs :func:`repro.bench.experiments.smoke_experiment` under
-:mod:`cProfile`, prints the top functions by cumulative and internal
-time, and writes two artifacts:
+.. deprecated::
+    This script is now a thin wrapper over :mod:`repro.obs.profile`
+    (``repro-sd profile run smoke`` is the full-featured front end);
+    it survives because CI and muscle memory know its artifact paths.
 
-* ``<out>.pstats`` — the binary profile, loadable with ``pstats`` or
-  ``snakeviz`` for interactive digging;
+Runs :func:`repro.bench.experiments.smoke_experiment` under the tracer
+with :class:`repro.obs.profile.SpanProfiler` scoping cProfile capture
+to spans, prints the span self/total-time attribution plus the top
+functions by internal and cumulative time, and writes four artifacts:
+
+* ``<out>.pstats`` — the merged binary profile, loadable with
+  ``pstats`` or ``snakeviz`` for interactive digging;
 * ``<out>.txt`` — the printed tables, readable straight from the CI
-  artifact listing.
+  artifact listing;
+* ``<out>.collapsed.txt`` — collapsed-stack flamegraph input
+  (``flamegraph.pl`` / speedscope import);
+* ``<out>.speedscope.json`` — a speedscope document, drag-and-drop
+  into https://www.speedscope.app.
 
-CI uploads both from every smoke job, so a "why did host_ms move?"
-investigation starts from a profile of the exact gated workload instead
-of a local reproduction. Usage::
+CI uploads all four from every smoke job, so a "why did host_ms move?"
+investigation starts from a span-attributed profile of the exact gated
+workload instead of a local reproduction. Usage::
 
     PYTHONPATH=src python tools/profile_smoke.py [--out artifacts/smoke-profile]
 """
@@ -20,9 +30,7 @@ of a local reproduction. Usage::
 from __future__ import annotations
 
 import argparse
-import cProfile
 import io
-import pstats
 from pathlib import Path
 
 
@@ -32,35 +40,46 @@ def profile_smoke(
     frames_per_channel: int = 3,
     seed: int = 2023,
     top: int = 30,
-) -> tuple[cProfile.Profile, str]:
-    """Profile one smoke run; returns the profile and the printed tables."""
-    from repro.bench.experiments import smoke_experiment
+):
+    """Profile one smoke run; returns (ProfileResult, printed tables)."""
+    from repro.obs.profile import format_profile, profile_experiment
 
-    profile = cProfile.Profile()
-    profile.enable()
-    smoke_experiment(
-        channels=channels, frames_per_channel=frames_per_channel, seed=seed
+    result = profile_experiment(
+        "smoke",
+        channels=channels,
+        frames_per_channel=frames_per_channel,
+        seed=seed,
+        functions_top=top,
     )
-    profile.disable()
     buf = io.StringIO()
-    stats = pstats.Stats(profile, stream=buf)
+    buf.write(
+        format_profile(
+            result.tree, title="smoke span attribution", functions_top=0
+        )
+    )
+    buf.write("\n\n")
+    stats = result.profiler.combined_stats()
+    stats.stream = buf
     buf.write("== smoke experiment profile: top by cumulative time ==\n")
     stats.sort_stats("cumulative").print_stats(top)
     buf.write("\n== top by internal time ==\n")
     stats.sort_stats("tottime").print_stats(top)
-    return profile, buf.getvalue()
+    return result, buf.getvalue()
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="profile the smoke experiment; write .pstats + .txt artifacts"
+        description="profile the smoke experiment; write .pstats/.txt/"
+        ".collapsed.txt/.speedscope.json artifacts "
+        "(thin wrapper over repro.obs.profile)"
     )
     parser.add_argument(
         "--out",
         type=Path,
         default=Path("artifacts/smoke-profile"),
         metavar="BASE",
-        help="output base path (writes BASE.pstats and BASE.txt)",
+        help="output base path (writes BASE.pstats, BASE.txt, "
+        "BASE.collapsed.txt, BASE.speedscope.json)",
     )
     parser.add_argument("--channels", type=int, default=2)
     parser.add_argument("--frames", type=int, default=3)
@@ -70,19 +89,26 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    profile, text = profile_smoke(
+    result, text = profile_smoke(
         channels=args.channels,
         frames_per_channel=args.frames,
         seed=args.seed,
         top=args.top,
     )
+    from repro.obs.profile import write_collapsed, write_speedscope
+
     args.out.parent.mkdir(parents=True, exist_ok=True)
     pstats_path = args.out.with_suffix(".pstats")
     txt_path = args.out.with_suffix(".txt")
-    profile.dump_stats(pstats_path)
+    result.profiler.combined_stats().dump_stats(pstats_path)
     txt_path.write_text(text)
+    collapsed = write_collapsed(result.tree, args.out.with_suffix(".collapsed.txt"))
+    speedscope = write_speedscope(
+        result.tree, args.out.with_suffix(".speedscope.json"), name="smoke"
+    )
     print(text)
     print(f"profile written to {pstats_path} (text report: {txt_path})")
+    print(f"flamegraphs written to {collapsed} and {speedscope}")
     return 0
 
 
