@@ -1,0 +1,127 @@
+"""Serving capacity benchmark — streams vs latency under an SLO.
+
+The deployment-side complement to the per-vector figure benchmarks:
+instead of timing one decode, it serves seeded multi-stream load traces
+through the :mod:`repro.serve` coalescing scheduler and reports the
+p50/p95/p99 sojourn, throughput and batch fill per stream count.
+
+As a pytest-benchmark entry it runs a reduced sweep with the
+deterministic FPGA service model and asserts the shape invariants
+(conservation, monotone batch fill, SLO attainment at light load, and
+served-vs-direct bit identity). As a standalone reporter::
+
+    PYTHONPATH=src python benchmarks/bench_serve_capacity.py [--json OUT]
+
+it emits the capacity table plus a machine-readable JSON document in
+the same spirit as ``bench_kernels.py --json``.
+"""
+
+import argparse
+import json
+
+from _helpers import run_and_report
+
+from repro.bench.serving import capacity_sweep, check_conformance
+
+#: Reduced-scale sweep shared by the pytest entry and the CLI reporter.
+BENCH_KWARGS = dict(
+    n_antennas=4,
+    modulation="4qam",
+    snr_db=8.0,
+    stream_counts=(2, 8, 24),
+    rate_hz=400.0,
+    duration_s=0.05,
+    slo_ms=10.0,
+    kind="sd",
+    seed=2023,
+    streams_per_block=4,
+    max_batch=16,
+    max_delay_ms=1.0,
+    service="fpga",
+)
+
+
+def bench_serve_capacity(benchmark, capsys):
+    result = run_and_report(
+        benchmark,
+        lambda **kw: capacity_sweep(**kw).series,
+        capsys,
+        **BENCH_KWARGS,
+    )
+    rows = result.rows
+    assert [r["streams"] for r in rows] == [2, 8, 24]
+    for row in rows:
+        # Nothing rejected at these loads: accepted == offered.
+        assert row["accepted"] == row["offered"]
+        assert row["rejected"] == 0
+        # Batch fill is bounded by the scheduler cap.
+        assert 1.0 <= row["mean_fill"] <= BENCH_KWARGS["max_batch"]
+    # Coalescing: more streams per block means fuller batches.
+    assert rows[-1]["mean_fill"] > rows[0]["mean_fill"]
+    # The lightest point comfortably meets the SLO.
+    assert rows[0]["slo_attained"] == 1.0
+    assert rows[0]["p95_ms"] <= BENCH_KWARGS["slo_ms"]
+
+
+def bench_serve_conformance(benchmark, capsys):
+    """Served results stay bit-identical to direct per-frame decoding."""
+
+    def run():
+        res = capacity_sweep(**{**BENCH_KWARGS, "stream_counts": (6,)})
+        mismatches = check_conformance(res.points[0], res.kind, res.system)
+        assert mismatches == [], mismatches[:5]
+        return res.series
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.format() + "\n")
+
+
+def capacity_report(**overrides):
+    """Run the sweep and fold it into a JSON-friendly document."""
+    kwargs = {**BENCH_KWARGS, **overrides}
+    result = capacity_sweep(**kwargs)
+    return result, {
+        "schema": 1,
+        "workload": result.series.title,
+        "config": {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in kwargs.items()
+        },
+        "rows": result.series.rows,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="serving capacity benchmark (streams vs p50/p95/p99)"
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the capacity table as JSON",
+    )
+    parser.add_argument(
+        "--streams", type=str, default=None, metavar="N,N,...",
+        help="override the stream counts (default: 2,8,24)",
+    )
+    parser.add_argument(
+        "--service", type=str, default=BENCH_KWARGS["service"],
+        help="service model: measured | fpga | fixed:<us>",
+    )
+    args = parser.parse_args(argv)
+    overrides = {"service": args.service}
+    if args.streams:
+        overrides["stream_counts"] = tuple(
+            int(p) for p in args.streams.split(",") if p.strip()
+        )
+    result, report = capacity_report(**overrides)
+    print(result.format())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=1)
+        print(f"report written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,245 @@
+"""Serving capacity experiments: streams vs latency SLO attainment.
+
+Builds on :mod:`repro.serve` to answer the deployment question the
+paper's per-vector timing figures cannot: *how many concurrent streams
+can one decode server sustain under a latency SLO?* Each capacity
+point generates a seeded multi-stream trace, serves it through a
+:class:`~repro.serve.service.DetectionService` in deterministic
+virtual time, and records p50/p95/p99 sojourn, throughput, batch fill
+and SLO attainment into one :class:`~repro.bench.harness.SeriesResult`
+— recordable to the run registry and diffable with
+``repro-sd runs diff`` like every other experiment.
+
+Service-time models:
+
+``measured``
+    The real host decode wall time (honest, machine-dependent).
+``fpga``
+    The FPGA pipeline simulator's modelled seconds per frame —
+    fully deterministic, so two runs of the same seed are
+    bit-identical (what the CI serve gate diffs).
+``fixed:<us>``
+    A constant per-frame cost in microseconds (synthetic what-ifs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bench.harness import SeriesResult
+from repro.detectors.registry import spec as detector_spec
+from repro.mimo.system import MIMOSystem
+from repro.obs.tracer import current_tracer
+from repro.serve import (
+    DetectionService,
+    LoadGenerator,
+    LoadTrace,
+    SchedulerConfig,
+    ServeReport,
+    conformance_mismatches,
+    direct_results,
+    fixed_service_model,
+    fpga_service_model,
+    serve_trace,
+)
+
+__all__ = [
+    "CapacityPoint",
+    "CapacityResult",
+    "capacity_sweep",
+    "check_conformance",
+    "resolve_service_model",
+]
+
+#: Default stream counts for the capacity curve.
+DEFAULT_STREAMS = (2, 8, 32)
+
+
+def resolve_service_model(
+    name: str, system: MIMOSystem
+) -> Callable | None:
+    """Map a service-model name to a model callable (None = measured)."""
+    if name == "measured":
+        return None
+    if name == "fpga":
+        from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
+
+        order = system.constellation.order
+        pipeline = FPGAPipeline(
+            PipelineConfig.optimized(order),
+            n_tx=system.n_tx,
+            n_rx=system.n_rx,
+            order=order,
+        )
+        return fpga_service_model(pipeline)
+    if name.startswith("fixed:"):
+        try:
+            per_frame_us = float(name.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad fixed service model {name!r}; expected fixed:<us>"
+            ) from None
+        return fixed_service_model(per_frame_us * 1e-6)
+    raise ValueError(
+        f"unknown service model {name!r}; "
+        "expected measured, fpga or fixed:<us>"
+    )
+
+
+@dataclass
+class CapacityPoint:
+    """One operating point: a trace served at one stream count."""
+
+    n_streams: int
+    trace: LoadTrace
+    report: ServeReport
+
+
+@dataclass
+class CapacityResult:
+    """A full capacity sweep: the series table plus raw points."""
+
+    series: SeriesResult
+    points: list[CapacityPoint] = field(default_factory=list)
+    system: MIMOSystem | None = None
+    kind: str = "sd"
+
+    def format(self) -> str:
+        return self.series.format()
+
+
+def capacity_sweep(
+    *,
+    n_antennas: int = 6,
+    n_rx: int | None = None,
+    modulation: str = "4qam",
+    snr_db: float = 8.0,
+    stream_counts: Sequence[int] = DEFAULT_STREAMS,
+    rate_hz: float = 200.0,
+    duration_s: float = 0.25,
+    slo_ms: float = 10.0,
+    kind: str = "sd",
+    seed: int = 2023,
+    profile: str = "poisson",
+    streams_per_block: int = 4,
+    max_batch: int = 32,
+    max_delay_ms: float = 2.0,
+    max_queue: int = 64,
+    dynamic: bool = False,
+    service: str = "measured",
+) -> CapacityResult:
+    """Serve seeded load traces at increasing stream counts.
+
+    Streams share channel blocks (``streams_per_block`` per block) so
+    the scheduler actually coalesces across streams. Every point reuses
+    the same seed: adding streams extends the SeedSequence tree without
+    perturbing existing streams' arrivals or channels, which keeps the
+    low-load points comparable across sweeps.
+    """
+    if not stream_counts:
+        raise ValueError("stream_counts must not be empty")
+    if slo_ms <= 0:
+        raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+    system = MIMOSystem(
+        n_antennas, n_antennas if n_rx is None else n_rx, modulation
+    )
+    slo_s = slo_ms * 1e-3
+    config = SchedulerConfig(
+        max_batch=max_batch,
+        max_delay_s=max_delay_ms * 1e-3,
+        max_queue=max_queue,
+        dynamic=dynamic,
+    )
+    tracer = current_tracer()
+    result = CapacityResult(
+        system=system,
+        kind=kind,
+        series=SeriesResult(
+            experiment="serve-capacity",
+            title=(
+                f"{system!r} @ {snr_db:g} dB, {kind}, {profile} arrivals "
+                f"{rate_hz:g} Hz/stream, SLO {slo_ms:g} ms, "
+                f"service={service}"
+            ),
+            columns=[
+                "streams",
+                "offered",
+                "accepted",
+                "rejected",
+                "offered_hz",
+                "throughput_hz",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "slo_attained",
+                "mean_fill",
+                "batches",
+                "peak_depth",
+                "symbol_errors",
+            ],
+            notes=(
+                "Virtual-time single-server simulation; latency = "
+                "arrival-to-delivery sojourn. slo_attained is the "
+                f"fraction of frames within {slo_ms:g} ms."
+            ),
+        )
+    )
+    for n_streams in stream_counts:
+        blocks = max(1, -(-n_streams // streams_per_block))
+        generator = LoadGenerator(
+            system,
+            n_streams=n_streams,
+            rate_hz=rate_hz,
+            duration_s=duration_s,
+            snr_db=snr_db,
+            profile=profile,
+            seed=seed,
+            channel_blocks=blocks,
+        )
+        trace = generator.trace()
+        service_obj = DetectionService(
+            detector_spec(kind, system.constellation),
+            config=config,
+            service_model=resolve_service_model(service, system),
+        )
+        with tracer.span("serve.point", streams=n_streams):
+            report = serve_trace(service_obj, trace, slo_s=slo_s)
+        summary = report.latency_summary()
+        result.points.append(
+            CapacityPoint(n_streams=n_streams, trace=trace, report=report)
+        )
+        result.series.rows.append(
+            {
+                "streams": n_streams,
+                "offered": report.offered,
+                "accepted": report.accepted,
+                "rejected": report.rejected,
+                "offered_hz": trace.offered_rate_hz,
+                "throughput_hz": report.throughput_hz,
+                "p50_ms": summary.p50 * 1e3,
+                "p95_ms": summary.p95 * 1e3,
+                "p99_ms": summary.p99 * 1e3,
+                "slo_attained": report.slo_attainment(),
+                "mean_fill": report.mean_batch_fill,
+                "batches": report.n_batches,
+                "peak_depth": service_obj.scheduler.stats.peak_depth,
+                "symbol_errors": report.symbol_errors(),
+            }
+        )
+    return result
+
+
+def check_conformance(
+    point: CapacityPoint, kind: str, system: MIMOSystem
+) -> list[str]:
+    """Served-vs-direct bit-identity for one capacity point.
+
+    Rebuilds the registry spec, decodes the point's trace through the
+    direct per-frame path and returns the mismatch lines (empty =
+    conformant). Used by ``repro-sd serve --check``.
+    """
+    oracle = direct_results(
+        detector_spec(kind, system.constellation), point.trace
+    )
+    return conformance_mismatches(point.report, oracle)

@@ -33,6 +33,15 @@ Subcommands
     recorded run's tree as collapsed-stack / speedscope flamegraphs;
     ``profile diff A B`` ranks per-span Δself-time between two
     recorded runs so a perf regression names its culprit span.
+``serve``
+    Streaming detection service capacity sweep: seeded multi-stream
+    load through the coalescing batch scheduler
+    (:mod:`repro.serve`), reporting p50/p95/p99 sojourn latency,
+    throughput, batch fill and SLO attainment per stream count.
+    ``--check`` turns it into a CI gate (exit 1 when the lightest
+    point misses its p95 SLO or served results diverge from direct
+    per-frame decoding); ``--record`` persists the capacity curve to
+    the run registry so sweeps diff like any other experiment.
 ``runs``
     Inspect the persistent run registry: ``runs list``, ``runs show``,
     ``runs diff A B`` (per-SNR comparison tables) and ``runs report``
@@ -91,6 +100,21 @@ def _parse_modulation(text: str) -> str:
     if name.isdigit():
         name = f"{name}qam"
     return name
+
+
+def _parse_stream_counts(text: str) -> list[int]:
+    """Parse ``"2,8,32"`` into ascending positive stream counts."""
+    try:
+        counts = [int(p) for p in text.split(",") if p.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad stream counts {text!r}; expected e.g. 2,8,32"
+        ) from None
+    if not counts or any(c < 1 for c in counts):
+        raise argparse.ArgumentTypeError(
+            f"stream counts must be positive integers, got {text!r}"
+        )
+    return counts
 
 
 def _parse_mimo(text: str) -> tuple[int, int]:
@@ -382,6 +406,108 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="with --check: ignore regressions below PCT%% of the base "
         "run's wall (default: 0)",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="streaming detection service: capacity sweep under a "
+        "latency SLO (p50/p95/p99, throughput, batch fill)",
+    )
+    srv.add_argument("--mimo", type=_parse_mimo, default=(6, 6))
+    srv.add_argument("--mod", type=_parse_modulation, default="4qam")
+    srv.add_argument("--snr", type=float, default=8.0)
+    srv.add_argument(
+        "--streams",
+        type=_parse_stream_counts,
+        default=[2, 8, 32],
+        metavar="N,N,...",
+        help="stream counts to sweep (default: 2,8,32)",
+    )
+    srv.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        metavar="HZ",
+        help="mean arrival rate per stream (default: 200 Hz)",
+    )
+    srv.add_argument(
+        "--duration", type=float, default=0.25, help="trace horizon in seconds"
+    )
+    srv.add_argument(
+        "--profile",
+        choices=("poisson", "bursty", "uniform"),
+        default="poisson",
+        help="arrival process per stream",
+    )
+    srv.add_argument(
+        "--detector",
+        default="sd",
+        metavar="KIND",
+        help="registry detector kind (default: sd)",
+    )
+    srv.add_argument("--seed", type=int, default=2023)
+    srv.add_argument(
+        "--slo-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="latency SLO on arrival-to-delivery sojourn (default: 10)",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="scheduler batch-size flush trigger",
+    )
+    srv.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="scheduler deadline flush trigger (coalescing window)",
+    )
+    srv.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="per-stream queue bound (backpressure threshold)",
+    )
+    srv.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="size batches from the measured-cost EWMA instead of "
+        "always waiting for max-batch",
+    )
+    srv.add_argument(
+        "--streams-per-block",
+        type=int,
+        default=4,
+        metavar="N",
+        help="streams sharing one channel block (coalescing degree)",
+    )
+    srv.add_argument(
+        "--service",
+        default="measured",
+        metavar="MODEL",
+        help="service-time model: measured | fpga (deterministic "
+        "pipeline seconds) | fixed:<us>",
+    )
+    srv.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the lightest point misses the p95 SLO or "
+        "served results diverge from direct decoding (CI gate)",
+    )
+    srv.add_argument(
+        "--record",
+        action="store_true",
+        help="persist the capacity curve to the run registry",
+    )
+    srv.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="DIR",
+        help="run-registry root used with --record (default: runs/)",
     )
 
     obs = sub.add_parser(
@@ -927,6 +1053,101 @@ def _json_dumps(doc: dict) -> str:
     return json.dumps(doc, indent=1)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench.serving import capacity_sweep, check_conformance
+    from repro.detectors.registry import detector_entry
+
+    entry = detector_entry(args.detector)  # KeyError -> exit 2 in main()
+    n_tx, n_rx = args.mimo
+    kwargs = dict(
+        n_antennas=n_tx,
+        n_rx=n_rx,
+        modulation=args.mod,
+        snr_db=args.snr,
+        stream_counts=tuple(args.streams),
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        slo_ms=args.slo_ms,
+        kind=args.detector,
+        seed=args.seed,
+        profile=args.profile,
+        streams_per_block=args.streams_per_block,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        dynamic=args.dynamic,
+        service=args.service,
+    )
+    if args.record:
+        from repro.obs import (
+            MetricsRegistry,
+            RunRegistry,
+            Tracer,
+            use_metrics,
+            use_tracer,
+        )
+
+        recorder = RunRegistry(args.runs_dir).new_run(
+            "serve-capacity", seed=args.seed, config=dict(kwargs)
+        )
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        metrics.stream = recorder.stream_writer()
+        try:
+            with use_tracer(tracer), use_metrics(metrics):
+                result = capacity_sweep(**kwargs)
+        except BaseException:
+            metrics.tick(force=True)
+            recorder.record_metrics(tracer, metrics)
+            recorder.record_trace(tracer)
+            recorder.record_profile(tracer)
+            recorder.finalize("failed")
+            raise
+        metrics.tick(force=True)
+        recorder.record_series(result.series)
+        recorder.record_metrics(tracer, metrics)
+        recorder.record_trace(tracer)
+        recorder.record_profile(tracer)
+        path = recorder.finalize()
+        print(result.format())
+        print(f"[obs] run recorded: {path}")
+    else:
+        result = capacity_sweep(**kwargs)
+        print(result.format())
+    if args.check:
+        failures: list[str] = []
+        lightest = result.points[0]
+        p95_ms = result.series.rows[0]["p95_ms"]
+        if p95_ms > args.slo_ms:
+            failures.append(
+                f"p95 {p95_ms:.3f} ms exceeds the {args.slo_ms:g} ms SLO "
+                f"at the lightest point ({lightest.n_streams} streams)"
+            )
+        if entry.exact and entry.fpga_replayable:
+            mismatches = check_conformance(
+                lightest, result.kind, result.system
+            )
+            for line in mismatches[:5]:
+                failures.append(f"conformance: {line}")
+            if len(mismatches) > 5:
+                failures.append(
+                    f"conformance: ... {len(mismatches) - 5} more"
+                )
+        for line in failures:
+            print(f"CHECK FAILED: {line}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "serve check OK: p95 within SLO at the lightest point"
+            + (
+                ", served == direct"
+                if entry.exact and entry.fpga_replayable
+                else ""
+            )
+        )
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.obs.registry import RunRegistry
     from repro.obs.report import (
@@ -1037,6 +1258,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "runs":
         return _cmd_runs(args)
     if args.command == "obs":

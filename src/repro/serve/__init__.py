@@ -1,0 +1,77 @@
+"""repro.serve — the streaming detection service.
+
+The serving-side answer to the paper's batching-for-throughput
+argument: an always-on front end that ingests frames from many
+concurrent streams, coalesces them across streams and channel blocks
+into the fused ``decode_batch`` GEMM path, and answers under a latency
+SLO. Three layers (see ``docs/serving.md``):
+
+:mod:`repro.serve.scheduler`
+    :class:`BatchScheduler` — per-stream bounded FIFO queues coalescing
+    into capped batches, flushed on size-or-deadline, with optional
+    measured-cost dynamic batch sizing. A pure fake-clock state machine
+    whose guarantees (conservation, FIFO, deadline, backpressure) are
+    locked by the property suite in ``tests/test_serve_scheduler.py``.
+:mod:`repro.serve.service`
+    :class:`DetectionService` — registry spec + scheduler + channel
+    blocks, delivering results in per-stream order through a reorder
+    buffer; :func:`serve_trace` (deterministic virtual-time driver) and
+    :class:`ThreadedDetectionService` (real-time futures front end).
+    Served results are bit-identical to direct per-frame ``detect``
+    (``tests/test_serve_conformance.py``).
+:mod:`repro.serve.loadgen`
+    :class:`LoadGenerator` — seeded multi-stream traces (Poisson /
+    bursty / uniform arrival profiles) over one SeedSequence tree.
+
+The capacity *experiments* built on top live one layer up, in
+:mod:`repro.bench.serving` (``repro-sd serve``,
+``benchmarks/bench_serve_capacity.py``).
+"""
+
+from repro.serve.loadgen import (
+    ArrivalEvent,
+    LoadGenerator,
+    LoadTrace,
+    arrival_times,
+)
+from repro.serve.scheduler import (
+    BackpressureError,
+    Batch,
+    BatchScheduler,
+    FrameRequest,
+    SchedulerConfig,
+    conservation_check,
+)
+from repro.serve.service import (
+    DetectionService,
+    FrameResult,
+    ServeReport,
+    ThreadedDetectionService,
+    conformance_mismatches,
+    direct_results,
+    fixed_service_model,
+    fpga_service_model,
+    serve_trace,
+)
+
+__all__ = [
+    "ArrivalEvent",
+    "BackpressureError",
+    "Batch",
+    "BatchScheduler",
+    "DetectionService",
+    "FrameRequest",
+    "FrameResult",
+    "LoadGenerator",
+    "LoadTrace",
+    "SchedulerConfig",
+    "ServeReport",
+    "ThreadedDetectionService",
+    "arrival_times",
+    "conformance_mismatches",
+    "conservation_check",
+    "direct_results",
+    "fixed_service_model",
+    "fpga_service_model",
+    "serve_trace",
+]

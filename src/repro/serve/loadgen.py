@@ -1,0 +1,283 @@
+"""Deterministic, seeded multi-stream load generation.
+
+A :class:`LoadGenerator` replays what a base station's front haul looks
+like to the detector: many concurrent streams (users), each pinned to a
+channel block (its fading realisation) and emitting received vectors at
+its own arrival process. The whole trace derives from one
+``numpy.random.SeedSequence`` tree — one spawned child per channel
+block and per stream — so the same seed always yields the bit-identical
+trace (arrival times, channels, payloads) regardless of how many
+streams are generated or in what order the events are consumed.
+
+Arrival profiles:
+
+``poisson``
+    Independent exponential inter-arrivals at ``rate_hz`` — the M/G/1
+    assumption of :mod:`repro.bench.realtime`, so served traces can be
+    cross-checked against the Pollaczek–Khinchine prediction.
+``bursty``
+    ON/OFF-modulated Poisson: exponentially distributed ON windows at
+    ``rate_hz / on_fraction`` separated by silent OFF windows, keeping
+    the long-run mean near ``rate_hz`` while stressing the scheduler's
+    size trigger and backpressure bound.
+``uniform``
+    Evenly spaced arrivals with a random phase — the isochronous
+    slot-clocked uplink.
+
+:func:`arrival_times` is the shared primitive; the queueing analysis in
+:mod:`repro.bench.realtime` and the capacity examples synthesise their
+arrivals through it instead of hand-rolling per-script variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.mimo.system import MIMOSystem
+
+__all__ = [
+    "ArrivalEvent",
+    "LoadGenerator",
+    "LoadTrace",
+    "arrival_times",
+]
+
+ARRIVAL_PROFILES = ("poisson", "bursty", "uniform")
+
+
+def arrival_times(
+    profile: str,
+    rate_hz: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    *,
+    on_fraction: float = 0.25,
+    cycle_s: float | None = None,
+) -> np.ndarray:
+    """Arrival timestamps in ``[0, duration_s)`` for one stream.
+
+    ``on_fraction``/``cycle_s`` only shape the ``bursty`` profile: a
+    mean ON window of ``on_fraction * cycle_s`` seconds at elevated
+    rate ``rate_hz / on_fraction`` alternates with silent OFF windows,
+    so the long-run mean rate stays ``rate_hz``. ``cycle_s`` defaults
+    to ten mean inter-arrival times.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if profile == "uniform":
+        period = 1.0 / rate_hz
+        phase = rng.uniform(0.0, period)
+        return np.arange(phase, duration_s, period)
+    if profile == "poisson":
+        # Draw in geometric chunks until past the horizon; deterministic
+        # for a given generator state.
+        times: list[float] = []
+        t = 0.0
+        while True:
+            gaps = rng.exponential(1.0 / rate_hz, size=256)
+            arrivals = t + np.cumsum(gaps)
+            inside = arrivals[arrivals < duration_s]
+            times.extend(inside.tolist())
+            if inside.size < arrivals.size:
+                return np.asarray(times)
+            t = float(arrivals[-1])
+    if profile == "bursty":
+        if not 0 < on_fraction < 1:
+            raise ValueError(
+                f"on_fraction must lie in (0, 1), got {on_fraction}"
+            )
+        cycle = cycle_s if cycle_s is not None else 10.0 / rate_hz
+        if cycle <= 0:
+            raise ValueError(f"cycle_s must be positive, got {cycle_s}")
+        on_mean = on_fraction * cycle
+        off_mean = (1.0 - on_fraction) * cycle
+        burst_rate = rate_hz / on_fraction
+        times = []
+        t = 0.0
+        while t < duration_s:
+            on_end = t + rng.exponential(on_mean)
+            while True:
+                t += rng.exponential(1.0 / burst_rate)
+                if t >= on_end or t >= duration_s:
+                    break
+                times.append(t)
+            t = max(t, on_end) + rng.exponential(off_mean)
+        return np.asarray(times)
+    raise ValueError(
+        f"unknown arrival profile {profile!r}; "
+        f"expected one of {ARRIVAL_PROFILES}"
+    )
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One frame arrival: the payload a stream submits to the service."""
+
+    stream_id: str
+    stream_index: int
+    seq: int
+    channel_id: str
+    arrival_s: float
+    received: np.ndarray
+    sent_indices: np.ndarray
+    sent_bits: np.ndarray
+
+
+@dataclass
+class LoadTrace:
+    """A fully materialised multi-stream load trace.
+
+    ``events`` is globally time-ordered (ties broken by stream index
+    then per-stream sequence, so the order is total and deterministic);
+    ``channels`` maps each channel block to its ``(matrix, noise_var)``
+    for :meth:`DetectionService.register_trace_channels`.
+    """
+
+    events: list[ArrivalEvent]
+    channels: dict[str, tuple[np.ndarray, float]]
+    n_streams: int
+    duration_s: float
+    rate_hz: float
+    profile: str
+    seed: int
+    snr_db: float
+    system_label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def offered_rate_hz(self) -> float:
+        """Realised aggregate arrival rate over the trace horizon."""
+        return self.n_events / self.duration_s if self.duration_s else 0.0
+
+    def arrival_array(self) -> np.ndarray:
+        """All arrival timestamps, in event order."""
+        return np.asarray([ev.arrival_s for ev in self.events])
+
+    def stream_counts(self) -> dict[str, int]:
+        """Frames per stream (includes silent streams as zero)."""
+        counts = {f"s{i:04d}": 0 for i in range(self.n_streams)}
+        for ev in self.events:
+            counts[ev.stream_id] += 1
+        return counts
+
+
+class LoadGenerator:
+    """Seeded generator of heavy-traffic multi-stream traces.
+
+    Parameters
+    ----------
+    system:
+        The MIMO link every stream transmits over.
+    n_streams:
+        Concurrent streams (users).
+    rate_hz:
+        Mean arrival rate *per stream*.
+    duration_s:
+        Trace horizon.
+    channel_blocks:
+        Number of distinct channel realisations; streams are assigned
+        round-robin (stream ``i`` to block ``i % channel_blocks``), so
+        fewer blocks than streams means cross-stream coalescing into
+        shared fused batches. Default: one block per stream.
+    profile, on_fraction, cycle_s:
+        Arrival process (see :func:`arrival_times`).
+    """
+
+    def __init__(
+        self,
+        system: MIMOSystem,
+        *,
+        n_streams: int,
+        rate_hz: float,
+        duration_s: float,
+        snr_db: float = 8.0,
+        profile: str = "poisson",
+        seed: int = 0,
+        channel_blocks: int | None = None,
+        on_fraction: float = 0.25,
+        cycle_s: float | None = None,
+    ) -> None:
+        if n_streams < 1:
+            raise ValueError(f"n_streams must be >= 1, got {n_streams}")
+        if profile not in ARRIVAL_PROFILES:
+            raise ValueError(
+                f"unknown arrival profile {profile!r}; "
+                f"expected one of {ARRIVAL_PROFILES}"
+            )
+        blocks = n_streams if channel_blocks is None else channel_blocks
+        if not 1 <= blocks <= n_streams:
+            raise ValueError(
+                f"channel_blocks must lie in [1, n_streams], got {blocks}"
+            )
+        self.system = system
+        self.n_streams = n_streams
+        self.rate_hz = float(rate_hz)
+        self.duration_s = float(duration_s)
+        self.snr_db = float(snr_db)
+        self.profile = profile
+        self.seed = int(seed)
+        self.channel_blocks = blocks
+        self.on_fraction = on_fraction
+        self.cycle_s = cycle_s
+
+    def trace(self) -> LoadTrace:
+        """Materialise the trace (same seed -> bit-identical trace)."""
+        root = np.random.SeedSequence(self.seed)
+        children = root.spawn(self.channel_blocks + self.n_streams)
+        noise_var = self.system.noise_var(self.snr_db)
+        channels: dict[str, tuple[np.ndarray, float]] = {}
+        matrices: list[np.ndarray] = []
+        for b in range(self.channel_blocks):
+            rng = np.random.default_rng(children[b])
+            matrix = self.system.channel_model.draw_channel(rng)
+            channels[f"ch{b:03d}"] = (matrix, noise_var)
+            matrices.append(matrix)
+        events: list[ArrivalEvent] = []
+        for s in range(self.n_streams):
+            rng = np.random.default_rng(children[self.channel_blocks + s])
+            block = s % self.channel_blocks
+            times = arrival_times(
+                self.profile,
+                self.rate_hz,
+                self.duration_s,
+                rng,
+                on_fraction=self.on_fraction,
+                cycle_s=self.cycle_s,
+            )
+            for seq, t in enumerate(times):
+                frame = self.system.random_frame(
+                    self.snr_db, rng, channel=matrices[block]
+                )
+                events.append(
+                    ArrivalEvent(
+                        stream_id=f"s{s:04d}",
+                        stream_index=s,
+                        seq=seq,
+                        channel_id=f"ch{block:03d}",
+                        arrival_s=float(t),
+                        received=frame.received,
+                        sent_indices=frame.symbol_indices,
+                        sent_bits=frame.bits,
+                    )
+                )
+        events.sort(key=lambda ev: (ev.arrival_s, ev.stream_index, ev.seq))
+        return LoadTrace(
+            events=events,
+            channels=channels,
+            n_streams=self.n_streams,
+            duration_s=self.duration_s,
+            rate_hz=self.rate_hz,
+            profile=self.profile,
+            seed=self.seed,
+            snr_db=self.snr_db,
+            system_label=repr(self.system),
+        )

@@ -1,0 +1,405 @@
+"""Coalescing batch scheduler: the heart of the serving path.
+
+The scheduler turns many per-stream frame arrivals into few fused
+``decode_batch`` calls. It is a *pure*, clock-free state machine — every
+mutation takes an explicit ``now`` timestamp — so the property suite can
+drive it on a fake clock and assert its contracts exactly:
+
+* **Conservation.** Every accepted frame appears in exactly one flushed
+  batch; nothing is lost or duplicated.
+* **Per-stream FIFO.** Within a stream (and its channel block), frames
+  enter batches in submission order. Cross-channel delivery order is the
+  service layer's reorder buffer's job (see :mod:`repro.serve.service`).
+* **Flush on size-or-deadline.** A channel's queue flushes as soon as it
+  reaches the (possibly dynamic) batch cap, and no frame waits past
+  ``arrival + max_delay_s``: :meth:`next_deadline_s` tells the driver
+  exactly when the next deadline-triggered :meth:`poll` is due.
+* **Bounded queues / backpressure.** At most ``max_queue`` frames per
+  stream may be pending; :meth:`submit` raises
+  :class:`BackpressureError` beyond that instead of buffering without
+  bound. A rejected frame consumes no sequence number, so delivery
+  ordering never stalls on a frame that was never admitted.
+* **Capped batches.** No batch ever exceeds ``max_batch`` frames, even
+  with dynamic sizing enabled.
+
+Coalescing is grouped by *channel block*: the fused GEMM path requires
+every frame in a batch to share the prepared channel (block fading), so
+frames from different streams on the same channel block fuse, while
+different blocks form separate batches.
+
+Dynamic batch sizing (``dynamic=True``) adapts the effective cap to the
+measured decode cost: the service feeds per-batch wall time back via
+:meth:`observe_service`, and the scheduler sizes batches so that one
+batch's own decode time fits in a configured fraction of the deadline
+budget — large batches under light load for GEMM efficiency, smaller
+ones when each frame is expensive and the SLO is tight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = [
+    "BackpressureError",
+    "Batch",
+    "BatchScheduler",
+    "FrameRequest",
+    "SchedulerConfig",
+]
+
+
+class BackpressureError(RuntimeError):
+    """A stream's bounded queue is full; the frame was not admitted."""
+
+
+@dataclass(frozen=True)
+class FrameRequest:
+    """One admitted frame awaiting (or undergoing) decoding.
+
+    Attributes
+    ----------
+    stream_id:
+        The submitting stream (user). Sequence numbers are per stream.
+    seq:
+        Admission order within the stream, assigned by the scheduler.
+        Contiguous from 0 over *accepted* frames only.
+    channel_id:
+        Channel-block key; frames coalesce only within one block.
+    received:
+        The received vector to decode.
+    arrival_s:
+        Submission timestamp (scheduler clock domain).
+    deadline_s:
+        ``arrival_s + max_delay_s`` — the latest flush time.
+    payload:
+        Opaque caller data carried through to the result (e.g. the
+        ground-truth indices a load generator attaches).
+    """
+
+    stream_id: str
+    seq: int
+    channel_id: str
+    received: np.ndarray
+    arrival_s: float
+    deadline_s: float
+    payload: Any = None
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Unique identity of the frame: ``(stream_id, seq)``."""
+        return (self.stream_id, self.seq)
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One flushed group of frames sharing a channel block.
+
+    ``reason`` records what triggered the flush: ``"size"`` (the queue
+    reached the batch cap), ``"deadline"`` (the head frame's deadline
+    arrived) or ``"drain"`` (explicit shutdown flush).
+    """
+
+    channel_id: str
+    frames: tuple[FrameRequest, ...]
+    created_s: float
+    reason: str
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def received_matrix(self) -> np.ndarray:
+        """The frames' received vectors stacked ``(B, n_rx)``."""
+        return np.stack([f.received for f in self.frames])
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning knobs for :class:`BatchScheduler`.
+
+    Attributes
+    ----------
+    max_batch:
+        Hard cap on frames per flushed batch (the GEMM width).
+    max_delay_s:
+        Deadline budget: no admitted frame waits in the scheduler
+        longer than this before flushing.
+    max_queue:
+        Per-stream bound on pending frames (backpressure trigger).
+    dynamic:
+        Enable measured-cost dynamic batch sizing.
+    min_batch:
+        Floor for the dynamic cap (never sized below this).
+    service_slack:
+        With ``dynamic``: the fraction of ``max_delay_s`` one batch's
+        own decode time may consume. ``0.5`` means a batch should
+        decode in at most half the deadline budget, leaving the rest
+        for queueing ahead of the server.
+    ewma_alpha:
+        Smoothing factor for the per-frame service-time estimate.
+    """
+
+    max_batch: int = 32
+    max_delay_s: float = 2e-3
+    max_queue: int = 64
+    dynamic: bool = False
+    min_batch: int = 1
+    service_slack: float = 0.5
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_s <= 0:
+            raise ValueError(
+                f"max_delay_s must be positive, got {self.max_delay_s}"
+            )
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ValueError(
+                f"min_batch must lie in [1, max_batch], got {self.min_batch}"
+            )
+        if not 0 < self.service_slack <= 1:
+            raise ValueError(
+                f"service_slack must lie in (0, 1], got {self.service_slack}"
+            )
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(
+                f"ewma_alpha must lie in (0, 1], got {self.ewma_alpha}"
+            )
+
+
+@dataclass
+class SchedulerStats:
+    """Cumulative accounting over one scheduler's lifetime."""
+
+    submitted: int = 0
+    rejected: int = 0
+    flushed_frames: int = 0
+    batches: dict[str, int] = field(
+        default_factory=lambda: {"size": 0, "deadline": 0, "drain": 0}
+    )
+    peak_depth: int = 0
+    peak_stream_depth: int = 0
+
+
+class BatchScheduler:
+    """Per-stream FIFO queues coalescing into capped, deadlined batches.
+
+    Driving contract: call :meth:`submit` with non-decreasing ``now``
+    timestamps, then :meth:`poll` whenever work may be due — after any
+    submit (size triggers) and at :meth:`next_deadline_s` (deadline
+    triggers). A driver that honours ``next_deadline_s`` never lets a
+    frame wait past its deadline and never busy-waits.
+    """
+
+    def __init__(self, config: SchedulerConfig | None = None) -> None:
+        self.config = config or SchedulerConfig()
+        #: channel_id -> FIFO of pending frames (insertion == time order).
+        self._channels: dict[str, deque[FrameRequest]] = {}
+        #: stream_id -> frames currently pending in the scheduler.
+        self._depth: dict[str, int] = {}
+        #: stream_id -> next sequence number to assign.
+        self._next_seq: dict[str, int] = {}
+        self._last_now = float("-inf")
+        self._est_frame_s: float | None = None
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        stream_id: str,
+        received: np.ndarray,
+        *,
+        channel_id: str,
+        now: float,
+        payload: Any = None,
+    ) -> FrameRequest:
+        """Admit one frame; raises :class:`BackpressureError` when full.
+
+        Returns the admitted :class:`FrameRequest` (with its assigned
+        per-stream sequence number). ``now`` must be non-decreasing
+        across calls — the scheduler is a discrete-event machine, not a
+        clock owner.
+        """
+        self._advance(now)
+        depth = self._depth.get(stream_id, 0)
+        if depth >= self.config.max_queue:
+            self.stats.rejected += 1
+            raise BackpressureError(
+                f"stream {stream_id!r} queue full "
+                f"({depth}/{self.config.max_queue} pending)"
+            )
+        seq = self._next_seq.get(stream_id, 0)
+        request = FrameRequest(
+            stream_id=stream_id,
+            seq=seq,
+            channel_id=channel_id,
+            received=np.asarray(received),
+            arrival_s=now,
+            deadline_s=now + self.config.max_delay_s,
+            payload=payload,
+        )
+        self._next_seq[stream_id] = seq + 1
+        self._channels.setdefault(channel_id, deque()).append(request)
+        self._depth[stream_id] = depth + 1
+        self.stats.submitted += 1
+        self.stats.peak_stream_depth = max(
+            self.stats.peak_stream_depth, depth + 1
+        )
+        self.stats.peak_depth = max(self.stats.peak_depth, self.pending)
+        return request
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+
+    def poll(self, now: float) -> list[Batch]:
+        """Flush everything due at ``now``: size triggers first, then
+        expired deadlines. Returns batches in deterministic order
+        (oldest head frame first)."""
+        self._advance(now)
+        cap = self.effective_max_batch()
+        batches: list[Batch] = []
+        for channel_id in self._due_channels(now, cap):
+            queue = self._channels.get(channel_id)
+            while queue:
+                if len(queue) >= cap:
+                    reason = "size"
+                elif queue[0].deadline_s <= now:
+                    reason = "deadline"
+                else:
+                    break
+                batches.append(self._flush(channel_id, cap, now, reason))
+                queue = self._channels.get(channel_id)
+        return batches
+
+    def drain(self, now: float) -> list[Batch]:
+        """Flush every pending frame regardless of triggers (shutdown)."""
+        self._advance(now)
+        cap = self.effective_max_batch()
+        batches = []
+        for channel_id in list(self._channels):
+            while self._channels.get(channel_id):
+                batches.append(self._flush(channel_id, cap, now, "drain"))
+        return batches
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Total frames currently held by the scheduler."""
+        return sum(len(q) for q in self._channels.values())
+
+    def stream_depth(self, stream_id: str) -> int:
+        """Pending frames of one stream (backpressure headroom probe)."""
+        return self._depth.get(stream_id, 0)
+
+    def next_deadline_s(self) -> float | None:
+        """Earliest deadline among pending frames (None when empty).
+
+        The driver must :meth:`poll` no later than this to uphold the
+        flush-by-deadline guarantee.
+        """
+        heads = [q[0].deadline_s for q in self._channels.values() if q]
+        return min(heads) if heads else None
+
+    def effective_max_batch(self) -> int:
+        """The batch cap currently in force (dynamic sizing applied)."""
+        cfg = self.config
+        if not cfg.dynamic or not self._est_frame_s:
+            return cfg.max_batch
+        budget = cfg.max_delay_s * cfg.service_slack
+        sized = int(budget / self._est_frame_s)
+        return min(cfg.max_batch, max(cfg.min_batch, sized))
+
+    def observe_service(self, n_frames: int, seconds: float) -> None:
+        """Feed back one batch's measured decode cost (dynamic sizing)."""
+        if n_frames <= 0 or seconds < 0:
+            return
+        per_frame = seconds / n_frames
+        if self._est_frame_s is None:
+            self._est_frame_s = per_frame
+        else:
+            a = self.config.ewma_alpha
+            self._est_frame_s = a * per_frame + (1 - a) * self._est_frame_s
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _advance(self, now: float) -> None:
+        if now < self._last_now:
+            raise ValueError(
+                f"scheduler time must be non-decreasing: {now} < {self._last_now}"
+            )
+        self._last_now = now
+
+    def _due_channels(self, now: float, cap: int) -> list[str]:
+        """Channels with due work, oldest head frame first (stable)."""
+        due = [
+            (q[0].arrival_s, cid)
+            for cid, q in self._channels.items()
+            if q and (len(q) >= cap or q[0].deadline_s <= now)
+        ]
+        due.sort()
+        return [cid for _arrival, cid in due]
+
+    def _flush(
+        self, channel_id: str, cap: int, now: float, reason: str
+    ) -> Batch:
+        queue = self._channels[channel_id]
+        take = min(cap, len(queue))
+        frames = tuple(queue.popleft() for _ in range(take))
+        if not queue:
+            del self._channels[channel_id]
+        for frame in frames:
+            self._depth[frame.stream_id] -= 1
+        self.stats.flushed_frames += len(frames)
+        self.stats.batches[reason] = self.stats.batches.get(reason, 0) + 1
+        return Batch(
+            channel_id=channel_id,
+            frames=frames,
+            created_s=now,
+            reason=reason,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchScheduler(pending={self.pending}, "
+            f"cap={self.effective_max_batch()}, "
+            f"streams={len(self._depth)})"
+        )
+
+
+def conservation_check(
+    admitted: Iterable[FrameRequest], batches: Iterable[Batch]
+) -> None:
+    """Assert the no-loss/no-duplication invariant (test helper).
+
+    Raises :class:`AssertionError` naming the first violation: a frame
+    flushed twice, flushed without admission, or admitted but never
+    flushed.
+    """
+    expected = {frame.key for frame in admitted}
+    seen: set[tuple[str, int]] = set()
+    for batch in batches:
+        for frame in batch.frames:
+            if frame.key in seen:
+                raise AssertionError(f"frame {frame.key} flushed twice")
+            if frame.key not in expected:
+                raise AssertionError(f"frame {frame.key} never admitted")
+            seen.add(frame.key)
+    missing = expected - seen
+    if missing:
+        raise AssertionError(f"{len(missing)} frame(s) lost: {sorted(missing)[:5]}")

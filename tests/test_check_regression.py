@@ -193,12 +193,33 @@ class TestAttributionHint:
         # halved baseline makes the current run look *faster* there
         baseline.write_text(json.dumps(doc))
 
+    def _shrink_profile(self, runs):
+        """Scale the recorded profile down so the next run regresses.
+
+        The hint only prints spans whose self-time *grew* vs the prior
+        run; two back-to-back runs of the same workload can tie or
+        speed up on noise, so pin the comparison's outcome."""
+        profile = next(runs.glob("*/profile.json"))
+        doc = json.loads(profile.read_text())
+
+        def scale(node):
+            node["total_s"] *= 1e-3
+            node["self_s"] *= 1e-3
+            for child in node.get("children", []):
+                scale(child)
+
+        doc["wall_s"] *= 1e-3
+        for root in doc["tree"]:
+            scale(root)
+        profile.write_text(json.dumps(doc))
+
     def test_hint_diffs_against_previous_recorded_run(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
         runs = tmp_path / "runs"
         cr.main([*self.ARGS, "--baseline", str(baseline), "--update",
                  "--runs-dir", str(runs)])
         self._force_failure(baseline)
+        self._shrink_profile(runs)
         code = cr.main([*self.ARGS, "--baseline", str(baseline),
                         "--runs-dir", str(runs)])
         assert code == 1  # hint never changes the exit code

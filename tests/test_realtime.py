@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.bench.realtime import QueueReport, max_sustainable_rate, mg1_report
+from repro.bench.realtime import (
+    QueueReport,
+    empirical_report,
+    lindley_waits,
+    max_sustainable_rate,
+    mg1_report,
+)
 
 
 class TestMg1Report:
@@ -111,3 +117,72 @@ class TestEndToEndCapacity:
         cpu_rate = max_sustainable_rate(cpu_times)
         fpga_rate = max_sustainable_rate(fpga_times)
         assert fpga_rate > 3 * cpu_rate
+
+
+class TestLindleyWaits:
+    def test_no_queueing_when_gaps_exceed_service(self):
+        arrivals = np.arange(10) * 1.0
+        service = np.full(10, 0.1)
+        assert np.all(lindley_waits(arrivals, service) == 0.0)
+
+    def test_back_to_back_arrivals_queue_linearly(self):
+        """Simultaneous arrivals: the n-th waits for n-1 services."""
+        arrivals = np.zeros(5)
+        service = np.full(5, 2.0)
+        np.testing.assert_allclose(
+            lindley_waits(arrivals, service), [0, 2, 4, 6, 8]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            lindley_waits(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            lindley_waits(np.array([1.0, 0.5]), np.ones(2))
+
+
+class TestEmpiricalReport:
+    def test_deterministic_for_seed(self):
+        service = np.full(50, 1e-3)
+        a = empirical_report(service, 300.0, duration_s=2.0, seed=4)
+        b = empirical_report(service, 300.0, duration_s=2.0, seed=4)
+        assert a == b
+
+    def test_poisson_mean_matches_pollaczek_khinchine(self):
+        """M/M/1 cross-check: empirical mean sojourn ~ P-K analytic."""
+        rng = np.random.default_rng(8)
+        service = rng.exponential(1e-3, 4000)
+        rate = 600.0
+        analytic = mg1_report(service, rate)
+        emp = empirical_report(service, rate, duration_s=60.0, seed=8)
+        assert emp.mean_sojourn_s == pytest.approx(
+            analytic.mean_sojourn_s, rel=0.3
+        )
+        assert emp.utilization == pytest.approx(analytic.utilization)
+
+    def test_bursty_arrivals_inflate_the_tail(self):
+        """What the M/G/1 assumption hides: same mean rate, worse p99."""
+        rng = np.random.default_rng(9)
+        service = rng.exponential(1e-3, 2000)
+        poisson = empirical_report(
+            service, 500.0, duration_s=40.0, profile="poisson", seed=2
+        )
+        bursty = empirical_report(
+            service, 500.0, duration_s=40.0, profile="bursty", seed=2
+        )
+        assert bursty.p99_sojourn_s > poisson.p99_sojourn_s
+
+    def test_percentiles_ordered_and_miss_fraction_consistent(self):
+        rng = np.random.default_rng(10)
+        service = rng.exponential(0.8e-3, 1000)
+        emp = empirical_report(
+            service, 700.0, duration_s=20.0, deadline_s=5e-3, seed=1
+        )
+        assert emp.p50_sojourn_s <= emp.p95_sojourn_s <= emp.p99_sojourn_s
+        assert 0.0 <= emp.miss_fraction <= 1.0
+        assert emp.stable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empirical_report(np.array([]), 100.0)
+        with pytest.raises(ValueError, match="too few arrivals"):
+            empirical_report(np.full(5, 1e-3), 0.1, duration_s=0.1)

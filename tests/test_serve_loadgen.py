@@ -1,0 +1,188 @@
+"""Load-generator determinism and arrival-profile statistics.
+
+The capacity experiments are only diffable because the load generator
+is bit-deterministic: the same seed must reproduce the identical trace
+(arrival times, channels, payload frames), and latency percentiles
+reported through :func:`repro.util.timing.summarize` must agree with a
+brute-force recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.serving import capacity_sweep
+from repro.mimo.system import MIMOSystem
+from repro.serve.loadgen import LoadGenerator, arrival_times
+from repro.util.timing import summarize
+
+
+@pytest.fixture(scope="module")
+def system():
+    return MIMOSystem(4, 4, "4qam")
+
+
+def _generator(system, **overrides):
+    kwargs = dict(
+        n_streams=5,
+        rate_hz=500.0,
+        duration_s=0.05,
+        seed=42,
+        channel_blocks=2,
+    )
+    kwargs.update(overrides)
+    return LoadGenerator(system, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trace(self, system):
+        a = _generator(system).trace()
+        b = _generator(system).trace()
+        assert a.n_events == b.n_events
+        np.testing.assert_array_equal(a.arrival_array(), b.arrival_array())
+        for ea, eb in zip(a.events, b.events):
+            assert (ea.stream_id, ea.seq, ea.channel_id) == (
+                eb.stream_id,
+                eb.seq,
+                eb.channel_id,
+            )
+            np.testing.assert_array_equal(ea.received, eb.received)
+            np.testing.assert_array_equal(ea.sent_indices, eb.sent_indices)
+        assert a.channels.keys() == b.channels.keys()
+        for cid in a.channels:
+            np.testing.assert_array_equal(
+                a.channels[cid][0], b.channels[cid][0]
+            )
+            assert a.channels[cid][1] == b.channels[cid][1]
+
+    def test_different_seed_different_trace(self, system):
+        a = _generator(system).trace()
+        b = _generator(system, seed=43).trace()
+        assert a.n_events != b.n_events or not np.array_equal(
+            a.arrival_array(), b.arrival_array()
+        )
+
+    def test_adding_streams_preserves_existing(self, system):
+        """The SeedSequence tree makes stream i independent of n_streams
+        only when the channel-block count is fixed too."""
+        small = _generator(system, n_streams=3, channel_blocks=2).trace()
+        large = _generator(system, n_streams=5, channel_blocks=2).trace()
+
+        def stream_arrivals(trace, sid):
+            return [ev.arrival_s for ev in trace.events if ev.stream_id == sid]
+
+        for sid in ("s0000", "s0001", "s0002"):
+            assert stream_arrivals(small, sid) == stream_arrivals(large, sid)
+
+    def test_served_latency_count_deterministic(self, system):
+        """Same seed => identical latency-sample count and percentiles
+        end to end (the property the CI gate's runs-diff relies on)."""
+        kwargs = dict(
+            n_antennas=4,
+            stream_counts=(3,),
+            rate_hz=300.0,
+            duration_s=0.04,
+            seed=9,
+            service="fpga",
+            max_delay_ms=1.0,
+        )
+        a = capacity_sweep(**kwargs)
+        b = capacity_sweep(**kwargs)
+        la = a.points[0].report.latencies_s
+        lb = b.points[0].report.latencies_s
+        assert len(la) == len(lb) and la == lb
+        assert a.series.rows == b.series.rows
+
+
+class TestTraceShape:
+    def test_events_time_ordered(self, system):
+        trace = _generator(system).trace()
+        arrivals = trace.arrival_array()
+        assert np.all(np.diff(arrivals) >= 0)
+        assert trace.n_events > 0
+        assert all(0 <= t < trace.duration_s for t in arrivals)
+
+    def test_per_stream_seqs_contiguous(self, system):
+        trace = _generator(system).trace()
+        seqs = {}
+        for ev in sorted(trace.events, key=lambda e: (e.stream_id, e.seq)):
+            assert ev.seq == seqs.get(ev.stream_id, 0)
+            seqs[ev.stream_id] = ev.seq + 1
+        assert sum(seqs.values()) == trace.n_events
+        assert trace.stream_counts() == {
+            f"s{i:04d}": seqs.get(f"s{i:04d}", 0) for i in range(5)
+        }
+
+    def test_round_robin_channel_blocks(self, system):
+        trace = _generator(system, n_streams=4, channel_blocks=2).trace()
+        for ev in trace.events:
+            block = int(ev.stream_id[1:]) % 2
+            assert ev.channel_id == f"ch{block:03d}"
+        assert set(trace.channels) == {"ch000", "ch001"}
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError, match="n_streams"):
+            _generator(system, n_streams=0)
+        with pytest.raises(ValueError, match="profile"):
+            _generator(system, profile="weibull")
+        with pytest.raises(ValueError, match="channel_blocks"):
+            _generator(system, n_streams=2, channel_blocks=3)
+
+
+class TestArrivalProfiles:
+    def test_poisson_rate(self):
+        rng = np.random.default_rng(0)
+        times = arrival_times("poisson", 1000.0, 20.0, rng)
+        assert times.size == pytest.approx(20_000, rel=0.05)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_uniform_is_periodic(self):
+        rng = np.random.default_rng(1)
+        times = arrival_times("uniform", 100.0, 1.0, rng)
+        gaps = np.diff(times)
+        np.testing.assert_allclose(gaps, 1e-2, rtol=1e-9)
+        assert times.size in (99, 100)
+
+    def test_bursty_preserves_mean_rate(self):
+        rng = np.random.default_rng(2)
+        times = arrival_times("bursty", 1000.0, 30.0, rng, on_fraction=0.25)
+        assert times.size == pytest.approx(30_000, rel=0.15)
+        # Burstier than Poisson: inter-arrival SCV well above 1.
+        gaps = np.diff(times)
+        scv = np.var(gaps) / np.mean(gaps) ** 2
+        assert scv > 1.5
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            arrival_times("poisson", 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            arrival_times("poisson", 10.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            arrival_times("nope", 10.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            arrival_times("bursty", 10.0, 1.0, rng, on_fraction=1.5)
+
+
+class TestPercentiles:
+    def test_summarize_matches_bruteforce(self, system):
+        """The reported p50/p95/p99 equal numpy's on the same samples."""
+        result = capacity_sweep(
+            n_antennas=4,
+            stream_counts=(4,),
+            rate_hz=400.0,
+            duration_s=0.04,
+            seed=13,
+            service="fpga",
+            max_delay_ms=1.0,
+        )
+        latencies = result.points[0].report.latencies_s
+        assert len(latencies) >= 10
+        summary = summarize(latencies)
+        assert summary.count == len(latencies)
+        assert summary.p50 == pytest.approx(np.percentile(latencies, 50))
+        assert summary.p95 == pytest.approx(np.percentile(latencies, 95))
+        assert summary.p99 == pytest.approx(np.percentile(latencies, 99))
+        row = result.series.rows[0]
+        assert row["p95_ms"] == pytest.approx(
+            np.percentile(latencies, 95) * 1e3
+        )

@@ -1,0 +1,329 @@
+"""Property tests for the coalescing batch scheduler (fake clock).
+
+The scheduler is a pure discrete-event state machine, so these tests
+drive it with randomized arrival/deadline/size schedules on a simulated
+clock and assert its contracts exactly:
+
+* conservation — no admitted frame is lost or duplicated;
+* per-stream FIFO — frames enter batches in submission order;
+* flush-by-deadline — no frame waits past ``arrival + max_delay_s``
+  when the driver polls at ``next_deadline_s``;
+* capped batches — never more than ``max_batch`` frames, dynamic
+  sizing included;
+* bounded queues — per-stream depth never exceeds ``max_queue``, and
+  backpressure cannot deadlock the driver (``max_queue=1`` still makes
+  progress);
+* monotone time — regressions of the clock are rejected loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.scheduler import (
+    BackpressureError,
+    BatchScheduler,
+    SchedulerConfig,
+    conservation_check,
+)
+
+
+def random_schedule(rng, n_arrivals=120, n_streams=6, n_channels=3):
+    """A randomized arrival schedule: (time, stream, channel) tuples.
+
+    Streams stick to one channel each (the load-generator topology), so
+    per-stream FIFO is observable in the flushed batch order.
+    """
+    stream_channel = {
+        f"s{i}": f"ch{rng.integers(0, n_channels)}" for i in range(n_streams)
+    }
+    gaps = rng.exponential(2e-4, n_arrivals)
+    # Occasional bursts: zero gaps glue arrivals to one instant.
+    gaps[rng.random(n_arrivals) < 0.3] = 0.0
+    times = np.cumsum(gaps)
+    streams = [f"s{rng.integers(0, n_streams)}" for _ in range(n_arrivals)]
+    return [
+        (float(t), s, stream_channel[s]) for t, s in zip(times, streams)
+    ]
+
+
+def drive(scheduler, schedule, observe=None, rng=None):
+    """Run a schedule through the scheduler, honouring the driver
+    contract (poll after submits and at every ``next_deadline_s``).
+
+    Returns ``(admitted, rejected, batches)``.
+    """
+    admitted, rejected, batches = [], [], []
+
+    def collect(new):
+        batches.extend(new)
+        if observe is not None:
+            for batch in new:
+                observe(batch)
+
+    for now, stream_id, channel_id in schedule:
+        # Deadline polls due strictly before this arrival.
+        while True:
+            deadline = scheduler.next_deadline_s()
+            if deadline is None or deadline >= now:
+                break
+            collect(scheduler.poll(deadline))
+        frame = np.zeros(2) if rng is None else rng.standard_normal(2)
+        try:
+            admitted.append(
+                scheduler.submit(
+                    stream_id, frame, channel_id=channel_id, now=now
+                )
+            )
+        except BackpressureError:
+            rejected.append((now, stream_id))
+        collect(scheduler.poll(now))
+    # Let the remaining deadlines fire.
+    while scheduler.pending:
+        deadline = scheduler.next_deadline_s()
+        assert deadline is not None, "pending frames but no deadline"
+        collect(scheduler.poll(deadline))
+    return admitted, rejected, batches
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_conservation_and_order_random_schedules(seed):
+    """No loss, no duplication, per-stream FIFO — random schedules."""
+    rng = np.random.default_rng(seed)
+    config = SchedulerConfig(
+        max_batch=int(rng.integers(1, 9)),
+        max_delay_s=float(rng.uniform(1e-4, 2e-3)),
+        max_queue=int(rng.integers(2, 12)),
+    )
+    scheduler = BatchScheduler(config)
+    admitted, _rejected, batches = drive(
+        scheduler, random_schedule(rng), rng=rng
+    )
+    conservation_check(admitted, batches)
+    # Per-stream FIFO: flushed seqs strictly increase per stream.
+    last_seq = {}
+    for batch in batches:
+        for frame in batch.frames:
+            prev = last_seq.get(frame.stream_id, -1)
+            assert frame.seq == prev + 1, (
+                f"stream {frame.stream_id} flushed seq {frame.seq} "
+                f"after {prev}"
+            )
+            last_seq[frame.stream_id] = frame.seq
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_flush_by_deadline_and_size_cap(seed):
+    """Every frame flushes by its deadline; batches respect the cap."""
+    rng = np.random.default_rng(100 + seed)
+    config = SchedulerConfig(
+        max_batch=int(rng.integers(2, 7)),
+        max_delay_s=float(rng.uniform(2e-4, 1e-3)),
+        max_queue=64,
+    )
+    scheduler = BatchScheduler(config)
+    _admitted, _rejected, batches = drive(scheduler, random_schedule(rng))
+    assert batches, "schedule produced no batches"
+    for batch in batches:
+        assert 1 <= len(batch) <= config.max_batch
+        assert batch.reason in ("size", "deadline")
+        for frame in batch.frames:
+            assert batch.created_s <= frame.deadline_s + 1e-12, (
+                f"frame {frame.key} flushed at {batch.created_s} past "
+                f"deadline {frame.deadline_s}"
+            )
+    # Size triggers really fire: a full queue flushes immediately.
+    full = [b for b in batches if b.reason == "size"]
+    for batch in full:
+        assert len(batch) == config.max_batch
+
+
+def test_size_trigger_flushes_at_submit_time():
+    scheduler = BatchScheduler(SchedulerConfig(max_batch=3, max_delay_s=1.0))
+    for i in range(3):
+        scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.1 * i)
+    batches = scheduler.poll(0.2)
+    assert len(batches) == 1
+    assert batches[0].reason == "size"
+    assert len(batches[0]) == 3
+    assert scheduler.pending == 0
+
+
+def test_deadline_trigger_without_size():
+    scheduler = BatchScheduler(
+        SchedulerConfig(max_batch=100, max_delay_s=1e-3)
+    )
+    scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.0)
+    assert scheduler.next_deadline_s() == pytest.approx(1e-3)
+    assert scheduler.poll(0.5e-3) == []  # not due yet
+    batches = scheduler.poll(1e-3)
+    assert [b.reason for b in batches] == ["deadline"]
+
+
+@pytest.mark.parametrize("max_queue", [1, 2, 5])
+def test_backpressure_bounds_depth_and_never_deadlocks(max_queue):
+    """Depth never exceeds the bound; the driver always terminates."""
+    rng = np.random.default_rng(7)
+    config = SchedulerConfig(
+        max_batch=4, max_delay_s=5e-4, max_queue=max_queue
+    )
+    scheduler = BatchScheduler(config)
+    schedule = random_schedule(rng, n_arrivals=200, n_streams=2)
+
+    def check_depths(_batch):
+        for sid in ("s0", "s1"):
+            assert scheduler.stream_depth(sid) <= max_queue
+
+    admitted, rejected, batches = drive(
+        scheduler, schedule, observe=check_depths
+    )
+    conservation_check(admitted, batches)
+    assert scheduler.pending == 0
+    assert len(admitted) + len(rejected) == len(schedule)
+    assert scheduler.stats.rejected == len(rejected)
+
+
+def test_rejected_frames_consume_no_seq():
+    """Backpressure must not burn sequence numbers, or delivery stalls."""
+    scheduler = BatchScheduler(
+        SchedulerConfig(max_batch=8, max_delay_s=1.0, max_queue=1)
+    )
+    first = scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.0)
+    with pytest.raises(BackpressureError):
+        scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.1)
+    scheduler.drain(0.2)
+    second = scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.3)
+    assert (first.seq, second.seq) == (0, 1)
+
+
+def test_monotone_time_enforced():
+    scheduler = BatchScheduler()
+    scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=1.0)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.5)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        scheduler.poll(0.9)
+    # Equal timestamps are fine (bursts).
+    scheduler.submit("s1", np.zeros(2), channel_id="ch0", now=1.0)
+
+
+def test_coalesces_across_streams_within_channel():
+    scheduler = BatchScheduler(SchedulerConfig(max_batch=4, max_delay_s=1e-3))
+    for i, sid in enumerate(["s0", "s1", "s2"]):
+        scheduler.submit(sid, np.zeros(2), channel_id="shared", now=1e-5 * i)
+    batches = scheduler.poll(1e-3 + 1e-5 * 2)
+    assert len(batches) == 1
+    assert {f.stream_id for f in batches[0].frames} == {"s0", "s1", "s2"}
+
+
+def test_channels_never_mix():
+    rng = np.random.default_rng(21)
+    scheduler = BatchScheduler(SchedulerConfig(max_batch=6, max_delay_s=5e-4))
+    _admitted, _rejected, batches = drive(
+        scheduler, random_schedule(rng, n_channels=4)
+    )
+    for batch in batches:
+        assert {f.channel_id for f in batch.frames} == {batch.channel_id}
+
+
+def test_drain_flushes_everything():
+    scheduler = BatchScheduler(SchedulerConfig(max_batch=4, max_delay_s=10.0))
+    admitted = [
+        scheduler.submit(
+            f"s{i % 3}", np.zeros(2), channel_id=f"ch{i % 2}", now=0.0
+        )
+        for i in range(7)
+    ]
+    batches = scheduler.drain(1.0)
+    conservation_check(admitted, batches)
+    assert all(b.reason == "drain" for b in batches)
+    assert scheduler.pending == 0
+    assert scheduler.next_deadline_s() is None
+
+
+class TestDynamicSizing:
+    def test_cap_stays_within_bounds_under_random_feedback(self):
+        rng = np.random.default_rng(3)
+        config = SchedulerConfig(
+            max_batch=32, max_delay_s=2e-3, dynamic=True, min_batch=2
+        )
+        scheduler = BatchScheduler(config)
+        for _ in range(200):
+            scheduler.observe_service(
+                int(rng.integers(1, 33)), float(rng.uniform(0, 5e-3))
+            )
+            cap = scheduler.effective_max_batch()
+            assert config.min_batch <= cap <= config.max_batch
+
+    def test_expensive_frames_shrink_batches(self):
+        config = SchedulerConfig(
+            max_batch=32, max_delay_s=2e-3, dynamic=True, service_slack=0.5
+        )
+        scheduler = BatchScheduler(config)
+        assert scheduler.effective_max_batch() == 32  # no estimate yet
+        # 0.5 ms per frame: only 2 fit in the 1 ms service budget.
+        for _ in range(50):
+            scheduler.observe_service(1, 0.5e-3)
+        assert scheduler.effective_max_batch() == 2
+
+    def test_cheap_frames_restore_full_batches(self):
+        config = SchedulerConfig(max_batch=16, max_delay_s=2e-3, dynamic=True)
+        scheduler = BatchScheduler(config)
+        for _ in range(50):
+            scheduler.observe_service(1, 1e-6)
+        assert scheduler.effective_max_batch() == 16
+
+    def test_dynamic_batches_respect_hard_cap_end_to_end(self):
+        rng = np.random.default_rng(11)
+        config = SchedulerConfig(
+            max_batch=6, max_delay_s=1e-3, dynamic=True, min_batch=1
+        )
+        scheduler = BatchScheduler(config)
+
+        def feed(batch):
+            scheduler.observe_service(
+                len(batch), float(rng.uniform(1e-5, 2e-3))
+            )
+
+        admitted, _rejected, batches = drive(
+            scheduler, random_schedule(rng, n_arrivals=150), observe=feed
+        )
+        conservation_check(admitted, batches)
+        assert max(len(b) for b in batches) <= config.max_batch
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch": 0},
+            {"max_delay_s": 0.0},
+            {"max_queue": 0},
+            {"min_batch": 0},
+            {"min_batch": 9, "max_batch": 8},
+            {"service_slack": 0.0},
+            {"service_slack": 1.5},
+            {"ewma_alpha": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SchedulerConfig(**kwargs)
+
+
+class TestConservationCheckHelper:
+    def test_detects_loss(self):
+        scheduler = BatchScheduler(SchedulerConfig(max_delay_s=1.0))
+        admitted = [
+            scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.0)
+        ]
+        with pytest.raises(AssertionError, match="lost"):
+            conservation_check(admitted, [])
+
+    def test_detects_duplication(self):
+        scheduler = BatchScheduler(SchedulerConfig(max_delay_s=1.0))
+        admitted = [
+            scheduler.submit("s0", np.zeros(2), channel_id="ch0", now=0.0)
+        ]
+        batches = scheduler.drain(0.0)
+        with pytest.raises(AssertionError, match="twice"):
+            conservation_check(admitted, batches + batches)

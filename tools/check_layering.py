@@ -16,6 +16,11 @@ deprecation shims and CLI subcommands):
   layer it may import ``repro.detectors.base`` alone (for the
   ``DecodeStats``/``BatchEvent`` types), and never ``repro.bench`` /
   ``repro.cli``.
+- ``repro.serve`` sits above detectors/obs but below the experiment
+  layer: it must not import ``repro.bench`` or ``repro.cli`` (the
+  capacity experiments in ``repro.bench.serving`` import *it*, never
+  the reverse), and the lower layers (core/detectors/fpga) must not
+  import ``repro.serve``.
 
 Exit status: 0 = clean, 1 = violations (each printed as
 ``path:line: message``), 2 = usage error.
@@ -34,9 +39,10 @@ PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 #: layer name -> repro submodule prefixes it must never import at
 #: module level. ``repro.fpga`` additionally gets a detectors allowlist.
 FORBIDDEN = {
-    "core": ("repro.detectors", "repro.bench", "repro.cli"),
-    "detectors": ("repro.bench", "repro.cli"),
-    "fpga": ("repro.bench", "repro.cli"),
+    "core": ("repro.detectors", "repro.serve", "repro.bench", "repro.cli"),
+    "detectors": ("repro.serve", "repro.bench", "repro.cli"),
+    "fpga": ("repro.serve", "repro.bench", "repro.cli"),
+    "serve": ("repro.bench", "repro.cli"),
 }
 
 #: The only detectors module the fpga layer may import.
