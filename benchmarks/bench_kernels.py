@@ -89,6 +89,34 @@ def bench_decode_bestfirst_pooled(benchmark):
     benchmark(decoder.detect, frame.received)
 
 
+def bench_decode_linf_10x10_8db(benchmark):
+    """Full decode under the ℓ∞ partial-distance metric (compare kernel)."""
+    system, frame = _fixture(n=10, snr_db=8.0)
+    decoder = SphereDecoder(
+        system.constellation,
+        strategy="dfs",
+        radius_policy=NoiseScaledRadius(alpha=2.0),
+        metric="linf",
+        record_trace=False,
+    )
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    benchmark(decoder.detect, frame.received)
+
+
+def bench_decode_real_reordered_10x10_8db(benchmark):
+    """Full decode on the interleaved (reordered) real lattice."""
+    system, frame = _fixture(n=10, snr_db=8.0)
+    decoder = SphereDecoder(
+        system.constellation,
+        strategy="dfs",
+        radius_policy=NoiseScaledRadius(alpha=2.0),
+        lattice="real-reordered",
+        record_trace=False,
+    )
+    decoder.prepare(frame.channel, noise_var=frame.noise_var)
+    benchmark(decoder.detect, frame.received)
+
+
 def bench_bfs_sweep_12db(benchmark):
     """One level-synchronous BFS decode (the GPU baseline's workload)."""
     system, frame = _fixture(n=10, snr_db=12.0)
@@ -236,10 +264,19 @@ def bench_extend_paths_frontier(benchmark):
 # ----------------------------------------------------------------------
 
 
-def _decode_throughput(strategy, pool_size, *, n=10, snr_db=8.0, repeats=5):
+def _decode_throughput(
+    strategy,
+    pool_size,
+    *,
+    n=10,
+    snr_db=8.0,
+    repeats=5,
+    metric="l2",
+    lattice="complex",
+):
     """Best-of-``repeats`` nodes/s for one full-decode configuration."""
     system, frame = _fixture(n=n, snr_db=snr_db)
-    kwargs = {"record_trace": False}
+    kwargs = {"record_trace": False, "metric": metric, "lattice": lattice}
     if strategy == "best-first":
         kwargs["pool_size"] = pool_size
     else:
@@ -265,6 +302,14 @@ def traversal_report(repeats=5):
             "best-first", b, repeats=repeats
         )
     entries["dfs"] = _decode_throughput("dfs", 1, repeats=repeats)
+    # The evaluation-layer axes: ℓ∞ compare kernel and the interleaved
+    # real lattice, both on the DFS reference configuration.
+    entries["dfs/linf"] = _decode_throughput(
+        "dfs", 1, repeats=repeats, metric="linf"
+    )
+    entries["dfs/real-reordered"] = _decode_throughput(
+        "dfs", 1, repeats=repeats, lattice="real-reordered"
+    )
     rates = [e["nodes_per_sec"] for e in entries.values()]
     return {
         "schema": 1,

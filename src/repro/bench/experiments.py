@@ -21,7 +21,7 @@ from repro.bench.harness import (
     run_workload_sweep,
     time_rows,
 )
-from repro.detectors.registry import spec
+from repro.detectors.registry import detector_entry, spec
 from repro.fpga.pipeline import FPGAPipeline, PipelineConfig
 from repro.fpga.power import (
     cpu_power_w,
@@ -903,6 +903,130 @@ def ablation_domain(
     )
 
 
+def ablation_metric(
+    *,
+    snr_db: float = 12.0,
+    kinds: Sequence[str] = ("sd", "sd-linf", "sd-real-reordered"),
+    n_antennas: int = 8,
+    modulation: str = "16qam",
+    channels: int = 3,
+    frames_per_channel: int = 4,
+    seed: int = 2023,
+) -> SeriesResult:
+    """Partial-distance metric / lattice representation ablation.
+
+    Decodes the identical channel/frame instances with the registry's
+    metric and lattice variants and reports the full trade surface:
+
+    * ``sd`` — ℓ₂-squared on the complex lattice (exact ML reference);
+    * ``sd-linf`` — the ℓ∞ metric of Seethaler & Bölcskei: a cheaper
+      compare-tree NORM stage and (typically) fewer expanded nodes, at a
+      bounded BER cost (``||e||_inf <= ||e||_2 <= sqrt(2M) ||e||_inf``,
+      see ``docs/algorithms.md``);
+    * ``sd-real-reordered`` — Azzam & Ayanoglu's interleaved real
+      lattice: still exact ML, narrower branching on a deeper tree.
+
+    Modelled FPGA cycles use the matching accelerator build per kind —
+    ``norm_kind="compare"`` for ℓ∞ (:data:`~repro.fpga.pipeline.NORM_KINDS`)
+    and the real-lattice tree geometry for the real kinds — so the
+    ``norm_pct`` column (NORM busy cycles as a share of total decode
+    cycles) shows the NORM stage shrinking under the compare tree, which
+    is the hardware argument for ℓ∞.
+    """
+    system = MIMOSystem(n_antennas, n_antennas, modulation)
+    const = system.constellation
+    # Pre-draw every channel/frame pair once so each kind decodes the
+    # identical instances — differences in the rows are purely the
+    # metric/lattice axes, never Monte Carlo noise.
+    rng = np.random.default_rng(seed)
+    frame_sets = []
+    for _ in range(channels):
+        first = system.random_frame(snr_db, rng)
+        frame_sets.append(
+            [first]
+            + [
+                system.random_frame(snr_db, rng, channel=first.channel)
+                for _ in range(frames_per_channel - 1)
+            ]
+        )
+    side = int(round(np.sqrt(const.order)))
+    rows = []
+    for kind in kinds:
+        entry = detector_entry(kind)
+        if entry.lattice == "complex":
+            levels, child_order = n_antennas, const.order
+        else:
+            # Real lattices search a 2M-level tree over the PAM alphabet.
+            levels, child_order = 2 * n_antennas, side
+        pipe = FPGAPipeline(
+            PipelineConfig.optimized(
+                child_order,
+                norm_kind="compare" if entry.metric == "linf" else "mac",
+            ),
+            n_tx=levels,
+            n_rx=levels,
+            order=child_order,
+        )
+        errors = 0
+        bits = 0
+        nodes: list[int] = []
+        host_s: list[float] = []
+        cycles = 0
+        norm_cycles = 0
+        for frames in frame_sets:
+            detector = spec(kind, const, max_nodes=100_000)()
+            detector.prepare(frames[0].channel, noise_var=frames[0].noise_var)
+            for frame in frames:
+                result = detector.detect(frame.received)
+                errors += int(np.count_nonzero(result.bits != frame.bits))
+                bits += frame.bits.size
+                nodes.append(result.stats.nodes_expanded)
+                host_s.append(result.stats.wall_time_s)
+                report = pipe.decode_report(result.stats)
+                cycles += report.total_cycles
+                # Busy cycles, not the exact attribution: under dataflow
+                # overlap NORM hides behind the critical stage and its
+                # attributed share is 0 by construction — the busy share
+                # is the number the compare tree actually shrinks.
+                norm_cycles += report.breakdown["norm"]
+        n_frames = channels * frames_per_channel
+        rows.append(
+            {
+                "kind": kind,
+                "metric": entry.metric,
+                "lattice": entry.lattice,
+                "ber": errors / bits,
+                "mean_nodes": float(np.mean(nodes)),
+                "host_ms": float(np.mean(host_s)) * 1e3,
+                "fpga_mcycles": cycles / n_frames / 1e6,
+                "norm_pct": 100.0 * norm_cycles / cycles if cycles else 0.0,
+            }
+        )
+    return SeriesResult(
+        experiment="ablation-metric",
+        title=(
+            f"PD metric / lattice representation at {snr_db:g} dB "
+            f"({n_antennas}x{n_antennas} {modulation})"
+        ),
+        columns=[
+            "kind",
+            "metric",
+            "lattice",
+            "ber",
+            "mean_nodes",
+            "host_ms",
+            "fpga_mcycles",
+            "norm_pct",
+        ],
+        rows=rows,
+        notes=(
+            "identical frames per kind; host_ms is measured wall time, the "
+            "rest deterministic per seed; linf trades bounded BER for fewer "
+            "nodes and a cheaper NORM stage"
+        ),
+    )
+
+
 def profile_execution(
     *,
     snr_db: float = 8.0,
@@ -1041,6 +1165,13 @@ def smoke_experiment(
     ``host_ms`` is bit-deterministic for a fixed seed — including under
     ``workers > 1`` process sharding and ``batch_frames`` fused
     decoding, which CI exercises to guard the equivalence.
+
+    Besides the canonical ℓ₂/complex decoder the sweep also times the
+    metric/lattice variants on their own deterministic frame set: the
+    ``*_linf`` columns (``sd-linf``) and ``*_rr`` columns
+    (``sd-real-reordered``), so the regression gate pins node counts and
+    throughput for every metric x lattice combination the registry
+    ships, not just the reference one.
     """
     workload = run_workload_sweep(
         6,
@@ -1072,6 +1203,41 @@ def smoke_experiment(
                 "frames": point.frames,
             }
         )
+    # Metric/lattice variant series: decode a deterministic frame set
+    # per SNR with the ℓ∞ and reordered-real registry kinds so the
+    # regression gate also pins their node counts (deterministic) and
+    # host throughput (rate-gated).
+    system = MIMOSystem(6, 6, "4qam")
+    const = system.constellation
+    for row in rows:
+        rng = np.random.default_rng(seed)
+        frame_sets = []
+        for _ in range(channels):
+            first = system.random_frame(row["snr_db"], rng)
+            frame_sets.append(
+                [first]
+                + [
+                    system.random_frame(row["snr_db"], rng, channel=first.channel)
+                    for _ in range(frames_per_channel - 1)
+                ]
+            )
+        for suffix, kind in (("linf", "sd-linf"), ("rr", "sd-real-reordered")):
+            total_nodes = 0
+            total_wall = 0.0
+            for frames in frame_sets:
+                detector = spec(kind, const)()
+                detector.prepare(
+                    frames[0].channel, noise_var=frames[0].noise_var
+                )
+                for frame in frames:
+                    st = detector.detect(frame.received).stats
+                    total_nodes += st.nodes_expanded
+                    total_wall += st.wall_time_s
+            n_frames = channels * frames_per_channel
+            row[f"mean_nodes_{suffix}"] = total_nodes / n_frames
+            row[f"mean_nodes_per_sec_{suffix}"] = (
+                total_nodes / total_wall if total_wall > 0 else 0.0
+            )
     return SeriesResult(
         experiment="smoke",
         title="smoke sweep, 6x6 4-QAM (regression-gate workload)",
@@ -1083,6 +1249,10 @@ def smoke_experiment(
             "ber",
             "mean_nodes",
             "mean_nodes_per_sec",
+            "mean_nodes_linf",
+            "mean_nodes_per_sec_linf",
+            "mean_nodes_rr",
+            "mean_nodes_per_sec_rr",
             "frames",
         ],
         rows=rows,
@@ -1129,6 +1299,10 @@ EXPERIMENTS = {
     "ablation-domain": (
         ablation_domain,
         "Ablation: complex vs real-decomposition trees",
+    ),
+    "ablation-metric": (
+        ablation_metric,
+        "Ablation: PD metric (l2 vs linf) x lattice representation",
     ),
     "profile": (
         profile_execution,

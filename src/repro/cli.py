@@ -7,7 +7,9 @@ Subcommands
 ``detectors``
     Show the detector registry: every registered kind with its
     parameters, capability flags (exact ML, fused batch decoding,
-    FPGA trace replay) and the paper figures that use it.
+    FPGA trace replay), partial-distance metric / lattice
+    representation axes and the paper figures that use it.
+    ``--exact-only`` hides the approximate kinds.
 ``experiment NAME``
     Run one experiment and print its table. ``--channels`` and
     ``--frames`` trade Monte Carlo depth for wall time.
@@ -155,9 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    sub.add_parser(
+    det = sub.add_parser(
         "detectors",
         help="list the detector registry (kinds, params, capabilities)",
+    )
+    det.add_argument(
+        "--exact-only",
+        action="store_true",
+        help="only kinds whose decisions are exact maximum likelihood "
+        "(hides approximate detectors such as kbest or the linf-metric "
+        "variants)",
     )
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
@@ -586,10 +595,13 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_detectors() -> int:
+def _cmd_detectors(args: argparse.Namespace | None = None) -> int:
     from repro.detectors.registry import detector_entries
 
+    exact_only = bool(args is not None and getattr(args, "exact_only", False))
     for entry in detector_entries():
+        if exact_only and not entry.exact:
+            continue
         caps = [
             label
             for flag, label in (
@@ -601,6 +613,8 @@ def _cmd_detectors() -> int:
         ]
         print(f"{entry.kind}: {entry.summary}")
         print(f"    capabilities : {', '.join(caps) if caps else '-'}")
+        print(f"    metric       : {entry.metric}")
+        print(f"    lattice      : {entry.lattice}")
         params = ", ".join(f"{k}={v!r}" for k, v in entry.defaults.items())
         print(f"    params       : {params if params else '-'}")
         figures = ", ".join(entry.figures)
@@ -1245,7 +1259,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "detectors":
-        return _cmd_detectors()
+        return _cmd_detectors(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "decode":

@@ -28,15 +28,38 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.core.metric import PartialDistanceMetric, resolve_metric
 from repro.mimo.constellation import Constellation
 from repro.util.validation import check_matrix, check_vector
 
 #: Real FLOPs per complex multiply-accumulate (4 mults + 4 adds).
 FLOPS_PER_CMAC = 8
-#: Real FLOPs per child for the NORM step: complex subtract (2), complex
-#: multiply by R_kk (6 for the product with a precomputed point table is
-#: folded into the table), |.|^2 (3).
+#: Real FLOPs per child for the ℓ₂ NORM step: complex subtract (2),
+#: complex multiply by R_kk (6 for the product with a precomputed point
+#: table is folded into the table), |.|^2 (3). Other metrics carry their
+#: own per-child cost (``PartialDistanceMetric.flops_per_norm``).
 FLOPS_PER_NORM = 8
+
+
+def _check_metric_match(
+    kernel: "ChannelKernel", metric
+) -> PartialDistanceMetric:
+    """Resolve the evaluator metric against a prebuilt kernel's.
+
+    A kernel's per-level tables are metric-independent, but the PDs an
+    evaluator produces are not — silently mixing an ℓ∞ traversal with an
+    ℓ₂-precomputed kernel (or vice versa) would corrupt radius state, so
+    an explicit mismatch is an error rather than a best-effort override.
+    """
+    if metric is None:
+        return kernel.metric
+    metric = resolve_metric(metric)
+    if metric is not kernel.metric and metric.name != kernel.metric.name:
+        raise ValueError(
+            f"metric mismatch: evaluator requested {metric.name!r} but the "
+            f"prebuilt ChannelKernel was prepared for {kernel.metric.name!r}"
+        )
+    return metric
 
 
 def _stacked_gemv(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
@@ -65,11 +88,21 @@ class ChannelKernel:
     subsequent ``detect`` / ``decode_batch`` call reuses it — previously
     the O(M·P) table build, the ``astype`` copies and the
     ``np.allclose(triu)`` scan ran again for every frame.
+
+    The kernel also pins the partial-distance ``metric`` the channel was
+    prepared for (default ℓ₂): evaluators built on the kernel inherit
+    it, and requesting a different metric from the same kernel raises.
     """
 
-    __slots__ = ("n_tx", "r", "constellation", "diag_points", "rows")
+    __slots__ = ("n_tx", "r", "constellation", "diag_points", "rows", "metric")
 
-    def __init__(self, r: np.ndarray, constellation: Constellation) -> None:
+    def __init__(
+        self,
+        r: np.ndarray,
+        constellation: Constellation,
+        *,
+        metric: PartialDistanceMetric | str | None = None,
+    ) -> None:
         r = check_matrix(r, "r")
         if r.shape[0] != r.shape[1]:
             raise ValueError(f"r must be square, got {r.shape}")
@@ -78,6 +111,7 @@ class ChannelKernel:
         self.n_tx = r.shape[0]
         self.r = r.astype(np.complex128)
         self.constellation = constellation
+        self.metric = resolve_metric(metric)
         points = constellation.points
         self.diag_points = np.asarray(
             [self.r[k, k] * points for k in range(self.n_tx)]
@@ -101,6 +135,10 @@ class GemmEvaluator:
         given, ``r``/``constellation`` are taken from it and the
         per-frame validation and per-level precompute are skipped
         entirely (the block-fading fast path).
+    metric:
+        Partial-distance metric (name or instance); defaults to the
+        kernel's metric (ℓ₂ for a fresh kernel). Must agree with a
+        prebuilt kernel's metric.
     """
 
     def __init__(
@@ -110,10 +148,12 @@ class GemmEvaluator:
         constellation: Constellation,
         *,
         kernel: ChannelKernel | None = None,
+        metric: PartialDistanceMetric | str | None = None,
     ) -> None:
         if kernel is None:
-            kernel = ChannelKernel(r, constellation)
+            kernel = ChannelKernel(r, constellation, metric=metric)
         self.kernel = kernel
+        self.metric = _check_metric_match(kernel, metric)
         self.n_tx = kernel.n_tx
         self.ybar = check_vector(ybar, "ybar", length=self.n_tx).astype(
             np.complex128
@@ -128,6 +168,9 @@ class GemmEvaluator:
         # per expansion is measurable at single-node pools).
         self._points = kernel.constellation.points
         self._order = kernel.constellation.order
+        self._increments = self.metric.increments
+        self._accumulate = self.metric.accumulate
+        self._flops_per_norm = self.metric.flops_per_norm
         self.gemm_calls = 0
         self.gemm_flops = 0
         self.norm_flops = 0
@@ -223,14 +266,15 @@ class GemmEvaluator:
                 self.ybar[level] - self._diag_points[level], (pool, self._order)
             )
         self.gemm_calls += 1
-        increments = error.real**2 + error.imag**2
-        self.norm_flops += FLOPS_PER_NORM * pool * self._order
-        result = parent_pds[:, None] + increments
+        increments = self._increments(error)
+        self.norm_flops += self._flops_per_norm * pool * self._order
+        result = self._accumulate(parent_pds, increments)
         self.gemm_time_s += perf_counter() - t0
         return result
 
     def leaf_metric(self, indices_by_level: np.ndarray) -> float:
-        """Full reduced-domain metric ``||ybar - R s||^2`` of one leaf.
+        """Full reduced-domain metric of one leaf (``||ybar - R s||²``
+        under ℓ₂, the max per-dimension error under ℓ∞).
 
         ``indices_by_level[k]`` is the point index assigned at level ``k``
         (ascending level order).
@@ -243,7 +287,7 @@ class GemmEvaluator:
             )
         s = self.constellation.points[indices_by_level]
         residual = self.ybar - self.r @ s
-        return float(np.real(np.vdot(residual, residual)))
+        return self.metric.residual_metric(residual)
 
 
 class BatchedGemmEvaluator:
@@ -270,6 +314,8 @@ class BatchedGemmEvaluator:
     kernel:
         Optional prebuilt :class:`ChannelKernel`, as in
         :class:`GemmEvaluator`.
+    metric:
+        Partial-distance metric, as in :class:`GemmEvaluator`.
     """
 
     def __init__(
@@ -279,10 +325,12 @@ class BatchedGemmEvaluator:
         constellation: Constellation,
         *,
         kernel: ChannelKernel | None = None,
+        metric: PartialDistanceMetric | str | None = None,
     ) -> None:
         if kernel is None:
-            kernel = ChannelKernel(r, constellation)
+            kernel = ChannelKernel(r, constellation, metric=metric)
         self.kernel = kernel
+        self.metric = _check_metric_match(kernel, metric)
         self.n_tx = kernel.n_tx
         ybars = np.asarray(ybars)
         if ybars.ndim != 2 or ybars.shape[1] != self.n_tx:
@@ -297,6 +345,9 @@ class BatchedGemmEvaluator:
         self._rows = kernel.rows
         self._points = kernel.constellation.points
         self._order = kernel.constellation.order
+        self._increments = self.metric.increments
+        self._accumulate = self.metric.accumulate
+        self._flops_per_norm = self.metric.flops_per_norm
         #: Fused cross-frame GEMM calls actually issued (the batching
         #: win: compare against the sum of per-frame ``gemm_calls``).
         self.fused_gemm_calls = 0
@@ -384,8 +435,8 @@ class BatchedGemmEvaluator:
             error = ybar_rows[:, None] - self._diag_points[level][None, :]
         self.fused_gemm_calls += 1
         self.rows_evaluated += pool
-        increments = error.real**2 + error.imag**2
-        self.norm_flops += FLOPS_PER_NORM * pool * self._order
-        result = parent_pds[:, None] + increments
+        increments = self._increments(error)
+        self.norm_flops += self._flops_per_norm * pool * self._order
+        result = self._accumulate(parent_pds, increments)
         self.gemm_time_s += perf_counter() - t0
         return result

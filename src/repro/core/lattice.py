@@ -11,6 +11,15 @@ receive diversity at linear-filter cost (see
 
 This is a real-valued LLL over arbitrary tall bases; the MIMO use passes
 the real decomposition of the channel.
+
+The module also hosts the :class:`LatticeRepresentation` axis: *which*
+lattice the tree search runs over — the complex QAM lattice, the classic
+stacked real decomposition, or the reordered (interleaved) real lattice
+of Azzam & Ayanoglu — selected per detector at ``prepare`` time (see
+:class:`repro.detectors.engine.EngineDetector`). Representations are
+stateless strategy objects: they map the channel/receive vector into the
+search domain, name the search alphabet, and fold tree decisions back to
+complex-domain QAM indices.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.mimo.constellation import Constellation, pam_component
+from repro.mimo.preprocessing import real_decomposition, real_layout_permutation
 from repro.util.validation import check_matrix
 
 
@@ -138,3 +149,144 @@ def is_size_reduced(basis: np.ndarray, tol: float = 1e-9) -> bool:
             q[:, i] -= mu * q[:, j]
         norms[i] = q[:, i] @ q[:, i]
     return True
+
+
+class LatticeRepresentation:
+    """Strategy object defining the search lattice of a tree detector.
+
+    The complex representation is the identity: the search runs over the
+    QAM alphabet on ``H`` itself. The real representations map the
+    ``N x M`` complex system to the equivalent ``2N x 2M`` real one and
+    search the per-dimension PAM alphabet — same leaf count, twice the
+    depth, ``sqrt(P)`` the branching — differing only in column order:
+
+    ``real``
+        Stacked ``[Re s; Im s]`` blocks (the textbook order).
+    ``real-reordered``
+        Interleaved ``[Re s_1, Im s_1, Re s_2, Im s_2, ...]`` (Azzam &
+        Ayanoglu): both halves of one complex symbol sit on *adjacent*
+        levels, so a paired enumerator decides I and Q together — the
+        effective tree depth is back to ``M`` (see docs/algorithms.md).
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"complex"``, ``"real"``, ``"real-reordered"``).
+    depth_factor:
+        Tree levels per transmit antenna (1 complex, 2 real).
+    noise_var_scale:
+        Factor applied to the complex noise variance in the search
+        domain (each real dimension carries half the complex variance).
+    """
+
+    name = "complex"
+    depth_factor = 1
+    noise_var_scale = 1.0
+
+    def search_constellation(self, constellation: Constellation) -> Constellation:
+        """Alphabet enumerated per tree level."""
+        return constellation
+
+    def map_channel(self, channel: np.ndarray) -> np.ndarray:
+        """Channel matrix the QR factorisation runs on."""
+        return channel
+
+    def map_received(self, received: np.ndarray) -> np.ndarray:
+        """Receive vector in the search domain."""
+        return received
+
+    def scale_noise(self, noise_var: float) -> float:
+        """Per-dimension noise variance in the search domain."""
+        return float(noise_var)
+
+    def fold_indices(
+        self, level_indices: np.ndarray, n_tx: int, constellation: Constellation
+    ) -> np.ndarray:
+        """Map antenna-ordered tree decisions to complex QAM indices.
+
+        ``level_indices`` is the decoded index vector *after* undoing the
+        QR column permutation, i.e. in this representation's column
+        order; the result is one QAM point index per transmit antenna.
+        """
+        return level_indices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ComplexLattice(LatticeRepresentation):
+    """Identity representation: search the complex QAM lattice."""
+
+
+class RealLattice(LatticeRepresentation):
+    """Stacked real decomposition (``[Re s; Im s]`` column blocks)."""
+
+    name = "real"
+    depth_factor = 2
+    noise_var_scale = 0.5
+    _layout = "stacked"
+
+    def search_constellation(self, constellation: Constellation) -> Constellation:
+        return pam_component(constellation)
+
+    def map_channel(self, channel: np.ndarray) -> np.ndarray:
+        h_real, _ = real_decomposition(
+            channel,
+            np.zeros(channel.shape[0], complex),
+            layout=self._layout,
+        )
+        # The complex search machinery is reused wholesale, so the real
+        # matrix travels as complex128 with zero imaginary parts.
+        return h_real.astype(complex)
+
+    def map_received(self, received: np.ndarray) -> np.ndarray:
+        return np.concatenate([received.real, received.imag]).astype(complex)
+
+    def scale_noise(self, noise_var: float) -> float:
+        # The complex AWGN's real/imag parts each carry half the variance.
+        return float(noise_var) / 2.0
+
+    def fold_indices(
+        self, level_indices: np.ndarray, n_tx: int, constellation: Constellation
+    ) -> np.ndarray:
+        side = int(round(np.sqrt(constellation.order)))
+        # Undo the layout: stacked[k] = Re of antenna k, stacked[M+k] = Im.
+        perm = real_layout_permutation(n_tx, self._layout)
+        stacked = np.empty(2 * n_tx, dtype=np.int64)
+        stacked[perm] = level_indices
+        i_lvl = stacked[:n_tx]
+        q_lvl = stacked[n_tx:]
+        return (i_lvl * side + q_lvl).astype(np.int64)
+
+
+class ReorderedRealLattice(RealLattice):
+    """Interleaved real decomposition (Azzam & Ayanoglu reordering)."""
+
+    name = "real-reordered"
+    _layout = "interleaved"
+
+
+#: Module-level singletons, keyed by representation name.
+COMPLEX_LATTICE = ComplexLattice()
+REAL_LATTICE = RealLattice()
+REORDERED_REAL_LATTICE = ReorderedRealLattice()
+
+LATTICES = {
+    rep.name: rep
+    for rep in (COMPLEX_LATTICE, REAL_LATTICE, REORDERED_REAL_LATTICE)
+}
+
+
+def resolve_lattice(lattice) -> LatticeRepresentation:
+    """Coerce a representation name or instance; ``None`` -> complex."""
+    if lattice is None:
+        return COMPLEX_LATTICE
+    if isinstance(lattice, LatticeRepresentation):
+        return lattice
+    try:
+        return LATTICES[lattice]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(LATTICES))
+        raise ValueError(
+            f"unknown lattice representation {lattice!r} (known: {known})"
+        ) from None

@@ -33,26 +33,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.metric import L2, PartialDistanceMetric, resolve_metric
 from repro.mimo.constellation import Constellation
 
 
 def babai_point(
-    r: np.ndarray, ybar: np.ndarray, constellation: Constellation
+    r: np.ndarray,
+    ybar: np.ndarray,
+    constellation: Constellation,
+    *,
+    metric: PartialDistanceMetric | str | None = None,
 ) -> tuple[np.ndarray, float]:
     """Babai (SIC) solution and its reduced-domain metric.
 
     Back-substitution from level ``M-1`` down to ``0``, slicing each
-    estimate to the nearest constellation point.
+    estimate to the nearest constellation point. The decision sequence is
+    metric-independent (each level slices to the nearest point), but the
+    accumulated metric follows the requested partial-distance ``metric``
+    so the bound is valid for the traversal consuming it (a summed ℓ₂
+    value would be a wrong — too loose *and* differently scaled — ℓ∞
+    incumbent, and vice versa).
 
     Returns
     -------
     ``(indices_by_level, metric)`` where ``indices_by_level[k]`` is the
-    point index at level ``k`` and ``metric = ||ybar - R s||^2``.
+    point index at level ``k`` and ``metric`` is the reduced-domain
+    metric of the Babai leaf (``||ybar - R s||^2`` under ℓ₂).
     """
+    metric_obj = resolve_metric(metric)
     n_tx = r.shape[0]
     indices = np.empty(n_tx, dtype=np.int64)
     symbols = np.empty(n_tx, dtype=np.complex128)
-    metric = 0.0
+    metric_val = 0.0
+    accumulate = metric_obj.scalar_accumulate
     for k in range(n_tx - 1, -1, -1):
         interference = r[k, k + 1 :] @ symbols[k + 1 :]
         estimate = (ybar[k] - interference) / r[k, k]
@@ -60,8 +73,8 @@ def babai_point(
         indices[k] = idx
         symbols[k] = constellation.points[idx]
         err = ybar[k] - interference - r[k, k] * symbols[k]
-        metric += float(err.real**2 + err.imag**2)
-    return indices, metric
+        metric_val = accumulate(metric_val, err)
+    return indices, metric_val
 
 
 @dataclass(frozen=True)
@@ -95,6 +108,8 @@ class RadiusPolicy(abc.ABC):
         ybar: np.ndarray,
         constellation: Constellation,
         noise_var: float,
+        *,
+        metric: PartialDistanceMetric | None = None,
     ) -> RadiusInit:
         """Initial radius (and optional incumbent) for one detection."""
 
@@ -112,6 +127,8 @@ class InfiniteRadius(RadiusPolicy):
         ybar: np.ndarray,
         constellation: Constellation,
         noise_var: float,
+        *,
+        metric: PartialDistanceMetric | None = None,
     ) -> RadiusInit:
         return RadiusInit(radius_sq=np.inf)
 
@@ -140,13 +157,20 @@ class NoiseScaledRadius(RadiusPolicy):
         ybar: np.ndarray,
         constellation: Constellation,
         noise_var: float,
+        *,
+        metric: PartialDistanceMetric | None = None,
     ) -> RadiusInit:
         n_tx = r.shape[0]
         if noise_var <= 0:
             # Noiseless operation: fall back to the Babai bound, which is
             # always valid; a zero radius would erase every time.
-            indices, metric = babai_point(r, ybar, constellation)
-            return RadiusInit(radius_sq=metric, incumbent_indices=indices)
+            indices, bound = babai_point(r, ybar, constellation, metric=metric)
+            return RadiusInit(radius_sq=bound, incumbent_indices=indices)
+        if metric is not None and metric is not L2 and metric.name != L2.name:
+            # A statistical chi-square radius is an l2-metric quantity;
+            # for other metrics the Babai bound is the valid analogue.
+            indices, bound = babai_point(r, ybar, constellation, metric=metric)
+            return RadiusInit(radius_sq=bound, incumbent_indices=indices)
         return RadiusInit(radius_sq=self.alpha * n_tx * noise_var)
 
 
@@ -178,6 +202,8 @@ class FixedRadius(RadiusPolicy):
         ybar: np.ndarray,
         constellation: Constellation,
         noise_var: float,
+        *,
+        metric: PartialDistanceMetric | None = None,
     ) -> RadiusInit:
         return RadiusInit(radius_sq=self.radius_sq)
 
@@ -191,9 +217,11 @@ class BabaiRadius(RadiusPolicy):
         ybar: np.ndarray,
         constellation: Constellation,
         noise_var: float,
+        *,
+        metric: PartialDistanceMetric | None = None,
     ) -> RadiusInit:
-        indices, metric = babai_point(r, ybar, constellation)
-        return RadiusInit(radius_sq=metric, incumbent_indices=indices)
+        indices, bound = babai_point(r, ybar, constellation, metric=metric)
+        return RadiusInit(radius_sq=bound, incumbent_indices=indices)
 
     def can_escalate(self) -> bool:
         return False  # the Babai sphere always contains its own point

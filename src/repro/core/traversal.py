@@ -63,11 +63,11 @@ import numpy as np
 from repro.core.enumeration import CHILD_ORDERS, child_order
 from repro.core.gemm import (
     FLOPS_PER_CMAC,
-    FLOPS_PER_NORM,
     BatchedGemmEvaluator,
     GemmEvaluator,
 )
 from repro.core.lockstep import ExpandRequest, drive_lockstep, drive_serial
+from repro.core.metric import resolve_metric
 from repro.core.nodepool import NodePool, extend_paths
 from repro.core.radius import babai_point
 from repro.core.stats import BatchEvent, DecodeStats
@@ -227,7 +227,8 @@ class _PooledTreePolicy(TraversalPolicy):
         )
         with tracer.span("sd.solve", strategy=self.strategy, n_tx=n_tx):
             init = engine.radius_policy.initial(
-                r, ybar, engine.constellation, float(noise_var)
+                r, ybar, engine.constellation, float(noise_var),
+                metric=engine.metric,
             )
             bound = float(init.radius_sq)
             incumbent = init.incumbent_indices
@@ -247,7 +248,9 @@ class _PooledTreePolicy(TraversalPolicy):
                 bound *= engine.radius_policy.escalation_factor
                 stats.radius_trace.append(bound)
             if incumbent is None:
-                incumbent, bound = babai_point(r, ybar, engine.constellation)
+                incumbent, bound = babai_point(
+                    r, ybar, engine.constellation, metric=engine.metric
+                )
                 stats.truncated = max(stats.truncated, 1)
                 _log.debug(
                     "sphere empty after escalation; falling back to Babai "
@@ -284,7 +287,7 @@ class _PooledTreePolicy(TraversalPolicy):
         stats.gemm_calls += 1
         if depth:
             stats.gemm_flops += FLOPS_PER_CMAC * b * depth
-        stats.gemm_flops += FLOPS_PER_NORM * b * order
+        stats.gemm_flops += engine.metric.flops_per_norm * b * order
         if engine.record_trace:
             stats.batches.append(BatchEvent(level=level, pool_size=b))
         hook = engine.expand_hook
@@ -580,7 +583,7 @@ class BfsPolicy(TraversalPolicy):
             depth = n_tx - 1 - level
             if depth:
                 stats.gemm_flops += FLOPS_PER_CMAC * frontier * depth
-            stats.gemm_flops += FLOPS_PER_NORM * frontier * p
+            stats.gemm_flops += engine.metric.flops_per_norm * frontier * p
             if engine.record_trace:
                 stats.batches.append(
                     BatchEvent(level=level, pool_size=frontier)
@@ -617,7 +620,8 @@ class BfsPolicy(TraversalPolicy):
         if engine.level_acc is not None:
             engine.level_acc.ensure(n_tx)
         init = engine.radius_policy.initial(
-            r, ybar, engine.constellation, float(noise_var)
+            r, ybar, engine.constellation, float(noise_var),
+            metric=engine.metric,
         )
         radius_sq = float(init.radius_sq)
         stats.radius_trace.append(radius_sq)
@@ -629,7 +633,9 @@ class BfsPolicy(TraversalPolicy):
                 engine, n_tx, radius_sq, stats, tracer
             )
         if best is None:
-            best, metric = babai_point(r, ybar, engine.constellation)
+            best, metric = babai_point(
+                r, ybar, engine.constellation, metric=engine.metric
+            )
             stats.truncated += 1
         return best, metric
 
@@ -664,7 +670,7 @@ class _SweepPolicy(TraversalPolicy):
             depth = n_tx - 1 - level
             if depth:
                 stats.gemm_flops += FLOPS_PER_CMAC * width * depth
-            stats.gemm_flops += FLOPS_PER_NORM * width * p
+            stats.gemm_flops += engine.metric.flops_per_norm * width * p
             if engine.record_trace:
                 stats.batches.append(BatchEvent(level=level, pool_size=width))
             pruned_before = stats.nodes_pruned
@@ -761,7 +767,9 @@ class ScalarGemvBackend:
     """
 
     def run(self, engine, r, ybar, noise_var, stats, tracer, *, kernel=None):
-        evaluator = GemmEvaluator(r, ybar, engine.constellation, kernel=kernel)
+        evaluator = GemmEvaluator(
+            r, ybar, engine.constellation, kernel=kernel, metric=engine.metric
+        )
         result = drive_serial(
             engine.solve_gen(r, ybar, noise_var, stats, tracer), evaluator
         )
@@ -787,7 +795,7 @@ class FusedGemmBackend:
 
     def run(self, engine, r, ybars, noise_var, stats_list, *, kernel=None):
         evaluator = BatchedGemmEvaluator(
-            r, ybars, engine.constellation, kernel=kernel
+            r, ybars, engine.constellation, kernel=kernel, metric=engine.metric
         )
         searches = [
             engine.solve_gen(r, ybars[f], noise_var, stats_list[f], NULL_TRACER)
@@ -816,6 +824,12 @@ class TraversalEngine:
         Initial-radius strategy consulted by the radius-driven policies
         (best-FS / DFS / BFS); the fixed-workload policies (K-best, FSD)
         ignore it. ``None`` is only valid for the latter.
+    metric:
+        Partial-distance metric (name or
+        :class:`~repro.core.metric.PartialDistanceMetric`); ``None``
+        selects the ℓ₂ reference. Threaded to the evaluators, the flop
+        accounting and the radius policy, so every traversal policy
+        composes with every metric.
     record_trace:
         Keep the per-expansion :class:`BatchEvent` list in the stats.
 
@@ -833,11 +847,13 @@ class TraversalEngine:
         policy: TraversalPolicy,
         *,
         radius_policy=None,
+        metric=None,
         record_trace: bool = True,
     ) -> None:
         self.constellation = constellation
         self.policy = policy
         self.radius_policy = radius_policy
+        self.metric = resolve_metric(metric)
         self.record_trace = record_trace
         #: Optional per-level traversal accumulator (see class docstring).
         self.level_acc: LevelAccumulator | None = None

@@ -26,6 +26,8 @@ from contextlib import ExitStack
 import numpy as np
 
 from repro.core.gemm import ChannelKernel
+from repro.core.lattice import resolve_lattice
+from repro.core.metric import resolve_metric
 from repro.core.traversal import (
     LevelAccumulator,
     TraversalEngine,
@@ -74,19 +76,66 @@ class EngineDetector(Detector):
     #: Column ordering for the QR step: ``"natural"`` (plain QR) or
     #: ``"sqrd"`` (sorted QR). May be overridden per instance.
     ordering = "natural"
+    #: Partial-distance metric (name or instance) threaded to the
+    #: evaluators, flop accounting and radius policy. May be overridden
+    #: per instance.
+    metric = "l2"
+    #: Lattice representation the search runs over (name or instance);
+    #: applied at :meth:`prepare` time. May be overridden per instance.
+    lattice = "complex"
 
     constellation = None
     radius_policy = None
     record_trace = True
+
+    @property
+    def metric_obj(self):
+        """Resolved :class:`~repro.core.metric.PartialDistanceMetric`."""
+        obj = getattr(self, "_metric_obj", None)
+        if obj is None:
+            obj = self._metric_obj = resolve_metric(self.metric)
+        return obj
+
+    @property
+    def lattice_rep(self):
+        """Resolved :class:`~repro.core.lattice.LatticeRepresentation`."""
+        rep = getattr(self, "_lattice_rep", None)
+        if rep is None:
+            rep = self._lattice_rep = resolve_lattice(self.lattice)
+        return rep
+
+    @property
+    def search_constellation(self):
+        """Alphabet enumerated per tree level (PAM under real lattices)."""
+        const = getattr(self, "_search_const", None)
+        if const is None:
+            const = self._search_const = self.lattice_rep.search_constellation(
+                self.constellation
+            )
+        return const
+
+    def _resolve_axes(self) -> None:
+        """Eagerly resolve the metric/lattice axes.
+
+        Called by subclass constructors so misconfiguration — an unknown
+        name, or a real lattice over a non-square-QAM alphabet — fails
+        at construction instead of at first ``prepare``.
+        """
+        self._metric_obj = resolve_metric(self.metric)
+        self._lattice_rep = resolve_lattice(self.lattice)
+        self._search_const = self._lattice_rep.search_constellation(
+            self.constellation
+        )
 
     def _policy(self) -> TraversalPolicy:
         raise NotImplementedError
 
     def _engine(self) -> TraversalEngine:
         return TraversalEngine(
-            self.constellation,
+            self.search_constellation,
             self._policy(),
             radius_policy=self.radius_policy,
+            metric=self.metric_obj,
             record_trace=self.record_trace,
         )
 
@@ -106,14 +155,24 @@ class EngineDetector(Detector):
             raise ValueError(f"noise_var must be non-negative, got {noise_var}")
         self._check_channel(channel)
         self._channel = channel
+        # The lattice representation decides which system the QR (and
+        # therefore the whole tree search) runs on: the complex channel
+        # itself, or its 2N x 2M real decomposition. The complex
+        # representation is a strict identity — same arrays, same ops.
+        rep = self.lattice_rep
+        search_channel = rep.map_channel(channel)
         self._qr: QRResult = (
-            sorted_qr(channel) if self.ordering == "sqrd" else qr_decompose(channel)
+            sorted_qr(search_channel)
+            if self.ordering == "sqrd"
+            else qr_decompose(search_channel)
         )
         # One per-channel kernel for the whole fading block: R is shared
         # by every frame, so triangularity validation and the per-level
         # diag/row tables are computed here once instead of per frame.
-        self._kernel = ChannelKernel(self._qr.r, self.constellation)
-        self._noise_var = float(noise_var)
+        self._kernel = ChannelKernel(
+            self._qr.r, self.search_constellation, metric=self.metric_obj
+        )
+        self._noise_var = rep.scale_noise(noise_var)
         self._prepared = True
 
     def detect(self, received: np.ndarray) -> DetectionResult:
@@ -132,7 +191,9 @@ class EngineDetector(Detector):
                 )
             )
             with timer:
-                ybar = effective_receive(self._qr, received)
+                ybar = effective_receive(
+                    self._qr, self.lattice_rep.map_received(received)
+                )
                 incumbent, _bound, stats = self.solve(
                     self._qr.r, ybar, self._noise_var
                 )
@@ -231,8 +292,12 @@ class EngineDetector(Detector):
                 )
             )
             with timer:
+                rep = self.lattice_rep
                 ybars = np.stack(
-                    [effective_receive(self._qr, row) for row in received]
+                    [
+                        effective_receive(self._qr, rep.map_received(row))
+                        for row in received
+                    ]
                 )
                 engine = self._engine()
                 metrics = current_metrics()
@@ -287,7 +352,7 @@ class EngineDetector(Detector):
             expansions = metrics.counter("traversal.expansions")
             generated = metrics.counter("traversal.nodes_generated")
             pruned = metrics.counter("traversal.nodes_pruned")
-            order = self.constellation.order
+            order = self.search_constellation.order
             for level, n_exp in enumerate(acc.exps):
                 n_pruned = acc.pruned[level]
                 if not n_exp and not n_pruned:
@@ -319,8 +384,14 @@ class EngineDetector(Detector):
     ) -> DetectionResult:
         """Map a tree-level decision back to antenna order + true metric."""
         # ``incumbent`` is indexed by tree level == factorised column;
-        # map back to the original antenna order.
+        # map back to the original antenna order (still in the lattice
+        # representation's column layout), then fold real-lattice PAM
+        # pairs back to one QAM index per antenna (identity for the
+        # complex representation).
         indices = self._qr.unpermute(incumbent)
+        indices = self.lattice_rep.fold_indices(
+            indices, self._channel.shape[1], self.constellation
+        )
         symbols = self.constellation.map_indices(indices)
         bits = self.constellation.indices_to_bits(indices)
         residual = received - self._channel @ symbols

@@ -52,11 +52,14 @@ class KBestDecoder(EngineDetector):
         constellation: Constellation,
         *,
         k: int = 16,
+        metric: str = "l2",
         record_trace: bool = True,
     ) -> None:
         self.constellation = constellation
         self.k = check_positive_int(k, "k")
+        self.metric = metric
         self.record_trace = record_trace
+        self._resolve_axes()
         self._qr = None
         self._channel = None
         self._noise_var = 0.0

@@ -8,55 +8,37 @@ is 20 levels x 4 children instead of 10 levels x 16, which changes the
 pruning dynamics (finer-grained PDs allow earlier cuts) and the GEMM
 shapes (skinnier, twice as many).
 
-This implementation reuses the complex search machinery wholesale: the
-per-dimension PAM alphabet is wrapped as a degenerate "constellation"
-(real points, Gray labels), the real channel decomposition is fed
-through the same QR + :class:`SphereDecoder` stack, and the PAM decision
-pair (I, Q) is mapped back to QAM indices. Exactness therefore carries
-over — verified against brute-force ML in ``tests/test_real_sd.py`` —
-and the decode trace drives the same platform models, enabling the
-complex-vs-real domain comparison.
+Since the lattice representation became a first-class
+:class:`~repro.detectors.engine.EngineDetector` axis
+(:mod:`repro.core.lattice`), this class is a thin preset: a
+:class:`~repro.detectors.sphere.SphereDecoder` pinned to
+``lattice="real"`` with the historical DFS/noise-scaled-radius defaults.
+The engine shell maps the channel through
+:func:`~repro.mimo.preprocessing.real_decomposition`, searches the
+per-dimension PAM alphabet, and folds the (I, Q) decision pair back to
+QAM indices; exactness carries over — verified against brute-force ML in
+``tests/test_real_sd.py`` — and the decode trace drives the same
+platform models, enabling the complex-vs-real domain comparison. The
+reordered (interleaved) variant of Azzam & Ayanoglu is the same decoder
+with ``lattice="real-reordered"`` (registry kind ``sd-real-reordered``).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.radius import NoiseScaledRadius, RadiusPolicy
-from repro.detectors.base import DetectionResult, Detector
 from repro.detectors.sphere import SphereDecoder
-from repro.mimo.constellation import Constellation, gray_code
-from repro.mimo.preprocessing import real_decomposition
-from repro.util.validation import check_matrix, check_vector
+from repro.mimo.constellation import Constellation, pam_component
+
+__all__ = ["RealSphereDecoder", "pam_component"]
 
 
-def pam_component(constellation: Constellation) -> Constellation:
-    """The per-dimension PAM alphabet of a square QAM constellation.
-
-    Returns a :class:`Constellation` whose points are the (normalised)
-    real levels with the same Gray labelling the QAM uses per dimension,
-    so that ``qam_index = i_index * L + q_index`` holds between the two.
-    """
-    if not constellation.is_square_qam:
-        raise ValueError("real decomposition requires a square QAM constellation")
-    side = int(round(np.sqrt(constellation.order)))
-    scale = 1.0 / np.sqrt(2.0 * (constellation.order - 1) / 3.0)
-    levels = (np.arange(side) * 2 - (side - 1)) * scale
-    bits_per_dim = side.bit_length() - 1
-    gray = np.asarray(gray_code(np.arange(side)))
-    labels = (
-        (gray[:, None] >> np.arange(bits_per_dim - 1, -1, -1)) & 1
-    ).astype(bool)
-    return Constellation(
-        f"{side}-PAM", levels.astype(complex), labels, normalize=False
-    )
-
-
-class RealSphereDecoder(Detector):
+class RealSphereDecoder(SphereDecoder):
     """Exact sphere decoding over the 2M-dimensional real lattice.
 
     Parameters mirror :class:`SphereDecoder`; the traversal runs on the
-    real decomposition with the PAM alphabet.
+    real decomposition with the PAM alphabet. ``lattice`` selects the
+    column layout (``"real"`` stacked — the default — or
+    ``"real-reordered"`` interleaved).
     """
 
     name = "sphere-real"
@@ -68,53 +50,16 @@ class RealSphereDecoder(Detector):
         strategy: str = "dfs",
         radius_policy: RadiusPolicy | None = None,
         max_nodes: int | None = None,
+        lattice: str = "real",
         record_trace: bool = True,
     ) -> None:
-        self.constellation = constellation
-        self.pam = pam_component(constellation)
-        self._inner = SphereDecoder(
-            self.pam,
+        super().__init__(
+            constellation,
             strategy=strategy,
             radius_policy=radius_policy or NoiseScaledRadius(alpha=2.0),
             max_nodes=max_nodes,
+            lattice=lattice,
             record_trace=record_trace,
         )
-        self._channel: np.ndarray | None = None
-        self._prepared = False
-
-    def prepare(self, channel: np.ndarray, noise_var: float = 0.0) -> None:
-        channel = check_matrix(channel, "channel")
-        if channel.shape[0] < channel.shape[1]:
-            raise ValueError("real-domain SD needs n_rx >= n_tx")
-        self._channel = channel
-        h_real, _ = real_decomposition(
-            channel, np.zeros(channel.shape[0], complex)
-        )
-        # The complex AWGN's real/imag parts each carry half the variance.
-        self._inner.prepare(h_real.astype(complex), noise_var=noise_var / 2.0)
-        self._prepared = True
-
-    def detect(self, received: np.ndarray) -> DetectionResult:
-        self._require_prepared()
-        received = check_vector(
-            received, "received", length=self._channel.shape[0]
-        )
-        y_real = np.concatenate([received.real, received.imag]).astype(complex)
-        inner_result = self._inner.detect(y_real)
-        n_tx = self._channel.shape[1]
-        side = self.pam.order
-        # Inner indices are PAM level indices: first M are I, last M are Q.
-        i_lvl = inner_result.indices[:n_tx]
-        q_lvl = inner_result.indices[n_tx:]
-        indices = (i_lvl * side + q_lvl).astype(np.int64)
-        symbols = self.constellation.map_indices(indices)
-        bits = self.constellation.indices_to_bits(indices)
-        residual = received - self._channel @ symbols
-        metric = float(np.real(np.vdot(residual, residual)))
-        return DetectionResult(
-            indices=indices,
-            symbols=symbols,
-            bits=bits,
-            metric=metric,
-            stats=inner_result.stats,
-        )
+        #: The per-dimension PAM search alphabet (back-compat alias).
+        self.pam = self.search_constellation

@@ -71,6 +71,13 @@ class DetectorEntry:
     fpga_replayable:
         Emits a :class:`~repro.core.stats.BatchEvent` trace the FPGA
         pipeline simulator can replay.
+    metric:
+        Partial-distance metric of the node kernel (``"l2"`` exact ML
+        reference, ``"linf"`` max/compare). Approximate metrics imply
+        ``exact=False``.
+    lattice:
+        Lattice representation searched (``"complex"``, ``"real"``,
+        ``"real-reordered"``); see :mod:`repro.core.lattice`.
     figures:
         Paper figures / experiments that use this configuration.
     """
@@ -82,6 +89,8 @@ class DetectorEntry:
     exact: bool = False
     batch: bool = False
     fpga_replayable: bool = False
+    metric: str = "l2"
+    lattice: str = "complex"
     figures: tuple[str, ...] = ()
 
 
@@ -218,6 +227,38 @@ def _make_real_sd(constellation, *, alpha, max_nodes, record_trace):
         strategy="dfs",
         radius_policy=NoiseScaledRadius(alpha=alpha),
         max_nodes=max_nodes,
+        record_trace=record_trace,
+    )
+
+
+def _make_sd_linf(constellation, *, alpha, max_nodes, child_ordering, record_trace):
+    # Same traversal shape as the canonical ``sd`` kind; only the
+    # partial-distance metric differs (under linf the noise-scaled
+    # radius degenerates to the metric-consistent Babai seed).
+    return SphereDecoder(
+        constellation,
+        strategy="dfs",
+        radius_policy=NoiseScaledRadius(alpha=alpha),
+        child_ordering=child_ordering,
+        max_nodes=max_nodes,
+        metric="linf",
+        record_trace=record_trace,
+    )
+
+
+def _make_kbest_linf(constellation, *, k, record_trace):
+    return KBestDecoder(
+        constellation, k=k, metric="linf", record_trace=record_trace
+    )
+
+
+def _make_real_sd_reordered(constellation, *, alpha, max_nodes, record_trace):
+    return RealSphereDecoder(
+        constellation,
+        strategy="dfs",
+        radius_policy=NoiseScaledRadius(alpha=alpha),
+        max_nodes=max_nodes,
+        lattice="real-reordered",
         record_trace=record_trace,
     )
 
@@ -361,7 +402,48 @@ _register(DetectorEntry(
     exact=True,
     batch=False,
     fpga_replayable=True,
+    lattice="real",
     figures=("ablation-domain",),
+))
+
+_register(DetectorEntry(
+    kind="sd-linf",
+    summary="linf-norm SD: max/compare NORM stage, bounded BER loss",
+    factory=_make_sd_linf,
+    defaults={
+        "alpha": 2.0,
+        "max_nodes": DEFAULT_MAX_NODES,
+        "child_ordering": "sorted",
+        "record_trace": True,
+    },
+    exact=False,
+    batch=True,
+    fpga_replayable=True,
+    metric="linf",
+    figures=("ablation-metric",),
+))
+
+_register(DetectorEntry(
+    kind="kbest-linf",
+    summary="K-best with linf partial distances (compare-tree NORM)",
+    factory=_make_kbest_linf,
+    defaults={"k": 16, "record_trace": True},
+    exact=False,
+    batch=True,
+    fpga_replayable=True,
+    metric="linf",
+))
+
+_register(DetectorEntry(
+    kind="sd-real-reordered",
+    summary="exact SD on the reordered (interleaved) real lattice",
+    factory=_make_real_sd_reordered,
+    defaults={"alpha": 2.0, "max_nodes": None, "record_trace": True},
+    exact=True,
+    batch=True,
+    fpga_replayable=True,
+    lattice="real-reordered",
+    figures=("ablation-metric",),
 ))
 
 _register(DetectorEntry(

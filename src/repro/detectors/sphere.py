@@ -89,6 +89,14 @@ class SphereDecoder(EngineDetector):
     max_nodes:
         Optional safety cap on expanded nodes; when hit, the best
         incumbent so far is returned and ``stats.truncated`` is set.
+    metric:
+        Partial-distance metric: ``"l2"`` (exact ML, default) or
+        ``"linf"`` (Seethaler & Bölcskei max/compare kernel — cheaper
+        NORM stage, bounded BER loss).
+    lattice:
+        Lattice representation: ``"complex"`` (default), ``"real"``
+        (stacked real decomposition) or ``"real-reordered"`` (Azzam &
+        Ayanoglu interleaving). Real lattices need square QAM.
     record_trace:
         Keep the per-expansion :class:`BatchEvent` list in the stats.
     """
@@ -115,6 +123,8 @@ class SphereDecoder(EngineDetector):
         pool_size: int = 8,
         child_ordering: str = "sorted",
         max_nodes: int | None = None,
+        metric: str = "l2",
+        lattice: str = "complex",
         record_trace: bool = True,
     ) -> None:
         self.constellation = constellation
@@ -128,7 +138,10 @@ class SphereDecoder(EngineDetector):
         self.max_nodes = (
             None if max_nodes is None else check_positive_int(max_nodes, "max_nodes")
         )
+        self.metric = metric
+        self.lattice = lattice
         self.record_trace = record_trace
+        self._resolve_axes()
         self._qr = None
         self._channel = None
         self._noise_var = 0.0

@@ -43,6 +43,13 @@ PIPELINE_STAGES = ("branch", "prefetch", "gemm", "norm", "prune")
 #: control/round-trip, radius updates, per-decode setup, host transfer.
 OVERHEAD_BUCKETS = ("fill", "control", "radius", "setup", "transfer")
 
+#: NORM-module micro-architectures. ``"mac"`` is the paper's fp32
+#: multiply-accumulate datapath for the ℓ₂-squared partial distance;
+#: ``"compare"`` is the max/compare tree the ℓ∞ metric admits (Seethaler
+#: & Bölcskei) — no multipliers, so the stage initiates faster, drains
+#: in fewer cycles and frees DSP slices (see ``fpga/resources.py``).
+NORM_KINDS = ("mac", "compare")
+
 
 def _mesh_cols(order: int) -> int:
     """GEMM mesh width for a per-modulation specialised design.
@@ -97,10 +104,20 @@ class PipelineConfig:
     #: Per-decode fixed work: ybar = Q^H y, list/MST initialisation and
     #: radius seeding. Calibrated with the same anchors.
     setup_cycles: int = 0
+    #: NORM datapath flavour (:data:`NORM_KINDS`): ``"mac"`` for the
+    #: ℓ₂-squared multiply-accumulate, ``"compare"`` for the ℓ∞ max
+    #: tree. ``norm_ii``/``norm_latency`` must be set consistently (the
+    #: presets do this); the flag also drives the resource and power
+    #: deltas in :mod:`repro.fpga.resources` / :mod:`repro.fpga.power`.
+    norm_kind: str = "mac"
 
     def __post_init__(self) -> None:
         if self.freq_mhz <= 0:
             raise ValueError("freq_mhz must be positive")
+        if self.norm_kind not in NORM_KINDS:
+            raise ValueError(
+                f"norm_kind must be one of {NORM_KINDS}, got {self.norm_kind!r}"
+            )
         for name in (
             "control_overhead_cycles",
             "branch_ii",
@@ -117,15 +134,20 @@ class PipelineConfig:
                 raise ValueError(f"{name} must be non-negative")
 
     @classmethod
-    def baseline(cls, order: int = 4) -> "PipelineConfig":
+    def baseline(cls, order: int = 4, *, norm_kind: str = "mac") -> "PipelineConfig":
         """Direct HLS port of the CPU code (paper's FPGA-baseline).
 
         ``order`` is the modulation factor; the paper builds a separate
         design per modulation (section III-C4), whose GEMM mesh is sized
-        to the ``P`` children emitted per node.
+        to the ``P`` children emitted per node. ``norm_kind="compare"``
+        swaps the NORM MAC datapath for the ℓ∞ max tree: a comparator
+        initiates every cycle even in the un-pipelined baseline (no
+        loop-carried fp accumulation to schedule around) and its tree
+        depth is a fraction of the fp-adder chain.
         """
+        compare = norm_kind == "compare"
         return cls(
-            name="fpga-baseline",
+            name="fpga-baseline" + ("-linf" if compare else ""),
             freq_mhz=253.0,
             gemm=SystolicGemmEngine(
                 rows=8,
@@ -139,21 +161,28 @@ class PipelineConfig:
             control_overhead_cycles=96,
             branch_ii=2,
             branch_latency=8,
-            norm_ii=4,
-            norm_latency=16,
+            norm_ii=1 if compare else 4,
+            norm_latency=4 if compare else 16,
             sorted_insertion=True,
             list_cycles_per_child=16,
             radius_update_cycles=8,
             pipeline_fill_cycles=32,
             node_roundtrip_cycles=_roundtrip_cycles(order, optimized=False),
             setup_cycles=100_000,
+            norm_kind=norm_kind,
         )
 
     @classmethod
-    def optimized(cls, order: int = 4) -> "PipelineConfig":
-        """The paper's optimised design (section III-C)."""
+    def optimized(cls, order: int = 4, *, norm_kind: str = "mac") -> "PipelineConfig":
+        """The paper's optimised design (section III-C).
+
+        ``norm_kind="compare"`` models the ℓ∞ variant: II is already 1,
+        so only the drain latency shrinks (comparator tree vs fp-adder
+        chain) — plus the fabric/power savings in the companion models.
+        """
+        compare = norm_kind == "compare"
         return cls(
-            name="fpga-optimized",
+            name="fpga-optimized" + ("-linf" if compare else ""),
             freq_mhz=300.0,
             gemm=SystolicGemmEngine(
                 rows=8,
@@ -168,13 +197,14 @@ class PipelineConfig:
             branch_ii=1,
             branch_latency=4,
             norm_ii=1,
-            norm_latency=8,
+            norm_latency=2 if compare else 8,
             sorted_insertion=True,
             list_cycles_per_child=4,
             radius_update_cycles=2,
             pipeline_fill_cycles=16,
             node_roundtrip_cycles=_roundtrip_cycles(order, optimized=True),
             setup_cycles=51_600,
+            norm_kind=norm_kind,
         )
 
 

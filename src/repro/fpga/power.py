@@ -64,9 +64,30 @@ def cpu_power_w(n_antennas: int, order: int) -> float:
     return _power_w(n_antennas, order, CPU_POWER_ANCHORS_W, _CPU_BETA, _CPU_GAMMA)
 
 
-def fpga_power_w(n_antennas: int, order: int) -> float:
-    """FPGA board power for the optimised design on the same system."""
-    return _power_w(n_antennas, order, FPGA_POWER_ANCHORS_W, _FPGA_BETA, _FPGA_GAMMA)
+# Board-power ratio of the compare-tree NORM build (``norm_kind =
+# "compare"``, ℓ∞ metric) to the MAC build. The NORM lanes are a minor
+# share of total board power (the GEMM mesh and HBM dominate), and
+# swapping fp MACs for comparators trims their dynamic power — a ~8%
+# board-level saving, consistent with the DSP reduction in
+# ``fpga/resources.py``.
+_FPGA_COMPARE_NORM_SCALE = 0.92
+
+
+def fpga_power_w(n_antennas: int, order: int, norm_kind: str = "mac") -> float:
+    """FPGA board power for the optimised design on the same system.
+
+    ``norm_kind`` selects the NORM datapath of the build being powered:
+    ``"mac"`` (the measured anchors) or ``"compare"`` (the ℓ∞ max-tree
+    variant, scaled by :data:`_FPGA_COMPARE_NORM_SCALE`).
+    """
+    if norm_kind not in ("mac", "compare"):
+        raise ValueError(
+            f'norm_kind must be "mac" or "compare", got {norm_kind!r}'
+        )
+    base = _power_w(n_antennas, order, FPGA_POWER_ANCHORS_W, _FPGA_BETA, _FPGA_GAMMA)
+    if norm_kind == "compare":
+        return base * _FPGA_COMPARE_NORM_SCALE
+    return base
 
 
 def energy_joules(power_w: float, seconds: float) -> float:

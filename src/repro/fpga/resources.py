@@ -37,6 +37,13 @@ _FF_PER_MAC = 1_080
 _FF_PER_LANE = 3_000
 _FF_FIXED = 100_800
 _DSP_PER_LANE = 7
+# Compare-tree NORM lanes (``norm_kind="compare"``, the ℓ∞ metric): the
+# per-child |Re|/|Im| max needs sign-strip + comparators only — no fp
+# multipliers, so almost all lane DSPs are freed and the fabric cost of
+# a lane drops to the comparator/mux tree.
+_LUT_PER_LANE_CMP = 2_400
+_FF_PER_LANE_CMP = 1_800
+_DSP_PER_LANE_CMP = 2
 _DSP_FIXED = 8
 _BRAM_FIXED = 296
 _BRAM_PER_ORDER = 6.67
@@ -117,9 +124,13 @@ def estimate_resources(
     optimized = config.dataflow_overlap
     macs = config.gemm.macs
     lanes = order
-    luts = _LUT_PER_MAC * macs + _LUT_PER_LANE * lanes + _LUT_FIXED
-    ffs = _FF_PER_MAC * macs + _FF_PER_LANE * lanes + _FF_FIXED
-    dsps = config.gemm.dsp_usage + _DSP_PER_LANE * lanes + _DSP_FIXED
+    compare = getattr(config, "norm_kind", "mac") == "compare"
+    lut_lane = _LUT_PER_LANE_CMP if compare else _LUT_PER_LANE
+    ff_lane = _FF_PER_LANE_CMP if compare else _FF_PER_LANE
+    dsp_lane = _DSP_PER_LANE_CMP if compare else _DSP_PER_LANE
+    luts = _LUT_PER_MAC * macs + lut_lane * lanes + _LUT_FIXED
+    ffs = _FF_PER_MAC * macs + ff_lane * lanes + _FF_FIXED
+    dsps = config.gemm.dsp_usage + dsp_lane * lanes + _DSP_FIXED
     brams = _BRAM_FIXED + _BRAM_PER_ORDER * order + _BRAM_PER_EXTRA_RX * max(
         n_rx - 10, 0
     )

@@ -266,3 +266,27 @@ class Constellation:
 
     def __hash__(self) -> int:
         return hash((self._name, self.order))
+
+
+def pam_component(constellation: Constellation) -> Constellation:
+    """The per-dimension PAM alphabet of a square QAM constellation.
+
+    Returns a :class:`Constellation` whose points are the (normalised)
+    real levels with the same Gray labelling the QAM uses per dimension,
+    so that ``qam_index = i_index * L + q_index`` holds between the two.
+    This is the search alphabet of every real-lattice representation
+    (see :mod:`repro.core.lattice`).
+    """
+    if not constellation.is_square_qam:
+        raise ValueError("real decomposition requires a square QAM constellation")
+    side = int(round(np.sqrt(constellation.order)))
+    scale = 1.0 / np.sqrt(2.0 * (constellation.order - 1) / 3.0)
+    levels = (np.arange(side) * 2 - (side - 1)) * scale
+    bits_per_dim = side.bit_length() - 1
+    gray = np.asarray(gray_code(np.arange(side)))
+    labels = (
+        (gray[:, None] >> np.arange(bits_per_dim - 1, -1, -1)) & 1
+    ).astype(bool)
+    return Constellation(
+        f"{side}-PAM", levels.astype(complex), labels, normalize=False
+    )

@@ -11,7 +11,12 @@ provides:
   which tightens pruning for all tree-search detectors;
 * :func:`effective_receive` — ``ybar = Q^H y``;
 * :func:`real_decomposition` — the equivalent real-valued ``2N x 2M``
-  lattice formulation used by PAM-domain decoders and some baselines.
+  lattice formulation used by PAM-domain decoders and some baselines,
+  in either the classic stacked layout or the reordered (interleaved)
+  layout of Azzam & Ayanoglu;
+* :func:`real_layout_permutation` — the column order a real layout
+  applies to the stacked decomposition (the detector layer uses it to
+  fold PAM decisions back to QAM indices).
 """
 
 from __future__ import annotations
@@ -130,8 +135,35 @@ def effective_receive(qr: QRResult, received: np.ndarray) -> np.ndarray:
     return np.conj(qr.q.T) @ received
 
 
+#: Column layouts of the real decomposition. ``"stacked"`` is the
+#: textbook ``[Re s; Im s]`` block order; ``"interleaved"`` is the
+#: reordered lattice of Azzam & Ayanoglu with columns
+#: ``[Re s_1, Im s_1, Re s_2, Im s_2, ...]`` so the I and Q of one
+#: symbol occupy *adjacent* tree levels.
+REAL_LAYOUTS = ("stacked", "interleaved")
+
+
+def real_layout_permutation(n_tx: int, layout: str = "stacked") -> np.ndarray:
+    """Column permutation a layout applies to the stacked decomposition.
+
+    ``perm[j]`` is the stacked-layout column (``k`` = Re of antenna
+    ``k``, ``n_tx + k`` = Im of antenna ``k``) that lands at column
+    ``j`` of the laid-out matrix. Identity for ``"stacked"``.
+    """
+    if layout not in REAL_LAYOUTS:
+        raise ValueError(
+            f"unknown real layout {layout!r} (known: {', '.join(REAL_LAYOUTS)})"
+        )
+    if layout == "stacked":
+        return np.arange(2 * n_tx)
+    perm = np.empty(2 * n_tx, dtype=np.int64)
+    perm[0::2] = np.arange(n_tx)
+    perm[1::2] = n_tx + np.arange(n_tx)
+    return perm
+
+
 def real_decomposition(
-    channel: np.ndarray, received: np.ndarray
+    channel: np.ndarray, received: np.ndarray, *, layout: str = "stacked"
 ) -> tuple[np.ndarray, np.ndarray]:
     """Equivalent real-valued system.
 
@@ -140,6 +172,13 @@ def real_decomposition(
 
         [Re y]   [Re H  -Im H] [Re s]
         [Im y] = [Im H   Re H] [Im s] + noise
+
+    ``layout="interleaved"`` additionally reorders the columns to the
+    Azzam & Ayanoglu form (``Re s_1, Im s_1, Re s_2, Im s_2, ...``); the
+    rows — and therefore ``y_real`` — are unchanged. With that ordering
+    the last two tree levels belong to the *same* complex symbol, and so
+    do every subsequent pair, which is what lets a hardware enumerator
+    decide I and Q together and halve the effective tree depth.
 
     Returns ``(H_real, y_real)``.
     """
@@ -150,4 +189,7 @@ def real_decomposition(
     bottom = np.concatenate([h_im, h_re], axis=1)
     h_real = np.concatenate([top, bottom], axis=0)
     y_real = np.concatenate([received.real, received.imag])
+    if layout != "stacked":
+        perm = real_layout_permutation(channel.shape[1], layout)
+        h_real = h_real[:, perm]
     return h_real, y_real

@@ -106,7 +106,8 @@ class TestCollectMetrics:
                 assert a[name] == b[name], name
         assert {n.split("@", 1)[0] for n in a} == {
             "host_ms", "cpu_model_ms", "fpga_opt_ms", "ber", "mean_nodes",
-            "mean_nodes_per_sec",
+            "mean_nodes_per_sec", "mean_nodes_linf", "mean_nodes_per_sec_linf",
+            "mean_nodes_rr", "mean_nodes_per_sec_rr",
         }
         assert series.rows
 

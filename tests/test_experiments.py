@@ -44,6 +44,7 @@ class TestRegistry:
             "ablation-csi",
             "ablation-correlation",
             "ablation-domain",
+            "ablation-metric",
             "profile",
             "scaling-modulation",
         }

@@ -2,12 +2,16 @@
 
 The :class:`~repro.detectors.ml.MLDetector` enumerates the entire
 lattice, so on systems small enough to enumerate it is ground truth for
-the maximum-likelihood point. Every exact tree-search detector —
-best-first and sorted-DFS :class:`SphereDecoder`, the GEMM-BFS decoder,
-Geosphere and the partitioned-PE decoder — must return exactly the same
-decision (indices) and the same ML metric on every one of these random
-instances. This is the conformance suite guarding the batched/lockstep
-decode refactor: any scheduling change that alters a decision surfaces
+the maximum-likelihood point. The candidate set is drawn from the
+detector registry — every entry flagged ``exact`` and
+``fpga_replayable`` (the tree-search detectors; the linear baselines are
+exact only in a trivial sense and have no decode trace) must return
+exactly the same decision (indices) and the same ML metric on every one
+of these random instances. Registering a new exact tree-search kind
+automatically enrols it here; flagging an approximate kind ``exact``
+makes this suite fail loudly. This is the conformance suite guarding the
+batched/lockstep decode refactor and the metric/lattice axes: any
+scheduling or representation change that alters a decision surfaces
 here as a hard mismatch, not a statistical drift.
 """
 
@@ -16,18 +20,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.parallel import PartitionedSphereDecoder
-from repro.core.radius import InfiniteRadius, NoiseScaledRadius
-from repro.core.sphere_decoder import SphereDecoder
-from repro.detectors.geosphere import GeosphereDecoder
 from repro.detectors.ml import MLDetector
-from repro.detectors.sd_bfs import GemmBfsDecoder
+from repro.detectors.registry import detector_entries, spec
 from repro.mimo.constellation import Constellation
 
 #: (n_antennas, modulation order) — small enough for exhaustive ML.
 SYSTEMS = [(2, 4), (3, 4), (4, 4), (2, 16), (3, 16)]
 
 N_SEEDS = 60
+
+#: Registry kinds that claim exact ML and carry a replayable decode
+#: trace — i.e. the tree-search detectors the paper benchmarks.
+EXACT_KINDS = [
+    e.kind for e in detector_entries() if e.exact and e.fpga_replayable
+]
+
+#: The subset that additionally supports the fused lockstep batch path.
+EXACT_BATCH_KINDS = [
+    e.kind
+    for e in detector_entries()
+    if e.exact and e.fpga_replayable and e.batch
+]
 
 
 def _instance(n: int, order: int, seed: int):
@@ -47,24 +60,13 @@ def _instance(n: int, order: int, seed: int):
     return const, channel, received, noise_var
 
 
-def _candidates(const):
-    """The detector configurations that must be exactly ML."""
-    return {
-        "sd-best-first": SphereDecoder(const),
-        "sd-dfs-sorted": SphereDecoder(
-            const,
-            strategy="dfs",
-            radius_policy=NoiseScaledRadius(alpha=2.0),
-            child_ordering="sorted",
-        ),
-        "sd-bfs-gemm": GemmBfsDecoder(
-            const, radius_policy=NoiseScaledRadius(alpha=4.0)
-        ),
-        "geosphere": GeosphereDecoder(const),
-        "partitioned-pe": PartitionedSphereDecoder(
-            const, n_pes=4, radius_policy=InfiniteRadius()
-        ),
-    }
+def test_registry_enrols_expected_kinds():
+    # Guard against the selection predicate silently going empty (which
+    # would vacuously pass everything below).
+    assert "sd" in EXACT_KINDS
+    assert "sd-real-reordered" in EXACT_KINDS
+    assert "sd-linf" not in EXACT_KINDS  # approximate w.r.t. ML
+    assert "ml" not in EXACT_KINDS  # the oracle itself, no trace
 
 
 @pytest.mark.parametrize("n,order", SYSTEMS, ids=lambda v: str(v))
@@ -75,7 +77,8 @@ def test_every_exact_detector_matches_brute_force(n, order):
         oracle = MLDetector(const)
         oracle.prepare(channel, noise_var=noise_var)
         truth = oracle.detect(received)
-        for name, detector in _candidates(const).items():
+        for kind in EXACT_KINDS:
+            detector = spec(kind, const)()
             detector.prepare(channel, noise_var=noise_var)
             result = detector.detect(received)
             if not np.array_equal(result.indices, truth.indices):
@@ -85,12 +88,12 @@ def test_every_exact_detector_matches_brute_force(n, order):
                     result.metric, truth.metric, rtol=1e-10, atol=1e-12
                 ):
                     oracle_mismatches.append(
-                        (seed, name, result.metric, truth.metric)
+                        (seed, kind, result.metric, truth.metric)
                     )
                 continue
             assert np.isclose(
                 result.metric, truth.metric, rtol=1e-10, atol=1e-12
-            ), f"seed {seed}, {name}: metric {result.metric} != {truth.metric}"
+            ), f"seed {seed}, {kind}: metric {result.metric} != {truth.metric}"
     assert not oracle_mismatches, oracle_mismatches
 
 
@@ -115,12 +118,8 @@ def test_decode_batch_matches_brute_force(n, order):
     oracle.prepare(channel, noise_var=noise_var)
     truths = [oracle.detect(row) for row in received]
 
-    for detector in (
-        SphereDecoder(const),
-        SphereDecoder(const, strategy="dfs", child_ordering="sorted"),
-        GemmBfsDecoder(const, radius_policy=NoiseScaledRadius(alpha=4.0)),
-        GeosphereDecoder(const),
-    ):
+    for kind in EXACT_BATCH_KINDS:
+        detector = spec(kind, const)()
         detector.prepare(channel, noise_var=noise_var)
         results = detector.decode_batch(received)
         assert len(results) == frames

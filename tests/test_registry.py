@@ -127,9 +127,9 @@ class TestFpgaReplay:
         stats = result.stats
         assert stats is not None
         assert stats.batches, f"{kind} produced no BatchEvent trace"
-        if kind == "sphere-real":
-            # The real decomposition searches a 2M-level tree over the
-            # per-dimension PAM alphabet.
+        if detector_entry(kind).lattice != "complex":
+            # Real-lattice representations search a 2M-level tree over
+            # the per-dimension PAM alphabet.
             n_tx, order = 2 * N_ANT, int(round(np.sqrt(const.order)))
         else:
             n_tx, order = N_ANT, const.order
@@ -171,3 +171,20 @@ class TestDetectorsSubcommand:
         assert "alpha=2.0" in out
         assert "fpga-replay" in out
         assert "fig6" in out
+
+    def test_lists_metric_and_lattice_axes(self, capsys):
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        assert "metric       : linf" in out
+        assert "lattice      : real-reordered" in out
+
+    def test_exact_only_hides_approximate_kinds(self, capsys):
+        assert main(["detectors", "--exact-only"]) == 0
+        out = capsys.readouterr().out
+        for entry in detector_entries():
+            if entry.exact:
+                assert f"{entry.kind}: " in out
+            else:
+                assert f"{entry.kind}: " not in out
+        assert "sd-linf: " not in out
+        assert "sd-real-reordered: " in out

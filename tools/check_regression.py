@@ -11,8 +11,8 @@ class        metrics                                 default tolerance
 ===========  ======================================  ================
 ``time``     ``host_ms@*`` (measured wall time)      +60 %
 ``model``    ``cpu_model_ms@*``, ``fpga_opt_ms@*``   +2 %
-``nodes``    ``mean_nodes@*``                        +2 %
-``rate``     ``mean_nodes_per_sec@*`` (throughput)   -60 %
+``nodes``    ``mean_nodes[_linf|_rr]@*``             +2 %
+``rate``     ``mean_nodes_per_sec[_linf|_rr]@*``     -60 %
 ``ber``      ``ber@*``                               +0 (abs 1e-9)
 ===========  ======================================  ================
 
@@ -68,13 +68,20 @@ HIGHER_IS_BETTER = frozenset({"rate"})
 #: Absolute slack applied on top of the relative ``ber`` tolerance.
 BER_ABS_SLACK = 1e-9
 
-#: Metric-name prefix -> tolerance class.
+#: Metric-name prefix -> tolerance class. The ``_linf`` / ``_rr``
+#: variants are the smoke sweep's per-metric/per-lattice series
+#: (sd-linf and sd-real-reordered decoding their own deterministic
+#: frame set) — same classes as the canonical decoder's columns.
 METRIC_CLASSES = {
     "host_ms": "time",
     "cpu_model_ms": "model",
     "fpga_opt_ms": "model",
     "mean_nodes": "nodes",
     "mean_nodes_per_sec": "rate",
+    "mean_nodes_linf": "nodes",
+    "mean_nodes_per_sec_linf": "rate",
+    "mean_nodes_rr": "nodes",
+    "mean_nodes_per_sec_rr": "rate",
     "ber": "ber",
 }
 
@@ -111,6 +118,10 @@ def collect_metrics(
             "ber",
             "mean_nodes",
             "mean_nodes_per_sec",
+            "mean_nodes_linf",
+            "mean_nodes_per_sec_linf",
+            "mean_nodes_rr",
+            "mean_nodes_per_sec_rr",
         ):
             value = row.get(column)
             if isinstance(value, (int, float)) and value == value:
